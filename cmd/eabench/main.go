@@ -1,0 +1,78 @@
+// Command eabench regenerates the tables and figures of the paper's
+// evaluation section (Sec. 5).
+//
+// Usage:
+//
+//	eabench                          # everything, small default workload
+//	eabench -fig 15 -queries 100     # one figure, bigger sample
+//	eabench -table 2                 # the TPC-H table
+//	eabench -queries 10000 -maxn 20  # the paper's full scale (slow!)
+//
+// The flags mirror the feasibility limits reported in the paper: EA-All is
+// only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eagg/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (15, 16, 17, 18); 0 = all")
+	table := flag.Int("table", 0, "table to reproduce (1, 2); 0 = all")
+	queries := flag.Int("queries", 20, "random queries per relation count (paper: 10000)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	maxN := flag.Int("maxn", 14, "largest relation count for the fast algorithms (paper: 20)")
+	maxNPrune := flag.Int("maxn-prune", 10, "largest relation count for EA-Prune (paper: ~13)")
+	maxNExh := flag.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Queries:        *queries,
+		Seed:           *seed,
+		MaxN:           *maxN,
+		MaxNPrune:      *maxNPrune,
+		MaxNExhaustive: *maxNExh,
+	}
+
+	selectedFig := func(n int) bool { return *fig == 0 && *table == 0 || *fig == n }
+	selectedTable := func(n int) bool { return *fig == 0 && *table == 0 || *table == n }
+
+	ran := false
+	if selectedTable(1) {
+		fmt.Print(experiments.Table1().Format())
+		fmt.Println()
+		ran = true
+	}
+	if selectedFig(15) {
+		fmt.Print(experiments.Fig15(cfg).Format())
+		fmt.Println()
+		ran = true
+	}
+	if selectedFig(16) {
+		fmt.Print(experiments.Fig16(cfg).Format())
+		fmt.Println()
+		ran = true
+	}
+	if selectedFig(17) {
+		fmt.Print(experiments.Fig17(cfg).Format())
+		fmt.Println()
+		ran = true
+	}
+	if selectedFig(18) {
+		fmt.Print(experiments.Fig18(cfg).Format())
+		fmt.Println()
+		ran = true
+	}
+	if selectedTable(2) {
+		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "eabench: nothing selected (use -fig 15|16|17|18 or -table 1|2)\n")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,91 @@
+// Command eaexplain optimizes a query with the plan generators of the
+// paper and prints the resulting operator trees with their estimated
+// cardinalities and C_out costs.
+//
+// Usage:
+//
+//	eaexplain -demo ex            # the paper's motivating query
+//	eaexplain -demo q3|q5|q10     # the TPC-H evaluation queries
+//	eaexplain -spec query.json    # a JSON query specification
+//	eaexplain -spec - < q.json    # spec from stdin
+//
+// The JSON specification format is documented in spec.go (see also
+// examples/quickstart for the programmatic API).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eagg/internal/core"
+	"eagg/internal/query"
+	"eagg/internal/tpch"
+)
+
+func main() {
+	demo := flag.String("demo", "", "built-in query: ex, q3, q5, q10")
+	spec := flag.String("spec", "", "JSON query specification file ('-' for stdin)")
+	factor := flag.Float64("f", 1.03, "H2 tolerance factor")
+	flag.Parse()
+
+	var q *query.Query
+	switch {
+	case *demo != "":
+		qs := tpch.Queries()
+		var ok bool
+		q, ok = map[string]*query.Query{
+			"ex": qs["Ex"], "q3": qs["Q3"], "q5": qs["Q5"], "q10": qs["Q10"],
+		}[strings.ToLower(*demo)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "eaexplain: unknown demo %q (ex, q3, q5, q10)\n", *demo)
+			os.Exit(2)
+		}
+	case *spec != "":
+		var err error
+		q, err = loadSpec(*spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eaexplain: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "eaexplain: need -demo or -spec")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := q.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "eaexplain: invalid query: %v\n", err)
+		os.Exit(1)
+	}
+
+	type run struct {
+		name string
+		alg  core.Algorithm
+		f    float64
+	}
+	runs := []run{
+		{"DPhyp (no eager aggregation)", core.AlgDPhyp, 0},
+		{"EA-Prune (optimal)", core.AlgEAPrune, 0},
+		{"EA-All (optimal, exhaustive)", core.AlgEAAll, 0},
+		{"H1", core.AlgH1, 0},
+		{fmt.Sprintf("H2 (F=%.2f)", *factor), core.AlgH2, *factor},
+	}
+	var base float64
+	for i, r := range runs {
+		res, err := core.Optimize(q, core.Options{Algorithm: r.alg, F: r.f})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eaexplain: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			base = res.Plan.Cost
+		}
+		fmt.Printf("=== %s ===\n", r.name)
+		fmt.Printf("cost %.6g (%.4g× DPhyp), %d csg-cmp-pairs, %d trees built\n",
+			res.Plan.Cost, res.Plan.Cost/base, res.Stats.CsgCmpPairs, res.Stats.PlansBuilt)
+		fmt.Print(res.Plan.StringWithQuery(q))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,163 @@
+// Package eagg is a plan generator that jointly reorders joins — including
+// outer joins, semijoins, antijoins and groupjoins — and the placement of
+// grouping (eager aggregation), reproducing Eich & Moerkotte, "Dynamic
+// Programming: The Next Step" (ICDE 2015).
+//
+// The package is a thin facade over the building blocks in internal/:
+//
+//   - build a Query (relations, statistics, keys, an initial operator
+//     tree, grouping attributes and an aggregation vector),
+//   - Optimize it with one of the plan generators of the paper (DPhyp
+//     baseline, EA-All, EA-Prune, H1, H2) or the beam-search extension,
+//   - inspect the resulting Plan, and optionally
+//   - Execute it on concrete data to cross-check results.
+//
+// A minimal end-to-end use:
+//
+//	q := eagg.NewQuery()
+//	fact := q.AddRelation("fact", 1_000_000)
+//	dim := q.AddRelation("dim", 100)
+//	fk := q.AddAttr(fact, "fact.fk", 100)
+//	g := q.AddAttr(fact, "fact.g", 10)
+//	q.AddAttr(fact, "fact.v", 500_000)
+//	pk := q.AddAttr(dim, "dim.pk", 100)
+//	q.AddKey(dim, pk)
+//	q.Root = eagg.Join(eagg.InnerJoin,
+//		eagg.Scan(fact), eagg.Scan(dim), fk, pk, 1.0/100)
+//	q.SetGrouping([]int{g}, eagg.Aggregates(
+//		eagg.Count("cnt"), eagg.Sum("total", "fact.v")))
+//	res, err := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune})
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package eagg
+
+import (
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/engine"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// Query is the optimizer input: relations with statistics, the initial
+// operator tree, grouping attributes and aggregates.
+type Query = query.Query
+
+// OpNode is a node of the initial operator tree.
+type OpNode = query.OpNode
+
+// Predicate is an equi-join predicate with a selectivity estimate.
+type Predicate = query.Predicate
+
+// Plan is an optimized operator tree with logical properties.
+type Plan = plan.Plan
+
+// Options select the algorithm and its parameters.
+type Options = core.Options
+
+// Result carries the optimized plan and search statistics.
+type Result = core.Result
+
+// Algorithm identifies one of the paper's five plan generators.
+type Algorithm = core.Algorithm
+
+// Agg describes one aggregate function of the aggregation vector.
+type Agg = aggfn.Agg
+
+// Vector is an ordered aggregation vector F.
+type Vector = aggfn.Vector
+
+// Rel is a bag-semantics relation used by Execute.
+type Rel = algebra.Rel
+
+// Data maps relation ids to contents for Execute.
+type Data = engine.Data
+
+// The plan generators: the paper's five (Sec. 4) plus the beam extension.
+const (
+	// DPhyp is the baseline: optimal join ordering, grouping stays on top.
+	DPhyp = core.AlgDPhyp
+	// EAAll explores the complete eager-aggregation search space.
+	EAAll = core.AlgEAAll
+	// EAPrune is EA-All with optimality-preserving dominance pruning.
+	EAPrune = core.AlgEAPrune
+	// H1 keeps the locally cheapest tree per plan class.
+	H1 = core.AlgH1
+	// H2 is H1 with the eagerness-biased comparison (set Options.F).
+	H2 = core.AlgH2
+	// Beam keeps the K cheapest plans per plan class (set
+	// Options.BeamWidth) — an extension interpolating between H1 and
+	// EA-All.
+	Beam = core.AlgBeam
+)
+
+// Operator kinds for the initial tree.
+const (
+	InnerJoin     = query.KindJoin
+	SemiJoin      = query.KindSemiJoin
+	AntiJoin      = query.KindAntiJoin
+	LeftOuterJoin = query.KindLeftOuter
+	FullOuterJoin = query.KindFullOuter
+	GroupJoin     = query.KindGroupJoin
+)
+
+// NewQuery returns an empty query.
+func NewQuery() *Query { return query.New() }
+
+// Scan builds a base-relation leaf.
+func Scan(rel int) *OpNode { return &OpNode{Kind: query.KindScan, Rel: rel} }
+
+// Join builds an operator node with a single-pair equi-join predicate.
+func Join(kind query.OpKind, left, right *OpNode, leftAttr, rightAttr int, selectivity float64) *OpNode {
+	return &OpNode{
+		Kind: kind, Left: left, Right: right,
+		Pred: &Predicate{Left: []int{leftAttr}, Right: []int{rightAttr}, Selectivity: selectivity},
+	}
+}
+
+// Aggregates builds an aggregation vector.
+func Aggregates(aggs ...Agg) Vector { return Vector(aggs) }
+
+// Count returns a count(*) aggregate.
+func Count(out string) Agg { return Agg{Out: out, Kind: aggfn.CountStar} }
+
+// CountOf returns a count(attr) aggregate.
+func CountOf(out, attr string) Agg { return Agg{Out: out, Kind: aggfn.Count, Arg: attr} }
+
+// Sum returns a sum(attr) aggregate.
+func Sum(out, attr string) Agg { return Agg{Out: out, Kind: aggfn.Sum, Arg: attr} }
+
+// Min returns a min(attr) aggregate.
+func Min(out, attr string) Agg { return Agg{Out: out, Kind: aggfn.Min, Arg: attr} }
+
+// Max returns a max(attr) aggregate.
+func Max(out, attr string) Agg { return Agg{Out: out, Kind: aggfn.Max, Arg: attr} }
+
+// Avg returns an avg(attr) aggregate.
+func Avg(out, attr string) Agg { return Agg{Out: out, Kind: aggfn.Avg, Arg: attr} }
+
+// Optimize runs the selected plan generator.
+func Optimize(q *Query, opts Options) (*Result, error) {
+	return core.Optimize(q, opts)
+}
+
+// Execute runs an optimized plan on concrete data, returning the result
+// relation over G ∪ A(F).
+func Execute(q *Query, p *Plan, data Data) (*Rel, error) {
+	return engine.Exec(q, p, data)
+}
+
+// Canonical evaluates the query as written (initial tree + top grouping):
+// the reference result for Execute.
+func Canonical(q *Query, data Data) (*Rel, error) {
+	return engine.Canonical(q, data)
+}
+
+// OutputAttrs returns the result schema of the query.
+func OutputAttrs(q *Query) []string { return engine.OutputAttrs(q) }
+
+// SameResult compares two results as bags over the query's output schema.
+func SameResult(q *Query, a, b *Rel) bool {
+	return algebra.EqualBags(a, b, engine.OutputAttrs(q))
+}

@@ -1,0 +1,111 @@
+package eagg_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eagg"
+	"eagg/internal/engine"
+)
+
+// buildStarQuery assembles the doc-comment example through the facade.
+func buildStarQuery() (*eagg.Query, int) {
+	q := eagg.NewQuery()
+	fact := q.AddRelation("fact", 1_000_000)
+	dim := q.AddRelation("dim", 100)
+	fk := q.AddAttr(fact, "fact.fk", 100)
+	g := q.AddAttr(fact, "fact.g", 10)
+	q.AddAttr(fact, "fact.v", 500_000)
+	pk := q.AddAttr(dim, "dim.pk", 100)
+	q.AddKey(dim, pk)
+	q.Root = eagg.Join(eagg.InnerJoin, eagg.Scan(fact), eagg.Scan(dim), fk, pk, 1.0/100)
+	q.SetGrouping([]int{g}, eagg.Aggregates(
+		eagg.Count("cnt"), eagg.Sum("total", "fact.v")))
+	return q, g
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	q, _ := buildStarQuery()
+	for _, alg := range []eagg.Algorithm{eagg.DPhyp, eagg.EAAll, eagg.EAPrune, eagg.H1} {
+		res, err := eagg.Optimize(q, eagg.Options{Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Plan == nil || res.Plan.Cost <= 0 {
+			t.Fatalf("%v: bad result", alg)
+		}
+	}
+	res, err := eagg.Optimize(q, eagg.Options{Algorithm: eagg.H2, F: 1.03})
+	if err != nil || res.Plan == nil {
+		t.Fatalf("H2: %v", err)
+	}
+}
+
+func TestFacadeEagerBeatsLazy(t *testing.T) {
+	q, _ := buildStarQuery()
+	lazy, _ := eagg.Optimize(q, eagg.Options{Algorithm: eagg.DPhyp})
+	eager, _ := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune})
+	if eager.Plan.Cost >= lazy.Plan.Cost {
+		t.Errorf("eager %.6g should beat lazy %.6g", eager.Plan.Cost, lazy.Plan.Cost)
+	}
+}
+
+func TestFacadeExecuteMatchesCanonical(t *testing.T) {
+	q, _ := buildStarQuery()
+	data := engine.RandomData(rand.New(rand.NewSource(3)), q, 8)
+	want, err := eagg.Canonical(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune})
+	got, err := eagg.Execute(q, res.Plan, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eagg.SameResult(q, want, got) {
+		t.Errorf("optimized result differs\nwant:\n%v\ngot:\n%v", want, got)
+	}
+}
+
+func TestFacadeAggregateHelpers(t *testing.T) {
+	v := eagg.Aggregates(
+		eagg.Count("c"), eagg.CountOf("ca", "x"), eagg.Sum("s", "x"),
+		eagg.Min("lo", "x"), eagg.Max("hi", "x"), eagg.Avg("m", "x"))
+	if len(v) != 6 {
+		t.Fatalf("vector length %d", len(v))
+	}
+	outs := v.Outs()
+	want := []string{"c", "ca", "s", "lo", "hi", "m"}
+	for i := range want {
+		if outs[i] != want[i] {
+			t.Errorf("outs = %v", outs)
+		}
+	}
+}
+
+// Example demonstrates the optimizer collapsing a star-schema aggregation
+// by pushing the grouping below the join.
+func Example() {
+	q := eagg.NewQuery()
+	fact := q.AddRelation("fact", 1_000_000)
+	dim := q.AddRelation("dim", 100)
+	fk := q.AddAttr(fact, "fact.fk", 100)
+	g := q.AddAttr(fact, "fact.g", 10)
+	q.AddAttr(fact, "fact.v", 500_000)
+	pk := q.AddAttr(dim, "dim.pk", 100)
+	q.AddKey(dim, pk)
+	q.Root = eagg.Join(eagg.InnerJoin, eagg.Scan(fact), eagg.Scan(dim), fk, pk, 1.0/100)
+	q.SetGrouping([]int{g}, eagg.Aggregates(
+		eagg.Count("cnt"), eagg.Sum("total", "fact.v")))
+
+	lazy, _ := eagg.Optimize(q, eagg.Options{Algorithm: eagg.DPhyp})
+	eager, _ := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune})
+	fmt.Printf("lazy  C_out = %.6g\n", lazy.Plan.Cost)
+	fmt.Printf("eager C_out = %.6g\n", eager.Plan.Cost)
+	fmt.Printf("eager groupings pushed: %d\n", eager.Plan.CountGroupings())
+	// Output:
+	// lazy  C_out = 1.00001e+06
+	// eager C_out = 2010
+	// eager groupings pushed: 1
+}

@@ -1,0 +1,70 @@
+// Motivating: reproduces the paper's introduction end to end. The query
+//
+//	select ns.n_name, nc.n_name, count(*)
+//	from (nation ns join supplier s on ns.n_nationkey = s.s_nationkey)
+//	     full outer join
+//	     (nation nc join customer c on nc.n_nationkey = c.c_nationkey)
+//	     on ns.n_nationkey = nc.n_nationkey
+//	group by ns.n_name, nc.n_name
+//
+// cannot be improved by join reordering alone — the outer join is a
+// barrier, and the inner joins explode before the grouping collapses
+// everything. With the paper's equivalences the plan generator pushes
+// groupings below the full outerjoin and the cost collapses (on HyPer the
+// authors measured 2140 ms → 1.51 ms).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"eagg"
+	"eagg/internal/core"
+	"eagg/internal/tpch"
+)
+
+func main() {
+	q := tpch.Ex()
+	fmt.Println("the paper's introduction query on TPC-H SF-1 statistics")
+	fmt.Println()
+
+	lazy, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eager, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DPhyp (grouping stays on top):   C_out = %.6g\n", lazy.Plan.Cost)
+	fmt.Print(lazy.Plan.StringWithQuery(q))
+	fmt.Println()
+	fmt.Printf("EA-Prune (eager aggregation):    C_out = %.6g  (%.3g× cheaper)\n",
+		eager.Plan.Cost, lazy.Plan.Cost/eager.Plan.Cost)
+	fmt.Print(eager.Plan.StringWithQuery(q))
+	fmt.Println()
+
+	// Execute both plans on synthetic TPC-H-shaped data and show that
+	// the results agree while the eager plan touches far fewer tuples.
+	data := tpch.GenerateData(rand.New(rand.NewSource(2)), q, tpch.ExecutionScale("Ex"))
+	t0 := time.Now()
+	lazyRes, err := eagg.Execute(q, lazy.Plan, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lazyTime := time.Since(t0)
+	t1 := time.Now()
+	eagerRes, err := eagg.Execute(q, eager.Plan, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eagerTime := time.Since(t1)
+
+	fmt.Printf("executed on a scaled instance (supplier=300, customer=600):\n")
+	fmt.Printf("  lazy plan:  %v   eager plan: %v\n", lazyTime, eagerTime)
+	fmt.Printf("  identical results: %v (%d groups)\n",
+		eagg.SameResult(q, lazyRes, eagerRes), lazyRes.Card())
+}

@@ -1,0 +1,232 @@
+// Package aggfn models SQL aggregate functions and vectors thereof, together
+// with the three properties the paper's equivalences rely on (Sec. 2.1):
+//
+//   - splittability of an aggregation vector F into F1 ◦ F2 w.r.t. two
+//     expressions (Def. 1),
+//   - decomposability of an aggregate into an inner part F¹ and an outer
+//     part F² (Def. 2), and
+//   - duplicate sensitivity, which drives the ⊗c adjustment operator that
+//     re-weights duplicate-sensitive aggregates by a count attribute.
+//
+// The package is purely symbolic: it manipulates aggregate descriptions.
+// Evaluation over tuples lives in internal/algebra.
+package aggfn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies an aggregate function. Beyond the SQL standard functions
+// the enum contains the derived forms that the paper's rewrites produce:
+// weighted sums for ⊗c adjustments and the merge form of avg.
+type Kind int
+
+const (
+	// CountStar is count(*): counts tuples, never NULL-sensitive.
+	CountStar Kind = iota
+	// Count is count(a): counts tuples where a is not NULL. This is also
+	// the paper's countNN used to decompose avg.
+	Count
+	// Sum is sum(a) with SQL semantics: NULL on empty or all-NULL input.
+	Sum
+	// Min is min(a).
+	Min
+	// Max is max(a).
+	Max
+	// Avg is avg(a) = sum(a)/countNN(a).
+	Avg
+	// SumDistinct is sum(distinct a). Duplicate agnostic, not decomposable.
+	SumDistinct
+	// CountDistinct is count(distinct a). Duplicate agnostic, not
+	// decomposable.
+	CountDistinct
+	// AvgDistinct is avg(distinct a). Duplicate agnostic, not decomposable.
+	AvgDistinct
+
+	// SumTimes is sum(Arg * Arg2), the ⊗c image of Sum.
+	SumTimes
+	// SumIfNotNull is sum(Arg IS NULL ? 0 : Arg2), the ⊗c image of Count.
+	SumIfNotNull
+	// AvgMerge is sum(Arg)/sum(Arg2), the outer half of a decomposed Avg;
+	// Arg carries partial sums, Arg2 partial non-NULL counts. With a
+	// non-empty Weight both sums are weighted: sum(Arg·W)/sum(Arg2·W).
+	AvgMerge
+	// AvgWeighted is the ⊗c image of Avg:
+	// sum(Arg·Arg2) / sum(Arg IS NULL ? 0 : Arg2).
+	AvgWeighted
+)
+
+var kindNames = map[Kind]string{
+	CountStar:     "count(*)",
+	Count:         "count",
+	Sum:           "sum",
+	Min:           "min",
+	Max:           "max",
+	Avg:           "avg",
+	SumDistinct:   "sum(distinct)",
+	CountDistinct: "count(distinct)",
+	AvgDistinct:   "avg(distinct)",
+	SumTimes:      "sum*",
+	SumIfNotNull:  "sumIfNN",
+	AvgMerge:      "avgMerge",
+	AvgWeighted:   "avgWeighted",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// DuplicateAgnostic reports whether the aggregate's result is independent of
+// duplicates in its input (the paper's Class D; Sec. 2.1.3).
+func (k Kind) DuplicateAgnostic() bool {
+	switch k {
+	case Min, Max, SumDistinct, CountDistinct, AvgDistinct:
+		return true
+	}
+	return false
+}
+
+// Decomposable reports whether agg(X∪Y) can be computed from agg1 applied to
+// X and Y separately (Def. 2). The distinct variants are not decomposable.
+func (k Kind) Decomposable() bool {
+	switch k {
+	case CountStar, Count, Sum, Min, Max, Avg, SumTimes, SumIfNotNull, AvgMerge, AvgWeighted:
+		return true
+	}
+	return false
+}
+
+// Agg is one entry of an aggregation vector: Out : kind(Arg[, Arg2]).
+// Arg is empty for count(*). Arg2 is used by the two-argument derived kinds
+// (SumTimes, SumIfNotNull, AvgMerge). Weight optionally re-weights AvgMerge.
+type Agg struct {
+	Out    string // result attribute
+	Kind   Kind
+	Arg    string // aggregated attribute ("" for count(*))
+	Arg2   string // second attribute for derived kinds
+	Weight string // weight attribute for AvgMerge ⊗ c
+}
+
+// Args returns the input attributes the aggregate references.
+func (a Agg) Args() []string {
+	var out []string
+	if a.Arg != "" {
+		out = append(out, a.Arg)
+	}
+	if a.Arg2 != "" {
+		out = append(out, a.Arg2)
+	}
+	if a.Weight != "" {
+		out = append(out, a.Weight)
+	}
+	return out
+}
+
+func (a Agg) String() string {
+	switch a.Kind {
+	case CountStar:
+		return a.Out + ":count(*)"
+	case SumTimes:
+		return fmt.Sprintf("%s:sum(%s*%s)", a.Out, a.Arg, a.Arg2)
+	case SumIfNotNull:
+		return fmt.Sprintf("%s:sum(%s isnull?0:%s)", a.Out, a.Arg, a.Arg2)
+	case AvgMerge:
+		if a.Weight != "" {
+			return fmt.Sprintf("%s:sum(%s*%s)/sum(%s*%s)", a.Out, a.Arg, a.Weight, a.Arg2, a.Weight)
+		}
+		return fmt.Sprintf("%s:sum(%s)/sum(%s)", a.Out, a.Arg, a.Arg2)
+	case AvgWeighted:
+		return fmt.Sprintf("%s:avg(%s weighted by %s)", a.Out, a.Arg, a.Arg2)
+	default:
+		return fmt.Sprintf("%s:%s(%s)", a.Out, a.Kind, a.Arg)
+	}
+}
+
+// Vector is an ordered aggregation vector F = (b1:agg1(a1), …, bk:aggk(ak)).
+type Vector []Agg
+
+// String renders the vector as the paper writes it.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, a := range v {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Concat returns the concatenation v ◦ w.
+func (v Vector) Concat(w Vector) Vector {
+	out := make(Vector, 0, len(v)+len(w))
+	out = append(out, v...)
+	out = append(out, w...)
+	return out
+}
+
+// Outs returns the result attributes of the vector, in order.
+func (v Vector) Outs() []string {
+	out := make([]string, len(v))
+	for i, a := range v {
+		out[i] = a.Out
+	}
+	return out
+}
+
+// InputAttrs returns the set of attributes referenced by the vector, i.e.
+// F(F) in the paper's notation.
+func (v Vector) InputAttrs() map[string]bool {
+	out := map[string]bool{}
+	for _, a := range v {
+		for _, arg := range a.Args() {
+			out[arg] = true
+		}
+	}
+	return out
+}
+
+// Decomposable reports whether every aggregate in the vector is
+// decomposable.
+func (v Vector) Decomposable() bool {
+	for _, a := range v {
+		if !a.Kind.Decomposable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Split splits F into F1 ◦ F2 with respect to two attribute universes
+// (Def. 1): an aggregate referencing only attributes of side 1 goes to F1,
+// only side 2 to F2. count(*) (special case S1) references nothing and is
+// placed on side 1. ok is false if some aggregate references attributes
+// from both sides or from neither — then F is not splittable.
+func (v Vector) Split(attrsOfSide1, attrsOfSide2 func(attr string) bool) (f1, f2 Vector, ok bool) {
+	for _, a := range v {
+		args := a.Args()
+		if len(args) == 0 { // count(*): S1 convention, goes left
+			f1 = append(f1, a)
+			continue
+		}
+		in1, in2 := true, true
+		for _, arg := range args {
+			if !attrsOfSide1(arg) {
+				in1 = false
+			}
+			if !attrsOfSide2(arg) {
+				in2 = false
+			}
+		}
+		switch {
+		case in1 && !in2:
+			f1 = append(f1, a)
+		case in2 && !in1:
+			f2 = append(f2, a)
+		default:
+			return nil, nil, false
+		}
+	}
+	return f1, f2, true
+}

@@ -1,0 +1,248 @@
+package aggfn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDuplicateAgnostic(t *testing.T) {
+	agnostic := []Kind{Min, Max, SumDistinct, CountDistinct, AvgDistinct}
+	sensitive := []Kind{Sum, Count, CountStar, Avg}
+	for _, k := range agnostic {
+		if !k.DuplicateAgnostic() {
+			t.Errorf("%s should be duplicate agnostic", k)
+		}
+	}
+	for _, k := range sensitive {
+		if k.DuplicateAgnostic() {
+			t.Errorf("%s should be duplicate sensitive", k)
+		}
+	}
+}
+
+func TestDecomposableKinds(t *testing.T) {
+	for _, k := range []Kind{CountStar, Count, Sum, Min, Max, Avg} {
+		if !k.Decomposable() {
+			t.Errorf("%s should be decomposable", k)
+		}
+	}
+	for _, k := range []Kind{SumDistinct, CountDistinct, AvgDistinct} {
+		if k.Decomposable() {
+			t.Errorf("%s must not be decomposable", k)
+		}
+	}
+}
+
+func TestVectorConcatAndOuts(t *testing.T) {
+	f1 := Vector{{Out: "b1", Kind: Sum, Arg: "a1"}}
+	f2 := Vector{{Out: "b2", Kind: Count, Arg: "a2"}}
+	f := f1.Concat(f2)
+	if len(f) != 2 || f[0].Out != "b1" || f[1].Out != "b2" {
+		t.Fatalf("Concat = %v", f)
+	}
+	outs := f.Outs()
+	if outs[0] != "b1" || outs[1] != "b2" {
+		t.Errorf("Outs = %v", outs)
+	}
+	// Concat must not alias the inputs' backing arrays.
+	f[0].Out = "x"
+	if f1[0].Out != "b1" {
+		t.Error("Concat aliases input vector")
+	}
+}
+
+func TestInputAttrs(t *testing.T) {
+	f := Vector{
+		{Out: "k", Kind: CountStar},
+		{Out: "b", Kind: Sum, Arg: "a1"},
+		{Out: "w", Kind: SumTimes, Arg: "a2", Arg2: "c1"},
+	}
+	attrs := f.InputAttrs()
+	for _, a := range []string{"a1", "a2", "c1"} {
+		if !attrs[a] {
+			t.Errorf("InputAttrs missing %s", a)
+		}
+	}
+	if attrs[""] || len(attrs) != 3 {
+		t.Errorf("InputAttrs = %v", attrs)
+	}
+}
+
+func sideOf(attrs ...string) func(string) bool {
+	set := map[string]bool{}
+	for _, a := range attrs {
+		set[a] = true
+	}
+	return func(a string) bool { return set[a] }
+}
+
+func TestSplit(t *testing.T) {
+	// The paper's Fig. 4 vector: F = k:count(*), b1:sum(a1), b2:sum(a2).
+	f := Vector{
+		{Out: "k", Kind: CountStar},
+		{Out: "b1", Kind: Sum, Arg: "a1"},
+		{Out: "b2", Kind: Sum, Arg: "a2"},
+	}
+	f1, f2, ok := f.Split(sideOf("g1", "j1", "a1"), sideOf("g2", "j2", "a2"))
+	if !ok {
+		t.Fatal("vector should be splittable")
+	}
+	// count(*) goes left by the S1 convention.
+	if len(f1) != 2 || f1[0].Out != "k" || f1[1].Out != "b1" {
+		t.Errorf("F1 = %v", f1)
+	}
+	if len(f2) != 1 || f2[0].Out != "b2" {
+		t.Errorf("F2 = %v", f2)
+	}
+}
+
+func TestSplitFailsAcrossSides(t *testing.T) {
+	f := Vector{{Out: "x", Kind: SumTimes, Arg: "a1", Arg2: "a2"}}
+	if _, _, ok := f.Split(sideOf("a1"), sideOf("a2")); ok {
+		t.Error("aggregate spanning both sides must not split")
+	}
+	// Attribute known to neither side.
+	g := Vector{{Out: "y", Kind: Sum, Arg: "zz"}}
+	if _, _, ok := g.Split(sideOf("a1"), sideOf("a2")); ok {
+		t.Error("aggregate over unknown attribute must not split")
+	}
+}
+
+func TestDecomposeSumCount(t *testing.T) {
+	f := Vector{
+		{Out: "k", Kind: CountStar},
+		{Out: "b", Kind: Sum, Arg: "a"},
+	}
+	d, err := f.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner: k':count(*), b':sum(a). Outer: k:sum(k'), b:sum(b').
+	if d.Inner[0].Kind != CountStar || d.Inner[0].Out != "k'" {
+		t.Errorf("inner[0] = %v", d.Inner[0])
+	}
+	if d.Outer[0].Kind != Sum || d.Outer[0].Arg != "k'" || d.Outer[0].Out != "k" {
+		t.Errorf("outer[0] = %v", d.Outer[0])
+	}
+	if d.Inner[1].Kind != Sum || d.Outer[1].Kind != Sum || d.Outer[1].Arg != "b'" {
+		t.Errorf("sum decomposition = %v / %v", d.Inner[1], d.Outer[1])
+	}
+}
+
+func TestDecomposeMinMax(t *testing.T) {
+	f := Vector{{Out: "lo", Kind: Min, Arg: "a"}, {Out: "hi", Kind: Max, Arg: "a"}}
+	d, err := f.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outer[0].Kind != Min || d.Outer[1].Kind != Max {
+		t.Errorf("min/max must recombine with min/max, got %v", d.Outer)
+	}
+}
+
+func TestDecomposeAvg(t *testing.T) {
+	f := Vector{{Out: "m", Kind: Avg, Arg: "a"}}
+	d, err := f.Decompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Inner) != 2 {
+		t.Fatalf("avg inner = %v", d.Inner)
+	}
+	if d.Inner[0].Kind != Sum || d.Inner[1].Kind != Count {
+		t.Errorf("avg decomposes into sum+countNN, got %v", d.Inner)
+	}
+	if d.Outer[0].Kind != AvgMerge {
+		t.Errorf("avg outer = %v", d.Outer[0])
+	}
+}
+
+func TestDecomposeRejectsDistinct(t *testing.T) {
+	f := Vector{{Out: "d", Kind: CountDistinct, Arg: "a"}}
+	if _, err := f.Decompose(); err == nil {
+		t.Error("count(distinct) must not decompose")
+	}
+}
+
+func TestAdjust(t *testing.T) {
+	f := Vector{
+		{Out: "k", Kind: CountStar},
+		{Out: "b", Kind: Sum, Arg: "a"},
+		{Out: "c", Kind: Count, Arg: "a"},
+		{Out: "lo", Kind: Min, Arg: "a"},
+		{Out: "m", Kind: Avg, Arg: "a"},
+	}
+	g, err := f.Adjust("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count(*) ⊗ c1 = sum(c1)
+	if g[0].Kind != Sum || g[0].Arg != "c1" {
+		t.Errorf("count(*)⊗c = %v", g[0])
+	}
+	// sum(a) ⊗ c1 = sum(a*c1)
+	if g[1].Kind != SumTimes || g[1].Arg != "a" || g[1].Arg2 != "c1" {
+		t.Errorf("sum⊗c = %v", g[1])
+	}
+	// count(a) ⊗ c1 = sum(a IS NULL ? 0 : c1)
+	if g[2].Kind != SumIfNotNull {
+		t.Errorf("count(a)⊗c = %v", g[2])
+	}
+	// min is duplicate agnostic: unchanged.
+	if g[3] != f[3] {
+		t.Errorf("min⊗c = %v", g[3])
+	}
+	if g[4].Kind != AvgWeighted {
+		t.Errorf("avg⊗c = %v", g[4])
+	}
+}
+
+func TestAdjustAvgMergeGainsWeight(t *testing.T) {
+	f := Vector{{Out: "m", Kind: AvgMerge, Arg: "s", Arg2: "n"}}
+	g, err := f.Adjust("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0].Weight != "c2" {
+		t.Errorf("AvgMerge⊗c = %v", g[0])
+	}
+	// A second adjustment is out of scope and must error.
+	if _, err := g.Adjust("c3"); err == nil {
+		t.Error("double ⊗ on AvgMerge should error")
+	}
+}
+
+func TestBottomDefaults(t *testing.T) {
+	f := Vector{
+		{Out: "k", Kind: CountStar},
+		{Out: "c", Kind: Count, Arg: "a"},
+		{Out: "b", Kind: Sum, Arg: "a"},
+		{Out: "lo", Kind: Min, Arg: "a"},
+	}
+	want := []Default{DefaultOne, DefaultZero, DefaultNull, DefaultNull}
+	got := f.BottomDefaults()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("default[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := Vector{
+		{Out: "k", Kind: CountStar},
+		{Out: "b", Kind: SumTimes, Arg: "a", Arg2: "c1"},
+	}
+	s := f.String()
+	if !strings.Contains(s, "k:count(*)") || !strings.Contains(s, "b:sum(a*c1)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestVectorDecomposablePredicate(t *testing.T) {
+	ok := Vector{{Out: "b", Kind: Sum, Arg: "a"}}
+	bad := Vector{{Out: "b", Kind: Sum, Arg: "a"}, {Out: "d", Kind: SumDistinct, Arg: "a"}}
+	if !ok.Decomposable() || bad.Decomposable() {
+		t.Error("Decomposable predicate broken")
+	}
+}

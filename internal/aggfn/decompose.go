@@ -1,0 +1,159 @@
+package aggfn
+
+import "fmt"
+
+// Default symbolically describes the value an aggregate yields when applied
+// to the single all-NULL tuple {⊥}. The paper attaches these as default
+// vectors to its generalized outerjoins (Eqvs. 11/12, 14/15, …): an
+// unmatched tuple receives F¹({⊥}) for the pushed-down aggregates and 1 for
+// the pushed-down count.
+type Default int
+
+const (
+	// DefaultNull: sum/min/max/avg of {⊥} is NULL.
+	DefaultNull Default = iota
+	// DefaultZero: count(a) of {⊥} is 0 (a is NULL).
+	DefaultZero
+	// DefaultOne: count(*) of {⊥} is 1 — one tuple is present.
+	DefaultOne
+)
+
+func (d Default) String() string {
+	switch d {
+	case DefaultNull:
+		return "NULL"
+	case DefaultZero:
+		return "0"
+	case DefaultOne:
+		return "1"
+	}
+	return fmt.Sprintf("Default(%d)", int(d))
+}
+
+// BottomDefault returns the aggregate's value on {⊥}, the single tuple that
+// is NULL in every attribute.
+func (a Agg) BottomDefault() Default {
+	switch a.Kind {
+	case CountStar:
+		return DefaultOne
+	case Count, CountDistinct, SumIfNotNull:
+		return DefaultZero
+	default:
+		return DefaultNull
+	}
+}
+
+// BottomDefaults returns one symbolic default per vector entry, aligned
+// with v.
+func (v Vector) BottomDefaults() []Default {
+	out := make([]Default, len(v))
+	for i, a := range v {
+		out[i] = a.BottomDefault()
+	}
+	return out
+}
+
+// Decomposition is the result of decomposing a vector F into an inner
+// vector F¹ (evaluated by the pushed-down grouping, producing fresh partial
+// attributes) and an outer vector F² (evaluated by the upper grouping over
+// those partials, producing the original output attributes).
+type Decomposition struct {
+	Inner Vector // F¹ — partials, fresh Out names
+	Outer Vector // F² — combines partials into the original Outs
+}
+
+// Decompose splits each aggregate agg into (agg¹, agg²) per Def. 2.
+// Intermediate attribute names are derived from the output name: b → b′
+// (and b_s/b_n for the two halves of avg). It returns an error if the
+// vector contains a non-decomposable aggregate.
+func (v Vector) Decompose() (Decomposition, error) {
+	var d Decomposition
+	for _, a := range v {
+		switch a.Kind {
+		case CountStar, Count:
+			p := a.Out + "'"
+			d.Inner = append(d.Inner, Agg{Out: p, Kind: a.Kind, Arg: a.Arg})
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: Sum, Arg: p})
+		case Sum:
+			p := a.Out + "'"
+			d.Inner = append(d.Inner, Agg{Out: p, Kind: Sum, Arg: a.Arg})
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: Sum, Arg: p})
+		case SumTimes, SumIfNotNull:
+			p := a.Out + "'"
+			d.Inner = append(d.Inner, Agg{Out: p, Kind: a.Kind, Arg: a.Arg, Arg2: a.Arg2})
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: Sum, Arg: p})
+		case Min, Max:
+			p := a.Out + "'"
+			d.Inner = append(d.Inner, Agg{Out: p, Kind: a.Kind, Arg: a.Arg})
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: a.Kind, Arg: p})
+		case Avg:
+			ps, pn := a.Out+"_s", a.Out+"_n"
+			d.Inner = append(d.Inner,
+				Agg{Out: ps, Kind: Sum, Arg: a.Arg},
+				Agg{Out: pn, Kind: Count, Arg: a.Arg})
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: AvgMerge, Arg: ps, Arg2: pn})
+		case AvgWeighted:
+			ps, pn := a.Out+"_s", a.Out+"_n"
+			d.Inner = append(d.Inner,
+				Agg{Out: ps, Kind: SumTimes, Arg: a.Arg, Arg2: a.Arg2},
+				Agg{Out: pn, Kind: SumIfNotNull, Arg: a.Arg, Arg2: a.Arg2})
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: AvgMerge, Arg: ps, Arg2: pn})
+		case AvgMerge:
+			ps, pn := a.Out+"_s", a.Out+"_n"
+			if a.Weight != "" {
+				d.Inner = append(d.Inner,
+					Agg{Out: ps, Kind: SumTimes, Arg: a.Arg, Arg2: a.Weight},
+					Agg{Out: pn, Kind: SumTimes, Arg: a.Arg2, Arg2: a.Weight})
+			} else {
+				d.Inner = append(d.Inner,
+					Agg{Out: ps, Kind: Sum, Arg: a.Arg},
+					Agg{Out: pn, Kind: Sum, Arg: a.Arg2})
+			}
+			d.Outer = append(d.Outer, Agg{Out: a.Out, Kind: AvgMerge, Arg: ps, Arg2: pn})
+		default:
+			return Decomposition{}, fmt.Errorf("aggfn: %s is not decomposable", a)
+		}
+	}
+	return d, nil
+}
+
+// Adjust implements the ⊗ operator of Sec. 2.1.3: F ⊗ c re-weights each
+// duplicate-sensitive aggregate by the count attribute c, which holds the
+// number of original tuples each input tuple stands for:
+//
+//	agg duplicate agnostic → agg unchanged
+//	sum(a)                 → sum(a*c)
+//	count(*)               → sum(c)
+//	count(a)               → sum(a IS NULL ? 0 : c)
+//	avg(a)                 → sum(a*c)/sum(a IS NULL ? 0 : c)
+//	sum(p)/sum(q)          → sum(p*c)/sum(q*c)    (AvgMerge gains a weight)
+//
+// It returns an error for forms that cannot absorb another weight (a second
+// ⊗ application, which the single-push equivalences never produce).
+func (v Vector) Adjust(c string) (Vector, error) {
+	out := make(Vector, 0, len(v))
+	for _, a := range v {
+		if a.Kind.DuplicateAgnostic() {
+			out = append(out, a)
+			continue
+		}
+		switch a.Kind {
+		case Sum:
+			out = append(out, Agg{Out: a.Out, Kind: SumTimes, Arg: a.Arg, Arg2: c})
+		case CountStar:
+			out = append(out, Agg{Out: a.Out, Kind: Sum, Arg: c})
+		case Count:
+			out = append(out, Agg{Out: a.Out, Kind: SumIfNotNull, Arg: a.Arg, Arg2: c})
+		case Avg:
+			out = append(out, Agg{Out: a.Out, Kind: AvgWeighted, Arg: a.Arg, Arg2: c})
+		case AvgMerge:
+			if a.Weight != "" {
+				return nil, fmt.Errorf("aggfn: cannot ⊗-adjust already weighted %s", a)
+			}
+			out = append(out, Agg{Out: a.Out, Kind: AvgMerge, Arg: a.Arg, Arg2: a.Arg2, Weight: c})
+		default:
+			return nil, fmt.Errorf("aggfn: cannot ⊗-adjust %s", a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,306 @@
+package algebra
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+)
+
+// Cmp is the comparison operator θ of the θ-grouping operator Γθ and the
+// groupjoin.
+type Cmp int
+
+const (
+	// CmpEq is '=' (with grouping semantics: NULLs compare equal).
+	CmpEq Cmp = iota
+	// CmpNe is '≠'.
+	CmpNe
+	// CmpLt is '<'.
+	CmpLt
+	// CmpLe is '≤'.
+	CmpLe
+	// CmpGt is '>'.
+	CmpGt
+	// CmpGe is '≥'.
+	CmpGe
+)
+
+// Holds evaluates a θ b. For CmpEq, grouping equality applies (two NULLs
+// are equal); for the ordering comparisons NULL makes the comparison
+// unknown, hence false.
+func (c Cmp) Holds(a, b Value) bool {
+	if c == CmpEq {
+		return EqGrouping(a, b)
+	}
+	if c == CmpNe {
+		if a.IsNull() || b.IsNull() {
+			return false
+		}
+		return !eqNonNull(a, b)
+	}
+	r, ok := CompareStrict(a, b)
+	if !ok {
+		return false
+	}
+	switch c {
+	case CmpLt:
+		return r < 0
+	case CmpLe:
+		return r <= 0
+	case CmpGt:
+		return r > 0
+	case CmpGe:
+		return r >= 0
+	}
+	return false
+}
+
+// EvalAgg applies a single aggregate to a group of tuples with SQL
+// semantics (NULLs are ignored by sum/min/max/avg/count(a); sum of an
+// empty or all-NULL input is NULL; count never is).
+func EvalAgg(a aggfn.Agg, group []Tuple) Value {
+	switch a.Kind {
+	case aggfn.CountStar:
+		return Int(int64(len(group)))
+	case aggfn.Count:
+		n := int64(0)
+		for _, t := range group {
+			if !t.Get(a.Arg).IsNull() {
+				n++
+			}
+		}
+		return Int(n)
+	case aggfn.Sum:
+		return sumOf(group, func(t Tuple) Value { return t.Get(a.Arg) })
+	case aggfn.SumTimes:
+		return sumOf(group, func(t Tuple) Value { return Mul(t.Get(a.Arg), t.Get(a.Arg2)) })
+	case aggfn.SumIfNotNull:
+		return sumOf(group, func(t Tuple) Value {
+			if t.Get(a.Arg).IsNull() {
+				return Int(0)
+			}
+			return t.Get(a.Arg2)
+		})
+	case aggfn.Min, aggfn.Max:
+		var best Value = Null
+		for _, t := range group {
+			v := t.Get(a.Arg)
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			r, _ := CompareStrict(v, best)
+			if (a.Kind == aggfn.Min && r < 0) || (a.Kind == aggfn.Max && r > 0) {
+				best = v
+			}
+		}
+		return best
+	case aggfn.Avg:
+		s := sumOf(group, func(t Tuple) Value { return t.Get(a.Arg) })
+		n := EvalAgg(aggfn.Agg{Kind: aggfn.Count, Arg: a.Arg}, group)
+		return Div(s, n)
+	case aggfn.AvgMerge:
+		num := sumOf(group, func(t Tuple) Value { return weighted(t, a.Arg, a.Weight) })
+		den := sumOf(group, func(t Tuple) Value { return weighted(t, a.Arg2, a.Weight) })
+		return Div(num, den)
+	case aggfn.AvgWeighted:
+		num := sumOf(group, func(t Tuple) Value { return Mul(t.Get(a.Arg), t.Get(a.Arg2)) })
+		den := sumOf(group, func(t Tuple) Value {
+			if t.Get(a.Arg).IsNull() {
+				return Int(0)
+			}
+			return t.Get(a.Arg2)
+		})
+		return Div(num, den)
+	case aggfn.SumDistinct, aggfn.CountDistinct, aggfn.AvgDistinct:
+		vals := distinctNonNull(group, a.Arg)
+		switch a.Kind {
+		case aggfn.CountDistinct:
+			return Int(int64(len(vals)))
+		case aggfn.SumDistinct:
+			var s Value = Null
+			for _, v := range vals {
+				if s.IsNull() {
+					s = v
+				} else {
+					s = Add(s, v)
+				}
+			}
+			return s
+		default: // AvgDistinct
+			if len(vals) == 0 {
+				return Null
+			}
+			var s Value = Null
+			for _, v := range vals {
+				if s.IsNull() {
+					s = v
+				} else {
+					s = Add(s, v)
+				}
+			}
+			return Div(s, Int(int64(len(vals))))
+		}
+	}
+	panic(fmt.Sprintf("algebra: unknown aggregate kind %v", a.Kind))
+}
+
+func weighted(t Tuple, attr, weight string) Value {
+	v := t.Get(attr)
+	if weight == "" {
+		return v
+	}
+	return Mul(v, t.Get(weight))
+}
+
+// sumOf folds SQL sum over per-tuple terms: NULL terms are skipped, and the
+// result is NULL when no non-NULL term exists.
+func sumOf(group []Tuple, term func(Tuple) Value) Value {
+	var s Value = Null
+	for _, t := range group {
+		v := term(t)
+		if v.IsNull() {
+			continue
+		}
+		if s.IsNull() {
+			s = v
+		} else {
+			s = Add(s, v)
+		}
+	}
+	return s
+}
+
+func distinctNonNull(group []Tuple, attr string) []Value {
+	seen := map[string]bool{}
+	var out []Value
+	for _, t := range group {
+		v := t.Get(attr)
+		if v.IsNull() {
+			continue
+		}
+		k := v.encode()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EvalVector applies an aggregation vector to a group, producing a tuple of
+// the output attributes.
+func EvalVector(f aggfn.Vector, group []Tuple) Tuple {
+	out := make(Tuple, len(f))
+	for _, a := range f {
+		out[a.Out] = EvalAgg(a, group)
+	}
+	return out
+}
+
+// Group is the standard grouping operator Γ_{G;F}(e) with θ = '='. NULLs in
+// grouping attributes form their own group, as in SQL GROUP BY.
+func Group(e *Rel, g []string, f aggfn.Vector) *Rel {
+	out := &Rel{Attrs: schemaUnion(g, f.Outs())}
+	order := make([]string, 0)
+	groups := map[string][]Tuple{}
+	reps := map[string]Tuple{}
+	for _, t := range e.Tuples {
+		key := make(Tuple, len(g))
+		for _, a := range g {
+			key[a] = t.Get(a)
+		}
+		k := encodeTuple(key, g)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+			reps[k] = key
+		}
+		groups[k] = append(groups[k], t)
+	}
+	for _, k := range order {
+		out.Tuples = append(out.Tuples, reps[k].Concat(EvalVector(f, groups[k])))
+	}
+	return out
+}
+
+// GroupTheta is the θ-grouping operator Γθ_{G;F}(e): group representatives
+// are the distinct G-projections of e, and the group of a representative y
+// is {z ∈ e | z.G θ y.G} with θ applied attribute-wise.
+func GroupTheta(e *Rel, g []string, theta Cmp, f aggfn.Vector) *Rel {
+	if theta == CmpEq {
+		return Group(e, g, f)
+	}
+	out := &Rel{Attrs: schemaUnion(g, f.Outs())}
+	for _, y := range DistinctProject(e, g).Tuples {
+		var group []Tuple
+		for _, z := range e.Tuples {
+			all := true
+			for _, a := range g {
+				if !theta.Holds(z.Get(a), y.Get(a)) {
+					all = false
+					break
+				}
+			}
+			if all {
+				group = append(group, z)
+			}
+		}
+		out.Tuples = append(out.Tuples, y.Concat(EvalVector(f, group)))
+	}
+	return out
+}
+
+// GroupJoin is the left groupjoin e1 Z_{p;F} e2 (Eqv. 9): each tuple of e1
+// is extended by the aggregates of its join partners in e2. Empty partner
+// sets yield the aggregates of ∅ (0 for counts, NULL for sum/min/max/avg).
+func GroupJoin(e1, e2 *Rel, p Pred, f aggfn.Vector) *Rel {
+	out := &Rel{Attrs: schemaUnion(e1.Attrs, f.Outs())}
+	for _, r := range e1.Tuples {
+		var group []Tuple
+		for _, s := range e2.Tuples {
+			if p(r, s) {
+				group = append(group, s)
+			}
+		}
+		out.Tuples = append(out.Tuples, r.Concat(EvalVector(f, group)))
+	}
+	return out
+}
+
+// GroupJoinTheta is the groupjoin with an attribute-wise θ-comparison
+// between G1 ⊆ A(e1) and G2 ⊆ A(e2), e1 Z_{G1 θ G2; F} e2.
+func GroupJoinTheta(e1, e2 *Rel, g1, g2 []string, theta Cmp, f aggfn.Vector) *Rel {
+	if len(g1) != len(g2) {
+		panic("algebra: GroupJoinTheta attribute lists differ in length")
+	}
+	p := func(l, r Tuple) bool {
+		for i := range g1 {
+			var holds bool
+			if theta == CmpEq {
+				// Join-predicate equality is strict: NULL matches nothing.
+				holds = EqStrict(l.Get(g1[i]), r.Get(g2[i]))
+			} else {
+				holds = theta.Holds(l.Get(g1[i]), r.Get(g2[i]))
+			}
+			if !holds {
+				return false
+			}
+		}
+		return true
+	}
+	return GroupJoin(e1, e2, p, f)
+}
+
+// MapAggs realizes the χ_F̂ operator of the top-grouping elimination
+// (Eqv. 42): every tuple is extended by each aggregate applied to the
+// singleton bag {t}.
+func MapAggs(e *Rel, f aggfn.Vector) *Rel {
+	out := &Rel{Attrs: schemaUnion(e.Attrs, f.Outs())}
+	for _, t := range e.Tuples {
+		out.Tuples = append(out.Tuples, t.Concat(EvalVector(f, []Tuple{t})))
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package algebra
+
+import (
+	"testing"
+
+	"eagg/internal/aggfn"
+)
+
+func TestEvalAggBasics(t *testing.T) {
+	r := NewRel([]string{"a"}, []any{1}, []any{2}, []any{nil}, []any{2})
+	g := r.Tuples
+	cases := []struct {
+		agg  aggfn.Agg
+		want Value
+	}{
+		{aggfn.Agg{Kind: aggfn.CountStar}, Int(4)},
+		{aggfn.Agg{Kind: aggfn.Count, Arg: "a"}, Int(3)},
+		{aggfn.Agg{Kind: aggfn.Sum, Arg: "a"}, Int(5)},
+		{aggfn.Agg{Kind: aggfn.Min, Arg: "a"}, Int(1)},
+		{aggfn.Agg{Kind: aggfn.Max, Arg: "a"}, Int(2)},
+		{aggfn.Agg{Kind: aggfn.SumDistinct, Arg: "a"}, Int(3)},
+		{aggfn.Agg{Kind: aggfn.CountDistinct, Arg: "a"}, Int(2)},
+		{aggfn.Agg{Kind: aggfn.AvgDistinct, Arg: "a"}, Float(1.5)},
+	}
+	for _, c := range cases {
+		got := EvalAgg(c.agg, g)
+		if got != c.want {
+			t.Errorf("%v = %v, want %v", c.agg, got, c.want)
+		}
+	}
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.Avg, Arg: "a"}, g); got.F != 5.0/3.0 {
+		t.Errorf("avg = %v", got)
+	}
+}
+
+func TestEvalAggEmptyAndAllNull(t *testing.T) {
+	empty := []Tuple{}
+	if !EvalAgg(aggfn.Agg{Kind: aggfn.Sum, Arg: "a"}, empty).IsNull() {
+		t.Error("sum(∅) must be NULL")
+	}
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.CountStar}, empty); got.I != 0 {
+		t.Error("count(*)(∅) must be 0")
+	}
+	allNull := []Tuple{{"a": Null}, {"a": Null}}
+	if !EvalAgg(aggfn.Agg{Kind: aggfn.Sum, Arg: "a"}, allNull).IsNull() {
+		t.Error("sum of all-NULL must be NULL")
+	}
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.Count, Arg: "a"}, allNull); got.I != 0 {
+		t.Error("count(a) of all-NULL must be 0")
+	}
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.CountStar}, []Tuple{NullTuple([]string{"a"})}); got.I != 1 {
+		t.Error("count(*)({⊥}) must be 1, as Sec. 3.1.2 notes")
+	}
+}
+
+func TestEvalAggDerivedKinds(t *testing.T) {
+	// Tuples carrying a value a and a replication count c.
+	g := []Tuple{
+		{"a": Int(2), "c": Int(3)},
+		{"a": Int(5), "c": Int(1)},
+		{"a": Null, "c": Int(4)},
+	}
+	// sum(a*c) = 2*3 + 5*1 = 11
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.SumTimes, Arg: "a", Arg2: "c"}, g); got.I != 11 {
+		t.Errorf("SumTimes = %v", got)
+	}
+	// sum(a isnull?0:c) = 3 + 1 + 0 = 4  (count(a) over the expansion)
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.SumIfNotNull, Arg: "a", Arg2: "c"}, g); got.I != 4 {
+		t.Errorf("SumIfNotNull = %v", got)
+	}
+	// avg weighted: 11/4
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.AvgWeighted, Arg: "a", Arg2: "c"}, g); got.F != 11.0/4.0 {
+		t.Errorf("AvgWeighted = %v", got)
+	}
+	// AvgMerge over partials s, n.
+	m := []Tuple{
+		{"s": Int(10), "n": Int(2)},
+		{"s": Int(2), "n": Int(2)},
+	}
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.AvgMerge, Arg: "s", Arg2: "n"}, m); got.F != 3 {
+		t.Errorf("AvgMerge = %v", got)
+	}
+	// Weighted AvgMerge: weight w doubles the first partial's share.
+	mw := []Tuple{
+		{"s": Int(10), "n": Int(2), "w": Int(2)},
+		{"s": Int(2), "n": Int(2), "w": Int(1)},
+	}
+	if got := EvalAgg(aggfn.Agg{Kind: aggfn.AvgMerge, Arg: "s", Arg2: "n", Weight: "w"}, mw); got.F != 22.0/6.0 {
+		t.Errorf("weighted AvgMerge = %v", got)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	r := NewRel([]string{"g", "a"},
+		[]any{1, 10},
+		[]any{1, 20},
+		[]any{2, 5},
+		[]any{nil, 7},
+		[]any{nil, 8},
+	)
+	f := aggfn.Vector{
+		{Out: "n", Kind: aggfn.CountStar},
+		{Out: "s", Kind: aggfn.Sum, Arg: "a"},
+	}
+	got := Group(r, []string{"g"}, f)
+	want := NewRel([]string{"g", "n", "s"},
+		[]any{1, 2, 30},
+		[]any{2, 1, 5},
+		[]any{nil, 2, 15},
+	)
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("group:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestGroupEmptyInput(t *testing.T) {
+	r := &Rel{Attrs: []string{"g", "a"}}
+	got := Group(r, []string{"g"}, aggfn.Vector{{Out: "n", Kind: aggfn.CountStar}})
+	if got.Card() != 0 {
+		t.Error("grouping an empty relation must be empty")
+	}
+}
+
+func TestGroupNoGroupingAttrs(t *testing.T) {
+	// Γ over ∅ grouping attributes yields a single group when input is
+	// non-empty (matching the operator definition via Π^D_∅ = {()}).
+	r := NewRel([]string{"a"}, []any{1}, []any{2})
+	got := Group(r, nil, aggfn.Vector{{Out: "s", Kind: aggfn.Sum, Arg: "a"}})
+	if got.Card() != 1 || got.Tuples[0].Get("s").I != 3 {
+		t.Errorf("Γ_∅ = %v", got)
+	}
+}
+
+func TestGroupTheta(t *testing.T) {
+	r := NewRel([]string{"g", "a"},
+		[]any{1, 10},
+		[]any{2, 20},
+		[]any{3, 30},
+	)
+	// Γ≤: for representative g=y, group is all z with z.g ≤ y.g, so the
+	// sums are prefix sums 10, 30, 60.
+	got := GroupTheta(r, []string{"g"}, CmpLe, aggfn.Vector{{Out: "s", Kind: aggfn.Sum, Arg: "a"}})
+	want := NewRel([]string{"g", "s"},
+		[]any{1, 10},
+		[]any{2, 30},
+		[]any{3, 60},
+	)
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("Γ≤:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestCmpHolds(t *testing.T) {
+	if !CmpEq.Holds(Null, Null) {
+		t.Error("grouping = must hold for NULL,NULL")
+	}
+	if CmpLt.Holds(Null, Int(1)) || CmpNe.Holds(Null, Int(1)) {
+		t.Error("ordering comparisons with NULL must be false")
+	}
+	if !CmpLt.Holds(Int(1), Int(2)) || !CmpGe.Holds(Int(2), Int(2)) {
+		t.Error("Cmp broken")
+	}
+	if !CmpNe.Holds(Int(1), Int(2)) || CmpNe.Holds(Int(2), Int(2)) {
+		t.Error("CmpNe broken")
+	}
+}
+
+func TestMapAggs(t *testing.T) {
+	r := NewRel([]string{"a"}, []any{5}, []any{nil})
+	f := aggfn.Vector{
+		{Out: "k", Kind: aggfn.CountStar},
+		{Out: "s", Kind: aggfn.Sum, Arg: "a"},
+		{Out: "c", Kind: aggfn.Count, Arg: "a"},
+	}
+	got := MapAggs(r, f)
+	if got.Tuples[0].Get("k").I != 1 || got.Tuples[0].Get("s").I != 5 || got.Tuples[0].Get("c").I != 1 {
+		t.Errorf("MapAggs row 0: %v", got.Tuples[0])
+	}
+	if got.Tuples[1].Get("k").I != 1 || !got.Tuples[1].Get("s").IsNull() || got.Tuples[1].Get("c").I != 0 {
+		t.Errorf("MapAggs row 1: %v", got.Tuples[1])
+	}
+}
+
+func TestSelectProjectDistinct(t *testing.T) {
+	r := NewRel([]string{"a", "b"},
+		[]any{1, "x"},
+		[]any{1, "y"},
+		[]any{2, "x"},
+	)
+	s := Select(r, func(t Tuple) bool { return t.Get("a").I == 1 })
+	if s.Card() != 2 {
+		t.Errorf("select card = %d", s.Card())
+	}
+	p := Project(r, []string{"a"})
+	if p.Card() != 3 || len(p.Attrs) != 1 {
+		t.Errorf("project = %v", p)
+	}
+	d := DistinctProject(r, []string{"a"})
+	if d.Card() != 2 {
+		t.Errorf("distinct project card = %d", d.Card())
+	}
+}
+
+func TestMap(t *testing.T) {
+	r := NewRel([]string{"a"}, []any{3})
+	got := Map(r, map[string]func(Tuple) Value{
+		"twice": func(t Tuple) Value { return Mul(t.Get("a"), Int(2)) },
+	})
+	if got.Tuples[0].Get("twice").I != 6 {
+		t.Errorf("map = %v", got)
+	}
+	if !got.HasAttr("twice") || !got.HasAttr("a") {
+		t.Error("map schema broken")
+	}
+}
+
+func TestUnionAndEqualBags(t *testing.T) {
+	a := NewRel([]string{"x"}, []any{1}, []any{2})
+	b := NewRel([]string{"x"}, []any{2})
+	u := Union(a, b)
+	if u.Card() != 3 {
+		t.Errorf("union card = %d", u.Card())
+	}
+	// Bags differ by multiplicity.
+	if EqualBags(a, u, a.Attrs) {
+		t.Error("bags with different cardinality must differ")
+	}
+	c := NewRel([]string{"x"}, []any{2}, []any{1})
+	if !EqualBags(a, c, a.Attrs) {
+		t.Error("order must not matter for bag equality")
+	}
+}

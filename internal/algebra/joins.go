@@ -1,0 +1,139 @@
+package algebra
+
+// Pred is a binary join predicate p(r, s).
+type Pred func(l, r Tuple) bool
+
+// EqAttr returns the equality join predicate l.la = r.ra with SQL
+// semantics: NULL matches nothing.
+func EqAttr(la, ra string) Pred {
+	return func(l, r Tuple) bool {
+		return EqStrict(l.Get(la), r.Get(ra))
+	}
+}
+
+// AndPred conjoins predicates.
+func AndPred(ps ...Pred) Pred {
+	return func(l, r Tuple) bool {
+		for _, p := range ps {
+			if !p(l, r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TruePred accepts everything (cross product as a join).
+func TruePred(Tuple, Tuple) bool { return true }
+
+// Defaults assigns constant values to a subset of the NULL-padded side's
+// attributes, realizing the paper's generalized outerjoins (Eqvs. 7/8).
+// A nil Defaults means plain NULL padding.
+type Defaults map[string]Value
+
+// pad builds the padding tuple ⊥_{A\A(D)} ◦ [D] for the given schema.
+func (d Defaults) pad(attrs []string) Tuple {
+	t := NullTuple(attrs)
+	for k, v := range d {
+		t[k] = v
+	}
+	return t
+}
+
+// Cross returns e1 A e2, the cross product.
+func Cross(e1, e2 *Rel) *Rel {
+	return Join(e1, e2, TruePred)
+}
+
+// Join returns the inner join e1 B_p e2.
+func Join(e1, e2 *Rel, p Pred) *Rel {
+	out := &Rel{Attrs: schemaUnion(e1.Attrs, e2.Attrs)}
+	for _, r := range e1.Tuples {
+		for _, s := range e2.Tuples {
+			if p(r, s) {
+				out.Tuples = append(out.Tuples, r.Concat(s))
+			}
+		}
+	}
+	return out
+}
+
+// SemiJoin returns the left semijoin e1 N_p e2.
+func SemiJoin(e1, e2 *Rel, p Pred) *Rel {
+	out := &Rel{Attrs: e1.Attrs}
+	for _, r := range e1.Tuples {
+		for _, s := range e2.Tuples {
+			if p(r, s) {
+				out.Tuples = append(out.Tuples, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AntiJoin returns the left antijoin e1 T_p e2.
+func AntiJoin(e1, e2 *Rel, p Pred) *Rel {
+	out := &Rel{Attrs: e1.Attrs}
+	for _, r := range e1.Tuples {
+		matched := false
+		for _, s := range e2.Tuples {
+			if p(r, s) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out.Tuples = append(out.Tuples, r)
+		}
+	}
+	return out
+}
+
+// LeftOuter returns the left outerjoin with defaults e1 E^{D2}_p e2
+// (Eqv. 7). Pass nil defaults for the plain left outerjoin (Eqv. 5).
+func LeftOuter(e1, e2 *Rel, p Pred, d2 Defaults) *Rel {
+	out := &Rel{Attrs: schemaUnion(e1.Attrs, e2.Attrs)}
+	pad := d2.pad(e2.Attrs)
+	for _, r := range e1.Tuples {
+		matched := false
+		for _, s := range e2.Tuples {
+			if p(r, s) {
+				matched = true
+				out.Tuples = append(out.Tuples, r.Concat(s))
+			}
+		}
+		if !matched {
+			out.Tuples = append(out.Tuples, r.Concat(pad))
+		}
+	}
+	return out
+}
+
+// FullOuter returns the full outerjoin with defaults e1 K^{D1;D2}_p e2
+// (Eqv. 8). Pass nil for plain NULL padding on either side (Eqv. 6).
+func FullOuter(e1, e2 *Rel, p Pred, d1, d2 Defaults) *Rel {
+	out := &Rel{Attrs: schemaUnion(e1.Attrs, e2.Attrs)}
+	pad1 := d1.pad(e1.Attrs)
+	pad2 := d2.pad(e2.Attrs)
+	matchedRight := make([]bool, len(e2.Tuples))
+	for _, r := range e1.Tuples {
+		matched := false
+		for si, s := range e2.Tuples {
+			if p(r, s) {
+				matched = true
+				matchedRight[si] = true
+				out.Tuples = append(out.Tuples, r.Concat(s))
+			}
+		}
+		if !matched {
+			out.Tuples = append(out.Tuples, r.Concat(pad2))
+		}
+	}
+	for si, s := range e2.Tuples {
+		if !matchedRight[si] {
+			out.Tuples = append(out.Tuples, pad1.Concat(s))
+		}
+	}
+	return out
+}

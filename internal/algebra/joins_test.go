@@ -1,0 +1,166 @@
+package algebra
+
+import (
+	"testing"
+
+	"eagg/internal/aggfn"
+)
+
+// fig2e1 and fig2e2 are the example relations of the paper's Figure 2.
+func fig2e1() *Rel {
+	return NewRel([]string{"a", "b", "c"},
+		[]any{0, 0, 1},
+		[]any{1, 0, 1},
+		[]any{2, 1, 3},
+		[]any{3, 2, 3},
+	)
+}
+
+func fig2e2() *Rel {
+	return NewRel([]string{"d", "e", "f"},
+		[]any{0, 0, 1},
+		[]any{1, 1, 1},
+		[]any{2, 2, 1},
+		[]any{3, 4, 2},
+	)
+}
+
+func TestFig2InnerJoin(t *testing.T) {
+	got := Join(fig2e1(), fig2e2(), EqAttr("b", "d"))
+	want := NewRel([]string{"a", "b", "c", "d", "e", "f"},
+		[]any{0, 0, 1, 0, 0, 1},
+		[]any{1, 0, 1, 0, 0, 1},
+		[]any{2, 1, 3, 1, 1, 1},
+		[]any{3, 2, 3, 2, 2, 1},
+	)
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("inner join:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestFig2AntiJoin(t *testing.T) {
+	got := AntiJoin(fig2e1(), fig2e2(), EqAttr("a", "e"))
+	want := NewRel([]string{"a", "b", "c"}, []any{3, 2, 3})
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("antijoin:\n%v", got)
+	}
+}
+
+func TestFig2SemiJoin(t *testing.T) {
+	got := SemiJoin(fig2e1(), fig2e2(), EqAttr("b", "d"))
+	if !EqualBags(got, fig2e1(), fig2e1().Attrs) {
+		t.Errorf("semijoin:\n%v", got)
+	}
+}
+
+func TestFig2LeftOuter(t *testing.T) {
+	got := LeftOuter(fig2e1(), fig2e2(), EqAttr("a", "e"), nil)
+	want := NewRel([]string{"a", "b", "c", "d", "e", "f"},
+		[]any{0, 0, 1, 0, 0, 1},
+		[]any{1, 0, 1, 1, 1, 1},
+		[]any{2, 1, 3, 2, 2, 1},
+		[]any{3, 2, 3, nil, nil, nil},
+	)
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("left outerjoin:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestFig2FullOuter(t *testing.T) {
+	got := FullOuter(fig2e1(), fig2e2(), EqAttr("a", "e"), nil, nil)
+	want := NewRel([]string{"a", "b", "c", "d", "e", "f"},
+		[]any{0, 0, 1, 0, 0, 1},
+		[]any{1, 0, 1, 1, 1, 1},
+		[]any{2, 1, 3, 2, 2, 1},
+		[]any{3, 2, 3, nil, nil, nil},
+		[]any{nil, nil, nil, 3, 4, 2},
+	)
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("full outerjoin:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+// Fig. 2's groupjoin column shows the matched tuples; the formal definition
+// (Eqv. 9) extends *every* left tuple, with f(∅) for tuples without
+// partners. We test the definition: sum(∅) is NULL.
+func TestFig2GroupJoin(t *testing.T) {
+	f := aggfn.Vector{{Out: "g", Kind: aggfn.Sum, Arg: "f"}}
+	got := GroupJoin(fig2e1(), fig2e2(), EqAttr("a", "f"), f)
+	want := NewRel([]string{"a", "b", "c", "g"},
+		[]any{0, 0, 1, nil},
+		[]any{1, 0, 1, 3},
+		[]any{2, 1, 3, 2},
+		[]any{3, 2, 3, nil},
+	)
+	if !EqualBags(got, want, want.Attrs) {
+		t.Errorf("groupjoin:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestLeftOuterWithDefaults(t *testing.T) {
+	d := Defaults{"f": Int(99)}
+	got := LeftOuter(fig2e1(), fig2e2(), EqAttr("a", "e"), d)
+	for _, tu := range got.Tuples {
+		if tu.Get("a").I == 3 { // the unmatched tuple
+			if tu.Get("f").I != 99 || !tu.Get("d").IsNull() {
+				t.Errorf("default padding broken: %v", tu)
+			}
+		}
+	}
+}
+
+func TestFullOuterWithDefaults(t *testing.T) {
+	d1 := Defaults{"c": Int(-1)}
+	d2 := Defaults{"f": Int(-2)}
+	got := FullOuter(fig2e1(), fig2e2(), EqAttr("a", "e"), d1, d2)
+	var sawLeftPad, sawRightPad bool
+	for _, tu := range got.Tuples {
+		if tu.Get("a").IsNull() { // right orphan: left side padded with D1
+			sawLeftPad = true
+			if tu.Get("c").I != -1 {
+				t.Errorf("D1 default not applied: %v", tu)
+			}
+		}
+		if tu.Get("d").IsNull() && !tu.Get("a").IsNull() { // left orphan
+			sawRightPad = true
+			if tu.Get("f").I != -2 {
+				t.Errorf("D2 default not applied: %v", tu)
+			}
+		}
+	}
+	if !sawLeftPad || !sawRightPad {
+		t.Error("expected padded tuples on both sides")
+	}
+}
+
+func TestCross(t *testing.T) {
+	got := Cross(fig2e1(), fig2e2())
+	if got.Card() != 16 {
+		t.Errorf("cross product size = %d, want 16", got.Card())
+	}
+}
+
+func TestNullNeverJoins(t *testing.T) {
+	l := NewRel([]string{"x"}, []any{nil}, []any{1})
+	r := NewRel([]string{"y"}, []any{nil}, []any{1})
+	got := Join(l, r, EqAttr("x", "y"))
+	if got.Card() != 1 {
+		t.Errorf("NULL joined: %v", got)
+	}
+	lo := LeftOuter(l, r, EqAttr("x", "y"), nil)
+	if lo.Card() != 2 {
+		t.Errorf("left outer over NULLs: %v", lo)
+	}
+}
+
+func TestAndPredAndTruePred(t *testing.T) {
+	l := NewRel([]string{"x", "x2"}, []any{1, 2}, []any{1, 3})
+	r := NewRel([]string{"y", "y2"}, []any{1, 2}, []any{1, 9})
+	got := Join(l, r, AndPred(EqAttr("x", "y"), EqAttr("x2", "y2")))
+	if got.Card() != 1 {
+		t.Errorf("AndPred join: %v", got)
+	}
+	if Join(l, r, TruePred).Card() != 4 {
+		t.Error("TruePred should produce the cross product")
+	}
+}

@@ -1,0 +1,167 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eagg/internal/aggfn"
+)
+
+// Property-based tests (testing/quick) for the algebraic laws the
+// optimizer relies on implicitly.
+
+// genRel builds a relation from quick-generated raw data.
+func genRel(vals []int8, attrs []string) *Rel {
+	r := &Rel{Attrs: attrs}
+	for i := 0; i+len(attrs) <= len(vals); i += len(attrs) {
+		t := Tuple{}
+		for j, a := range attrs {
+			v := vals[i+j]
+			if v%5 == 0 {
+				t[a] = Null
+			} else {
+				t[a] = Int(int64(v % 3))
+			}
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+// Inner join is commutative (as a bag over the union schema).
+func TestQuickJoinCommutative(t *testing.T) {
+	f := func(a, b []int8) bool {
+		e1 := genRel(a, []string{"x", "u"})
+		e2 := genRel(b, []string{"y", "v"})
+		p := EqAttr("x", "y")
+		pSwap := EqAttr("y", "x")
+		l := Join(e1, e2, p)
+		r := Join(e2, e1, pSwap)
+		return EqualBags(l, r, []string{"x", "u", "y", "v"})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Full outerjoin is commutative.
+func TestQuickFullOuterCommutative(t *testing.T) {
+	f := func(a, b []int8) bool {
+		e1 := genRel(a, []string{"x"})
+		e2 := genRel(b, []string{"y"})
+		l := FullOuter(e1, e2, EqAttr("x", "y"), nil, nil)
+		r := FullOuter(e2, e1, EqAttr("y", "x"), nil, nil)
+		return EqualBags(l, r, []string{"x", "y"})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// E decomposes into B ∪ (T × {⊥}) — the definition (Eqv. 5) the proofs
+// build on.
+func TestQuickLeftOuterDecomposition(t *testing.T) {
+	f := func(a, b []int8) bool {
+		e1 := genRel(a, []string{"x", "u"})
+		e2 := genRel(b, []string{"y"})
+		p := EqAttr("x", "y")
+		lhs := LeftOuter(e1, e2, p, nil)
+		anti := AntiJoin(e1, e2, p)
+		padded := Join(anti, NewRel([]string{"y"}, []any{nil}), TruePred)
+		rhs := Union(Join(e1, e2, p), padded)
+		return EqualBags(lhs, rhs, []string{"x", "u", "y"})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Semijoin ∪ antijoin partitions the left input.
+func TestQuickSemiAntiPartition(t *testing.T) {
+	f := func(a, b []int8) bool {
+		e1 := genRel(a, []string{"x", "u"})
+		e2 := genRel(b, []string{"y"})
+		p := EqAttr("x", "y")
+		semi := SemiJoin(e1, e2, p)
+		anti := AntiJoin(e1, e2, p)
+		return EqualBags(Union(semi, anti), e1, e1.Attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two-phase grouping: Γ_G;F2(Γ_{G∪H};F1(e)) ≡ Γ_G;F(e) for decomposable F
+// (the essence of Def. 2 lifted to the operator level).
+func TestQuickTwoPhaseGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		var vals []int8
+		for i := 0; i < rng.Intn(30); i++ {
+			vals = append(vals, int8(rng.Intn(20)-10))
+		}
+		e := genRel(vals, []string{"g", "h", "a"})
+		f := aggfn.Vector{
+			{Out: "c", Kind: aggfn.CountStar},
+			{Out: "s", Kind: aggfn.Sum, Arg: "a"},
+			{Out: "m", Kind: aggfn.Max, Arg: "a"},
+			{Out: "v", Kind: aggfn.Avg, Arg: "a"},
+		}
+		direct := Group(e, []string{"g"}, f)
+		dec, err := f.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		two := Group(Group(e, []string{"g", "h"}, dec.Inner), []string{"g"}, dec.Outer)
+		if !EqualBags(direct, two, append([]string{"g"}, f.Outs()...)) {
+			t.Fatalf("trial %d: two-phase grouping mismatch\ninput:\n%v\ndirect:\n%v\ntwo-phase:\n%v",
+				trial, e, direct, two)
+		}
+	}
+}
+
+// Grouping over a bag union with decomposable aggregates: Eqv. 46.
+func TestQuickGroupOverUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		mk := func() *Rel {
+			var vals []int8
+			for i := 0; i < rng.Intn(20); i++ {
+				vals = append(vals, int8(rng.Intn(20)-10))
+			}
+			return genRel(vals, []string{"g", "a"})
+		}
+		e1, e2 := mk(), mk()
+		f := aggfn.Vector{
+			{Out: "c", Kind: aggfn.CountStar},
+			{Out: "s", Kind: aggfn.Sum, Arg: "a"},
+			{Out: "lo", Kind: aggfn.Min, Arg: "a"},
+		}
+		lhs := Group(Union(e1, e2), []string{"g"}, f)
+		dec, err := f.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := Group(Union(Group(e1, []string{"g"}, dec.Inner), Group(e2, []string{"g"}, dec.Inner)),
+			[]string{"g"}, dec.Outer)
+		if !EqualBags(lhs, rhs, append([]string{"g"}, f.Outs()...)) {
+			t.Fatalf("trial %d: Eqv 46 mismatch\nLHS:\n%v\nRHS:\n%v", trial, lhs, rhs)
+		}
+	}
+}
+
+// EqualBags is an equivalence relation on the relations we build.
+func TestQuickEqualBagsReflexiveSymmetric(t *testing.T) {
+	f := func(a, b []int8) bool {
+		e1 := genRel(a, []string{"x"})
+		e2 := genRel(b, []string{"x"})
+		if !EqualBags(e1, e1, e1.Attrs) {
+			return false
+		}
+		return EqualBags(e1, e2, e1.Attrs) == EqualBags(e2, e1, e1.Attrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple maps attribute names to values. Attributes absent from the map are
+// NULL; lookups go through Get to make that uniform.
+type Tuple map[string]Value
+
+// Get returns the value of attribute a, NULL if absent.
+func (t Tuple) Get(a string) Value {
+	if v, ok := t[a]; ok {
+		return v
+	}
+	return Null
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// Concat returns the concatenation t ◦ u. Attribute sets must be disjoint in
+// well-formed plans; on overlap u wins (useful for default padding).
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, len(t)+len(u))
+	for k, v := range t {
+		out[k] = v
+	}
+	for k, v := range u {
+		out[k] = v
+	}
+	return out
+}
+
+// Rel is a bag of tuples over an ordered schema.
+type Rel struct {
+	Attrs  []string
+	Tuples []Tuple
+}
+
+// NewRel builds a relation from a schema and rows given in schema order.
+// Row entries may be Value, int (convenience, becomes Int), float64, string
+// or nil (NULL).
+func NewRel(attrs []string, rows ...[]any) *Rel {
+	r := &Rel{Attrs: append([]string(nil), attrs...)}
+	for _, row := range rows {
+		if len(row) != len(attrs) {
+			panic(fmt.Sprintf("algebra: row has %d values for %d attributes", len(row), len(attrs)))
+		}
+		t := make(Tuple, len(attrs))
+		for i, cell := range row {
+			t[attrs[i]] = toValue(cell)
+		}
+		r.Tuples = append(r.Tuples, t)
+	}
+	return r
+}
+
+func toValue(cell any) Value {
+	switch c := cell.(type) {
+	case nil:
+		return Null
+	case Value:
+		return c
+	case int:
+		return Int(int64(c))
+	case int64:
+		return Int(c)
+	case float64:
+		return Float(c)
+	case string:
+		return Str(c)
+	}
+	panic(fmt.Sprintf("algebra: unsupported cell type %T", cell))
+}
+
+// Card returns the number of tuples.
+func (r *Rel) Card() int { return len(r.Tuples) }
+
+// HasAttr reports whether the schema contains a.
+func (r *Rel) HasAttr(a string) bool {
+	for _, x := range r.Attrs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// schemaUnion concatenates two schemas.
+func schemaUnion(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, x := range b {
+		dup := false
+		for _, y := range a {
+			if x == y {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// NullTuple returns ⊥_A: a tuple that is NULL in every given attribute.
+func NullTuple(attrs []string) Tuple {
+	t := make(Tuple, len(attrs))
+	for _, a := range attrs {
+		t[a] = Null
+	}
+	return t
+}
+
+// encodeTuple renders a tuple canonically over the given schema, used for
+// bag comparison and duplicate elimination.
+func encodeTuple(t Tuple, attrs []string) string {
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteString(t.Get(a).encode())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// EqualBags reports whether two relations contain the same bag of tuples
+// over the given attribute list (which defaults to r's schema when attrs is
+// nil). Attribute order and tuple order are irrelevant.
+func EqualBags(r, s *Rel, attrs []string) bool {
+	if attrs == nil {
+		attrs = r.Attrs
+	}
+	if len(r.Tuples) != len(s.Tuples) {
+		return false
+	}
+	re := make([]string, len(r.Tuples))
+	se := make([]string, len(s.Tuples))
+	for i, t := range r.Tuples {
+		re[i] = encodeTuple(t, attrs)
+	}
+	for i, t := range s.Tuples {
+		se[i] = encodeTuple(t, attrs)
+	}
+	sort.Strings(re)
+	sort.Strings(se)
+	for i := range re {
+		if re[i] != se[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as an aligned table, NULLs as "-", matching
+// the paper's figures.
+func (r *Rel) String() string {
+	widths := make([]int, len(r.Attrs))
+	for i, a := range r.Attrs {
+		widths[i] = len(a)
+	}
+	cells := make([][]string, len(r.Tuples))
+	for ti, t := range r.Tuples {
+		row := make([]string, len(r.Attrs))
+		for i, a := range r.Attrs {
+			row[i] = t.Get(a).String()
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		cells[ti] = row
+	}
+	var b strings.Builder
+	for i, a := range r.Attrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], a)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Union returns the bag union r ∪ s. Schemas are merged.
+func Union(r, s *Rel) *Rel {
+	out := &Rel{Attrs: schemaUnion(r.Attrs, s.Attrs)}
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	out.Tuples = append(out.Tuples, s.Tuples...)
+	return out
+}
+
+// Select returns σ_p(r).
+func Select(r *Rel, p func(Tuple) bool) *Rel {
+	out := &Rel{Attrs: r.Attrs}
+	for _, t := range r.Tuples {
+		if p(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// Project returns the duplicate-preserving projection Π_attrs(r).
+func Project(r *Rel, attrs []string) *Rel {
+	out := &Rel{Attrs: append([]string(nil), attrs...)}
+	for _, t := range r.Tuples {
+		nt := make(Tuple, len(attrs))
+		for _, a := range attrs {
+			nt[a] = t.Get(a)
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
+}
+
+// DistinctProject returns the duplicate-removing projection Π^D_attrs(r).
+// NULLs compare equal for duplicate elimination, matching SQL DISTINCT.
+func DistinctProject(r *Rel, attrs []string) *Rel {
+	out := &Rel{Attrs: append([]string(nil), attrs...)}
+	seen := map[string]bool{}
+	for _, t := range r.Tuples {
+		nt := make(Tuple, len(attrs))
+		for _, a := range attrs {
+			nt[a] = t.Get(a)
+		}
+		key := encodeTuple(nt, attrs)
+		if !seen[key] {
+			seen[key] = true
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out
+}
+
+// Map returns χ(r): every tuple extended with new attributes computed by
+// the given expressions.
+func Map(r *Rel, exts map[string]func(Tuple) Value) *Rel {
+	names := make([]string, 0, len(exts))
+	for n := range exts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := &Rel{Attrs: schemaUnion(r.Attrs, names)}
+	for _, t := range r.Tuples {
+		nt := t.Clone()
+		for _, n := range names {
+			nt[n] = exts[n](t)
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package algebra is a small bag-semantics relational runtime. It exists for
+// two purposes: (1) to verify the paper's equivalences (Fig. 3 and Appendix
+// A) by executing both sides of each equivalence on concrete relations, and
+// (2) to execute optimized plans end-to-end so that eager-aggregation plans
+// can be checked for result equivalence against their lazy counterparts.
+//
+// The operator set follows Fig. 1 of the paper: cross product A, inner join
+// B, left semijoin N, left antijoin T, left outerjoin E (with an optional
+// default vector, Eqv. 7), full outerjoin K (with default vectors on either
+// side, Eqv. 8), groupjoin Z (Eqv. 9), plus grouping Γ, map χ, selection σ,
+// projection Π and duplicate-removing projection Π^D.
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the runtime value types.
+type ValueKind int
+
+const (
+	// KindNull is the SQL NULL marker.
+	KindNull ValueKind = iota
+	// KindInt is a 64-bit integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a string.
+	KindString
+)
+
+// Value is a SQL-style value: NULL, integer, float or string. The zero
+// Value is NULL.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null is the NULL value.
+var Null = Value{Kind: KindNull}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat converts a numeric value to float64. It panics on strings and
+// NULL; callers must check first.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	}
+	panic(fmt.Sprintf("algebra: AsFloat of %v", v))
+}
+
+// String renders the value; NULL renders as "-" like the paper's examples.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "-"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	}
+	return "?"
+}
+
+// encode produces an unambiguous string used for hashing/sorting tuples.
+func (v Value) encode() string {
+	switch v.Kind {
+	case KindNull:
+		return "N"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return "s" + v.S
+	}
+	return "?"
+}
+
+// EqStrict is SQL join-predicate equality: NULL compares equal to nothing,
+// including NULL.
+func EqStrict(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return eqNonNull(a, b)
+}
+
+// EqGrouping is grouping/key equality as suggested by Paulley and adopted
+// in Sec. 2.3: two values are equal if they agree in value or are both
+// NULL.
+func EqGrouping(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return eqNonNull(a, b)
+}
+
+func eqNonNull(a, b Value) bool {
+	if a.Kind == KindString || b.Kind == KindString {
+		return a.Kind == KindString && b.Kind == KindString && a.S == b.S
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return a.I == b.I
+	}
+	return a.AsFloat() == b.AsFloat()
+}
+
+// CompareStrict implements SQL comparison for non-NULL values: it returns
+// -1, 0, +1, and ok=false when either side is NULL (unknown). Numeric
+// values compare numerically across int/float; strings compare
+// lexicographically. Comparing a string with a number panics — relations in
+// this runtime are typed consistently per attribute.
+func CompareStrict(a, b Value) (cmp int, ok bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	if a.Kind == KindString || b.Kind == KindString {
+		if a.Kind != KindString || b.Kind != KindString {
+			panic("algebra: comparing string with number")
+		}
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		}
+		return 0, true
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch {
+		case a.I < b.I:
+			return -1, true
+		case a.I > b.I:
+			return 1, true
+		}
+		return 0, true
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1, true
+	case af > bf:
+		return 1, true
+	}
+	return 0, true
+}
+
+// Add returns a+b with SQL NULL propagation and int→float promotion.
+func Add(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return Int(a.I + b.I)
+	}
+	return Float(a.AsFloat() + b.AsFloat())
+}
+
+// Mul returns a*b with SQL NULL propagation and int→float promotion.
+func Mul(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return Int(a.I * b.I)
+	}
+	return Float(a.AsFloat() * b.AsFloat())
+}
+
+// Div returns a/b as a float, NULL on NULL input or division by zero
+// (SQL would error on zero division; for aggregate merging NULL is the
+// correct "empty group" answer).
+func Div(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	bf := b.AsFloat()
+	if bf == 0 {
+		return Null
+	}
+	return Float(a.AsFloat() / bf)
+}

@@ -1,0 +1,82 @@
+package algebra
+
+import "testing"
+
+func TestValueBasics(t *testing.T) {
+	if !Null.IsNull() || Int(3).IsNull() {
+		t.Error("IsNull broken")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+	if Int(3).String() != "3" || Null.String() != "-" || Str("x").String() != "x" {
+		t.Error("String rendering broken")
+	}
+}
+
+func TestEqStrict(t *testing.T) {
+	if EqStrict(Null, Null) {
+		t.Error("NULL = NULL must be false under strict equality")
+	}
+	if EqStrict(Int(1), Null) || EqStrict(Null, Int(1)) {
+		t.Error("NULL never matches under strict equality")
+	}
+	if !EqStrict(Int(2), Int(2)) || EqStrict(Int(2), Int(3)) {
+		t.Error("int equality broken")
+	}
+	if !EqStrict(Int(2), Float(2.0)) {
+		t.Error("cross-type numeric equality broken")
+	}
+	if !EqStrict(Str("a"), Str("a")) || EqStrict(Str("a"), Str("b")) {
+		t.Error("string equality broken")
+	}
+}
+
+func TestEqGrouping(t *testing.T) {
+	if !EqGrouping(Null, Null) {
+		t.Error("grouping equality must treat two NULLs as equal")
+	}
+	if EqGrouping(Null, Int(0)) {
+		t.Error("NULL must not group with 0")
+	}
+	if !EqGrouping(Int(5), Int(5)) {
+		t.Error("value equality broken")
+	}
+}
+
+func TestCompareStrict(t *testing.T) {
+	if _, ok := CompareStrict(Null, Int(1)); ok {
+		t.Error("comparison with NULL must be unknown")
+	}
+	if c, ok := CompareStrict(Int(1), Int(2)); !ok || c != -1 {
+		t.Error("int compare broken")
+	}
+	if c, ok := CompareStrict(Float(2.5), Int(2)); !ok || c != 1 {
+		t.Error("mixed compare broken")
+	}
+	if c, ok := CompareStrict(Str("a"), Str("b")); !ok || c != -1 {
+		t.Error("string compare broken")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if v := Add(Int(2), Int(3)); v.Kind != KindInt || v.I != 5 {
+		t.Errorf("Add = %v", v)
+	}
+	if v := Add(Int(2), Float(0.5)); v.Kind != KindFloat || v.F != 2.5 {
+		t.Errorf("promoted Add = %v", v)
+	}
+	if !Add(Null, Int(1)).IsNull() || !Mul(Int(1), Null).IsNull() {
+		t.Error("NULL propagation broken")
+	}
+	if v := Mul(Int(3), Int(4)); v.I != 12 {
+		t.Errorf("Mul = %v", v)
+	}
+	if v := Div(Int(7), Int(2)); v.Kind != KindFloat || v.F != 3.5 {
+		t.Errorf("Div = %v", v)
+	}
+	if !Div(Int(1), Int(0)).IsNull() {
+		t.Error("division by zero must be NULL")
+	}
+}

@@ -1,0 +1,237 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is an arbitrary-width bitset for universes larger than 64 elements
+// (for example, attribute universes of very wide queries). Unlike Set64 it
+// is a reference type backed by a word slice; the exported methods are
+// nevertheless written in a mostly functional style and document clearly
+// when they mutate.
+//
+// The zero value is an empty set ready for use.
+type Set struct {
+	words []uint64
+}
+
+const wordBits = 64
+
+// NewSet returns an empty set with capacity hint n elements.
+func NewSet(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewSetOf returns a set containing exactly the given elements.
+func NewSetOf(elems ...int) *Set {
+	s := &Set{}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// FromSet64 returns a *Set holding the same elements as s64.
+func FromSet64(s64 Set64) *Set {
+	if s64 == 0 {
+		return &Set{}
+	}
+	return &Set{words: []uint64{uint64(s64)}}
+}
+
+func (s *Set) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts e into s (mutating).
+func (s *Set) Add(e int) {
+	w := e / wordBits
+	s.grow(w)
+	s.words[w] |= 1 << uint(e%wordBits)
+}
+
+// Remove deletes e from s (mutating).
+func (s *Set) Remove(e int) {
+	w := e / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(e%wordBits)
+	}
+}
+
+// Contains reports whether e ∈ s.
+func (s *Set) Contains(e int) bool {
+	w := e / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(e%wordBits)) != 0
+}
+
+// Len returns |s|.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether s = ∅.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	out := &Set{words: make([]uint64, len(s.words))}
+	copy(out.words, s.words)
+	return out
+}
+
+// UnionWith adds every element of t to s (mutating) and returns s.
+func (s *Set) UnionWith(t *Set) *Set {
+	s.grow(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+	return s
+}
+
+// IntersectWith removes from s every element not in t (mutating) and
+// returns s.
+func (s *Set) IntersectWith(t *Set) *Set {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+	return s
+}
+
+// DiffWith removes every element of t from s (mutating) and returns s.
+func (s *Set) DiffWith(t *Set) *Set {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &^= t.words[i]
+		}
+	}
+	return s
+}
+
+// Union returns a fresh set s ∪ t.
+func (s *Set) Union(t *Set) *Set { return s.Clone().UnionWith(t) }
+
+// Intersect returns a fresh set s ∩ t.
+func (s *Set) Intersect(t *Set) *Set { return s.Clone().IntersectWith(t) }
+
+// Diff returns a fresh set s \ t.
+func (s *Set) Diff(t *Set) *Set { return s.Clone().DiffWith(t) }
+
+// SubsetOf reports whether s ⊆ t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var sw, tw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if sw != tw {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest element, or -1 if s is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if s is empty.
+func (s *Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + 63 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// ForEach calls f for each element in ascending order.
+func (s *Set) ForEach(f func(e int)) {
+	for i, w := range s.words {
+		for t := w; t != 0; t &= t - 1 {
+			f(i*wordBits + bits.TrailingZeros64(t))
+		}
+	}
+}
+
+// Elems returns the elements in ascending order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(e int) { out = append(out, e) })
+	return out
+}
+
+// String renders the set like "{0, 3, 170}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(e int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", e)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

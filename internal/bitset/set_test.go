@@ -1,0 +1,180 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(200)
+	s.Add(0)
+	s.Add(130)
+	s.Add(199)
+	if !s.Contains(130) || s.Contains(131) {
+		t.Error("Contains broken across word boundaries")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Remove(130)
+	if s.Contains(130) || s.Len() != 2 {
+		t.Error("Remove broken")
+	}
+}
+
+func TestSetZeroValue(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Error("zero value should be empty")
+	}
+	s.Add(70)
+	if !s.Contains(70) {
+		t.Error("Add on zero value broken")
+	}
+}
+
+func TestSetGrowth(t *testing.T) {
+	s := NewSetOf()
+	s.Add(500)
+	if !s.Contains(500) || s.Contains(499) {
+		t.Error("growth broken")
+	}
+	s.Remove(10000) // beyond capacity: no-op, no panic
+	if s.Len() != 1 {
+		t.Error("Remove beyond capacity changed set")
+	}
+}
+
+func TestSetAlgebraOps(t *testing.T) {
+	a := NewSetOf(1, 100, 200)
+	b := NewSetOf(100, 300)
+	u := a.Union(b)
+	for _, e := range []int{1, 100, 200, 300} {
+		if !u.Contains(e) {
+			t.Errorf("union missing %d", e)
+		}
+	}
+	i := a.Intersect(b)
+	if i.Len() != 1 || !i.Contains(100) {
+		t.Errorf("intersect = %v", i)
+	}
+	d := a.Diff(b)
+	if d.Contains(100) || !d.Contains(1) || !d.Contains(200) {
+		t.Errorf("diff = %v", d)
+	}
+	// Originals untouched by the non-mutating forms.
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Error("non-mutating ops mutated inputs")
+	}
+}
+
+func TestSetSubsetEqual(t *testing.T) {
+	a := NewSetOf(1, 128)
+	b := NewSetOf(1, 128, 400)
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf broken")
+	}
+	if !a.Equal(a.Clone()) || a.Equal(b) {
+		t.Error("Equal broken")
+	}
+	// Different backing lengths, same content.
+	c := NewSet(1000)
+	c.Add(1)
+	c.Add(128)
+	if !a.Equal(c) {
+		t.Error("Equal must ignore trailing zero words")
+	}
+	if !a.Intersects(b) || a.Intersects(NewSetOf(77)) {
+		t.Error("Intersects broken")
+	}
+}
+
+func TestSetMinMaxElems(t *testing.T) {
+	s := NewSetOf(65, 3, 500)
+	if s.Min() != 3 || s.Max() != 500 {
+		t.Errorf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	got := s.Elems()
+	want := []int{3, 65, 500}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v", got)
+		}
+	}
+	var empty Set
+	if empty.Min() != -1 || empty.Max() != -1 {
+		t.Error("Min/Max of empty should be -1")
+	}
+}
+
+func TestFromSet64(t *testing.T) {
+	s := FromSet64(New64(0, 63))
+	if !s.Contains(0) || !s.Contains(63) || s.Len() != 2 {
+		t.Errorf("FromSet64 = %v", s)
+	}
+	if !FromSet64(Empty64).IsEmpty() {
+		t.Error("FromSet64(empty) should be empty")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSetOf(2, 70).String(); got != "{2, 70}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Randomized cross-check of Set against a map-based model.
+func TestSetAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSet(0)
+	model := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		e := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(e)
+			model[e] = true
+		case 1:
+			s.Remove(e)
+			delete(model, e)
+		case 2:
+			if s.Contains(e) != model[e] {
+				t.Fatalf("divergence at element %d after %d ops", e, op)
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model has %d", s.Len(), len(model))
+	}
+	s.ForEach(func(e int) {
+		if !model[e] {
+			t.Fatalf("set contains %d not in model", e)
+		}
+	})
+}
+
+// Randomized cross-check of UnionWith/IntersectWith/DiffWith semantics.
+func TestSetMutatingOpsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		a, b := NewSet(0), NewSet(0)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < 40; i++ {
+			x, y := rng.Intn(256), rng.Intn(256)
+			a.Add(x)
+			ma[x] = true
+			b.Add(y)
+			mb[y] = true
+		}
+		check := func(got *Set, pred func(e int) bool) {
+			for e := 0; e < 256; e++ {
+				if got.Contains(e) != pred(e) {
+					t.Fatalf("trial %d: element %d mismatch", trial, e)
+				}
+			}
+		}
+		check(a.Union(b), func(e int) bool { return ma[e] || mb[e] })
+		check(a.Intersect(b), func(e int) bool { return ma[e] && mb[e] })
+		check(a.Diff(b), func(e int) bool { return ma[e] && !mb[e] })
+	}
+}

@@ -1,0 +1,149 @@
+package conflict
+
+import (
+	"eagg/internal/bitset"
+	"eagg/internal/hypergraph"
+	"eagg/internal/query"
+)
+
+// Rule is a conflict rule T1 → T2: whenever an operator is applied to
+// arguments whose union intersects T1, the union must contain all of T2.
+type Rule struct {
+	If, Then bitset.Set64
+}
+
+// Op is one reorderable operator of the initial tree with its conflict
+// information.
+type Op struct {
+	Node *query.OpNode
+	// LeftRels and RightRels are the relation sets of the operator's
+	// original subtrees.
+	LeftRels, RightRels bitset.Set64
+	// SES is the syntactic eligibility set (relations of the predicate).
+	SES bitset.Set64
+	// TES extends SES with the conflicts expressible as hyperedge
+	// endpoints; LTES/RTES are its per-side components.
+	TES, LTES, RTES bitset.Set64
+	Rules           []Rule
+}
+
+// Applicable implements the paper's applicability test (Sec. 4.1, third
+// component): the operator may combine plans for (S1, S2) iff its TES
+// sides are covered in the correct orientation and no conflict rule is
+// violated. Commutative operators are additionally tried by the caller
+// with swapped arguments.
+func (o *Op) Applicable(s1, s2 bitset.Set64) bool {
+	if !o.LTES.SubsetOf(s1) || !o.RTES.SubsetOf(s2) {
+		return false
+	}
+	u := s1.Union(s2)
+	for _, r := range o.Rules {
+		if r.If.Intersects(u) && !r.Then.SubsetOf(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Detection is the result of conflict detection: the query hypergraph with
+// one hyperedge per operator (payload = index into Ops), plus the operator
+// table.
+type Detection struct {
+	Graph *hypergraph.Graph
+	Ops   []*Op
+}
+
+// Detect runs CD-C-style conflict detection over the query's initial
+// operator tree and builds the query hypergraph.
+func Detect(q *query.Query) *Detection {
+	d := &Detection{Graph: hypergraph.New(len(q.Relations))}
+	var walk func(n *query.OpNode)
+	walk = func(n *query.OpNode) {
+		if n == nil || n.Kind == query.KindScan {
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		op := buildOp(q, n)
+		d.Ops = append(d.Ops, op)
+	}
+	walk(q.Root)
+	for i, op := range d.Ops {
+		d.Graph.AddEdge(op.LTES, op.RTES, i)
+	}
+	return d
+}
+
+// buildOp computes SES, conflict rules, and the TES of one operator.
+func buildOp(q *query.Query, b *query.OpNode) *Op {
+	op := &Op{
+		Node:      b,
+		LeftRels:  b.Left.Rels(),
+		RightRels: b.Right.Rels(),
+	}
+	op.SES = q.RelsOf(b.Pred.Attrs())
+	op.TES = op.SES
+
+	// Collect conflict rules from the operators of both subtrees
+	// (CD-C: one rule per non-applicable transformation).
+	var collect func(n *query.OpNode, leftSide bool)
+	collect = func(a *query.OpNode, leftSide bool) {
+		if a == nil || a.Kind == query.KindScan {
+			return
+		}
+		aLeft, aRight := a.Left.Rels(), a.Right.Rels()
+		if leftSide {
+			// a under the left input: (e1 ◦a e2) ◦b e3.
+			if !Assoc(a.Kind, b.Kind) {
+				// ◦b may not move below ◦a's right side: touching e2
+				// requires all of e1.
+				op.Rules = append(op.Rules, Rule{If: aRight, Then: aLeft})
+			}
+			if !LAsscom(a.Kind, b.Kind) {
+				// ◦b may not separate e1 from e2.
+				op.Rules = append(op.Rules, Rule{If: aLeft, Then: aRight})
+			}
+		} else {
+			// a under the right input: e1 ◦b (e2 ◦a e3).
+			if !Assoc(b.Kind, a.Kind) {
+				op.Rules = append(op.Rules, Rule{If: aLeft, Then: aRight})
+			}
+			if !RAsscom(a.Kind, b.Kind) {
+				op.Rules = append(op.Rules, Rule{If: aRight, Then: aLeft})
+			}
+		}
+		collect(a.Left, leftSide)
+		collect(a.Right, leftSide)
+	}
+	collect(b.Left, true)
+	collect(b.Right, false)
+
+	// Rule simplification: a rule whose If-side intersects the TES always
+	// fires, so its Then-side can be absorbed into the TES and the rule
+	// dropped. Iterate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		kept := op.Rules[:0]
+		for _, r := range op.Rules {
+			if r.If.Intersects(op.TES) {
+				if !r.Then.SubsetOf(op.TES) {
+					op.TES = op.TES.Union(r.Then)
+					changed = true
+				}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		op.Rules = kept
+	}
+
+	op.LTES = op.TES.Intersect(op.LeftRels)
+	op.RTES = op.TES.Intersect(op.RightRels)
+	// The SES always has relations on both sides (equi predicates), so
+	// the TES sides are non-empty.
+	return op
+}
+
+// OpForEdge returns the operator owning the hyperedge with the given
+// payload.
+func (d *Detection) OpForEdge(payload int) *Op { return d.Ops[payload] }

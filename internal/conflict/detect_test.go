@@ -1,0 +1,177 @@
+package conflict
+
+import (
+	"testing"
+
+	"eagg/internal/bitset"
+	"eagg/internal/query"
+)
+
+// buildMotivating constructs the shape of the paper's introduction query:
+// (nation_s B supplier) K (nation_c B customer).
+// Relations: 0=ns, 1=s, 2=nc, 3=c.
+func buildMotivating() *query.Query {
+	q := query.New()
+	ns := q.AddRelation("ns", 25)
+	s := q.AddRelation("s", 10000)
+	nc := q.AddRelation("nc", 25)
+	c := q.AddRelation("c", 150000)
+	nsk := q.AddAttr(ns, "ns.nationkey", 25)
+	ssk := q.AddAttr(s, "s.nationkey", 25)
+	nck := q.AddAttr(nc, "nc.nationkey", 25)
+	csk := q.AddAttr(c, "c.nationkey", 25)
+	left := &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: ns},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: s},
+		Pred:  &query.Predicate{Left: []int{nsk}, Right: []int{ssk}, Selectivity: 1.0 / 25},
+	}
+	right := &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: nc},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: c},
+		Pred:  &query.Predicate{Left: []int{nck}, Right: []int{csk}, Selectivity: 1.0 / 25},
+	}
+	q.Root = &query.OpNode{
+		Kind: query.KindFullOuter,
+		Left: left, Right: right,
+		Pred: &query.Predicate{Left: []int{nsk}, Right: []int{nck}, Selectivity: 1.0 / 25},
+	}
+	return q
+}
+
+func TestDetectMotivatingQuery(t *testing.T) {
+	q := buildMotivating()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := Detect(q)
+	if len(d.Ops) != 3 {
+		t.Fatalf("detected %d operators, want 3", len(d.Ops))
+	}
+	// The full outerjoin is the root (last in post-order).
+	k := d.Ops[2]
+	if k.Node.Kind != query.KindFullOuter {
+		t.Fatalf("root op is %v", k.Node.Kind)
+	}
+	// The inner joins must not be reordered across the outerjoin: its TES
+	// must grow to cover all four relations.
+	wantL, wantR := bitset.New64(0, 1), bitset.New64(2, 3)
+	if k.LTES != wantL || k.RTES != wantR {
+		t.Errorf("K TES sides = %v / %v, want %v / %v", k.LTES, k.RTES, wantL, wantR)
+	}
+	// The inner joins themselves carry no conflicts.
+	for i := 0; i < 2; i++ {
+		if len(d.Ops[i].Rules) != 0 || d.Ops[i].TES != d.Ops[i].SES {
+			t.Errorf("inner join %d has unexpected conflicts: TES=%v rules=%v",
+				i, d.Ops[i].TES, d.Ops[i].Rules)
+		}
+	}
+	// The hypergraph must have one hyperedge with both non-singleton
+	// endpoints (the outerjoin) and two simple edges.
+	if !d.Graph.HasHyperedges() {
+		t.Error("expected a hyperedge for the full outerjoin")
+	}
+}
+
+func TestDetectInnerChainIsSimple(t *testing.T) {
+	// R0 B R1 B R2: all edges simple, no rules, free reordering.
+	q := query.New()
+	r0 := q.AddRelation("r0", 10)
+	r1 := q.AddRelation("r1", 20)
+	r2 := q.AddRelation("r2", 30)
+	a0 := q.AddAttr(r0, "a0", 10)
+	a1 := q.AddAttr(r1, "a1", 10)
+	b1 := q.AddAttr(r1, "b1", 10)
+	b2 := q.AddAttr(r2, "b2", 10)
+	j01 := &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: r0},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
+		Pred:  &query.Predicate{Left: []int{a0}, Right: []int{a1}, Selectivity: 0.1},
+	}
+	q.Root = &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  j01,
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r2},
+		Pred:  &query.Predicate{Left: []int{b1}, Right: []int{b2}, Selectivity: 0.1},
+	}
+	d := Detect(q)
+	if d.Graph.HasHyperedges() {
+		t.Error("inner-join chain should yield only simple edges")
+	}
+	for _, op := range d.Ops {
+		if len(op.Rules) != 0 {
+			t.Errorf("inner join carries rules: %v", op.Rules)
+		}
+	}
+	// DPhyp on the chain must find (n³-n)/6 = 4 pairs for n=3... the
+	// chain here is r0-r1-r2: 4 ccps.
+	if got := len(d.Graph.CsgCmpPairs()); got != 4 {
+		t.Errorf("chain ccps = %d, want 4", got)
+	}
+}
+
+func TestApplicableOrientation(t *testing.T) {
+	// R0 E R1: the left outerjoin is not commutative; Applicable must
+	// enforce LTES ⊆ S1.
+	q := query.New()
+	r0 := q.AddRelation("r0", 10)
+	r1 := q.AddRelation("r1", 20)
+	a0 := q.AddAttr(r0, "a0", 10)
+	a1 := q.AddAttr(r1, "a1", 10)
+	q.Root = &query.OpNode{
+		Kind:  query.KindLeftOuter,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: r0},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
+		Pred:  &query.Predicate{Left: []int{a0}, Right: []int{a1}, Selectivity: 0.1},
+	}
+	d := Detect(q)
+	op := d.Ops[0]
+	if !op.Applicable(bitset.New64(0), bitset.New64(1)) {
+		t.Error("E must be applicable in original orientation")
+	}
+	if op.Applicable(bitset.New64(1), bitset.New64(0)) {
+		t.Error("E must not be applicable with swapped arguments")
+	}
+}
+
+func TestRuleViolationBlocksApplication(t *testing.T) {
+	// (R0 E01 R1) B12 R2 with the join predicate on R1, R2:
+	// assoc(E,B) = false, so the join may not be applied to {1} × {2}
+	// without R0; l-asscom(E,B) = true so ({0},{...}) splits are fine.
+	q := query.New()
+	r0 := q.AddRelation("r0", 10)
+	r1 := q.AddRelation("r1", 20)
+	r2 := q.AddRelation("r2", 30)
+	a0 := q.AddAttr(r0, "a0", 10)
+	a1 := q.AddAttr(r1, "a1", 10)
+	b1 := q.AddAttr(r1, "b1", 10)
+	b2 := q.AddAttr(r2, "b2", 10)
+	outer := &query.OpNode{
+		Kind:  query.KindLeftOuter,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: r0},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
+		Pred:  &query.Predicate{Left: []int{a0}, Right: []int{a1}, Selectivity: 0.1},
+	}
+	q.Root = &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  outer,
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r2},
+		Pred:  &query.Predicate{Left: []int{b1}, Right: []int{b2}, Selectivity: 0.1},
+	}
+	d := Detect(q)
+	join := d.Ops[1]
+	if join.Node.Kind != query.KindJoin {
+		t.Fatalf("op order unexpected: %v", join.Node.Kind)
+	}
+	// Applying the join to S1={1}, S2={2} would compute R1 B R2 before
+	// the outerjoin — invalid (assoc(E,B) is false).
+	if join.Applicable(bitset.New64(1), bitset.New64(2)) {
+		t.Error("join over {1}×{2} must be blocked (would push B below E)")
+	}
+	// With R0 included the join is fine.
+	if !join.Applicable(bitset.New64(0, 1), bitset.New64(2)) {
+		t.Error("join over {0,1}×{2} must be applicable")
+	}
+}

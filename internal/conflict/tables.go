@@ -1,0 +1,91 @@
+// Package conflict implements conflict detection for reordering non-inner
+// joins, following the CD-C approach of Moerkotte, Fender and Eich ("On the
+// correct and complete enumeration of the core search space", SIGMOD 2013),
+// which the paper's plan generator builds on (Sec. 4.1): every operator's
+// syntactic eligibility set (SES) is extended to a total eligibility set
+// (TES) plus residual conflict rules, the TES pair becomes a hyperedge of
+// the query hypergraph, and Applicable(S1, S2, ◦) checks the rules that the
+// hypergraph cannot encode.
+package conflict
+
+import "eagg/internal/query"
+
+// The property tables below assume null-rejecting (equi-join) predicates,
+// which is all this engine produces; entries that hold only under that
+// assumption are marked "°" in the comments. The groupjoin is treated
+// conservatively: it neither associates nor asscommutes with anything, so
+// its operands stay fixed.
+
+// assocTable[a][b] reports assoc(◦a, ◦b):
+// (e1 ◦a e2) ◦b e3 ≡ e1 ◦a (e2 ◦b e3).
+var assocTable = map[query.OpKind]map[query.OpKind]bool{
+	query.KindJoin: {
+		query.KindJoin:      true,
+		query.KindSemiJoin:  true,
+		query.KindAntiJoin:  true,
+		query.KindLeftOuter: true,
+		query.KindFullOuter: false,
+	},
+	query.KindSemiJoin:  {}, // semijoin loses e2's attributes: never assoc
+	query.KindAntiJoin:  {},
+	query.KindLeftOuter: {query.KindLeftOuter: true}, // °
+	query.KindFullOuter: {
+		query.KindLeftOuter: true, // °
+		query.KindFullOuter: true, // °
+	},
+	query.KindGroupJoin: {},
+}
+
+// lAsscomTable[a][b] reports l-asscom(◦a, ◦b):
+// (e1 ◦a e2) ◦b e3 ≡ (e1 ◦b e3) ◦a e2. The property is symmetric.
+var lAsscomTable = map[query.OpKind]map[query.OpKind]bool{
+	query.KindJoin: {
+		query.KindJoin:      true,
+		query.KindSemiJoin:  true,
+		query.KindAntiJoin:  true,
+		query.KindLeftOuter: true,
+		query.KindFullOuter: false,
+	},
+	query.KindSemiJoin: {
+		query.KindJoin:      true,
+		query.KindSemiJoin:  true,
+		query.KindAntiJoin:  true,
+		query.KindLeftOuter: true,
+		query.KindFullOuter: false,
+	},
+	query.KindAntiJoin: {
+		query.KindJoin:      true,
+		query.KindSemiJoin:  true,
+		query.KindAntiJoin:  true,
+		query.KindLeftOuter: true,
+		query.KindFullOuter: false,
+	},
+	query.KindLeftOuter: {
+		query.KindJoin:      true,
+		query.KindSemiJoin:  true,
+		query.KindAntiJoin:  true,
+		query.KindLeftOuter: true, // °
+		query.KindFullOuter: true, // °
+	},
+	query.KindFullOuter: {
+		query.KindLeftOuter: true, // °
+		query.KindFullOuter: true, // °
+	},
+	query.KindGroupJoin: {},
+}
+
+// rAsscomTable[a][b] reports r-asscom(◦a, ◦b):
+// e1 ◦a (e2 ◦b e3) ≡ e2 ◦b (e1 ◦a e3). The property is symmetric.
+var rAsscomTable = map[query.OpKind]map[query.OpKind]bool{
+	query.KindJoin:      {query.KindJoin: true},
+	query.KindFullOuter: {query.KindFullOuter: true}, // °
+}
+
+// Assoc reports assoc(a, b).
+func Assoc(a, b query.OpKind) bool { return assocTable[a][b] }
+
+// LAsscom reports l-asscom(a, b); it is symmetric.
+func LAsscom(a, b query.OpKind) bool { return lAsscomTable[a][b] || lAsscomTable[b][a] }
+
+// RAsscom reports r-asscom(a, b); it is symmetric.
+func RAsscom(a, b query.OpKind) bool { return rAsscomTable[a][b] || rAsscomTable[b][a] }

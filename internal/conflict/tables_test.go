@@ -1,0 +1,252 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/algebra"
+	"eagg/internal/query"
+)
+
+// The property tables drive which reorderings the plan generator may
+// produce, so a wrong "true" entry silently yields wrong plans. These
+// tests execute both sides of each algebraic identity on random relations
+// (including NULLs) and check agreement with the tables: entries marked
+// true must never produce a counterexample, and for key false entries we
+// assert the harness actually finds one (proving the test has teeth).
+
+var reorderableOps = []query.OpKind{
+	query.KindJoin, query.KindSemiJoin, query.KindAntiJoin,
+	query.KindLeftOuter, query.KindFullOuter,
+}
+
+func applyOp(kind query.OpKind, l, r *algebra.Rel, p algebra.Pred) *algebra.Rel {
+	switch kind {
+	case query.KindJoin:
+		return algebra.Join(l, r, p)
+	case query.KindSemiJoin:
+		return algebra.SemiJoin(l, r, p)
+	case query.KindAntiJoin:
+		return algebra.AntiJoin(l, r, p)
+	case query.KindLeftOuter:
+		return algebra.LeftOuter(l, r, p, nil)
+	case query.KindFullOuter:
+		return algebra.FullOuter(l, r, p, nil, nil)
+	}
+	panic("unsupported op")
+}
+
+func randRel3(rng *rand.Rand, attrs []string) *algebra.Rel {
+	n := rng.Intn(5)
+	r := &algebra.Rel{Attrs: attrs}
+	for i := 0; i < n; i++ {
+		tu := algebra.Tuple{}
+		for _, a := range attrs {
+			if rng.Intn(8) == 0 {
+				tu[a] = algebra.Null
+			} else {
+				tu[a] = algebra.Int(int64(rng.Intn(3)))
+			}
+		}
+		r.Tuples = append(r.Tuples, tu)
+	}
+	return r
+}
+
+// outAttrs computes the visible schema of op(l, r).
+func outAttrs(kind query.OpKind, l, r []string) []string {
+	switch kind {
+	case query.KindSemiJoin, query.KindAntiJoin:
+		return l
+	default:
+		return append(append([]string{}, l...), r...)
+	}
+}
+
+func TestAssocTableEmpirically(t *testing.T) {
+	const trials = 200
+	for _, a := range reorderableOps {
+		// assoc LHS (e1 ◦a e2) needs e2's attributes afterwards for p23:
+		// semijoin/antijoin lose them, making the identity inapplicable
+		// (table entries are false).
+		if a == query.KindSemiJoin || a == query.KindAntiJoin {
+			continue
+		}
+		for _, b := range reorderableOps {
+			rng := rand.New(rand.NewSource(int64(100*int(a) + int(b))))
+			sawCounterexample := false
+			for trial := 0; trial < trials; trial++ {
+				e1 := randRel3(rng, []string{"x1"})
+				e2 := randRel3(rng, []string{"x2", "y2"})
+				e3 := randRel3(rng, []string{"x3"})
+				p12 := algebra.EqAttr("x1", "x2")
+				p23 := algebra.EqAttr("y2", "x3")
+				lhs := applyOp(b, applyOp(a, e1, e2, p12), e3, p23)
+				rhs := applyOp(a, e1, applyOp(b, e2, e3, p23), p12)
+				attrs := outAttrs(b, outAttrs(a, []string{"x1"}, []string{"x2", "y2"}), []string{"x3"})
+				if !algebra.EqualBags(lhs, rhs, attrs) {
+					sawCounterexample = true
+					if Assoc(a, b) {
+						t.Fatalf("assoc(%v,%v) claimed but violated:\ne1:\n%v\ne2:\n%v\ne3:\n%v\nLHS:\n%v\nRHS:\n%v",
+							a, b, e1, e2, e3, lhs, rhs)
+					}
+				}
+			}
+			_ = sawCounterexample
+		}
+	}
+}
+
+// TestAssocFalseEntriesHaveCounterexamples confirms the harness can refute
+// the known-invalid transformations — guarding against a vacuous test.
+func TestAssocFalseEntriesHaveCounterexamples(t *testing.T) {
+	cases := []struct{ a, b query.OpKind }{
+		{query.KindJoin, query.KindFullOuter},
+		{query.KindLeftOuter, query.KindJoin},
+		{query.KindFullOuter, query.KindJoin},
+		{query.KindLeftOuter, query.KindSemiJoin},
+	}
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(7))
+		found := false
+		for trial := 0; trial < 500 && !found; trial++ {
+			e1 := randRel3(rng, []string{"x1"})
+			e2 := randRel3(rng, []string{"x2", "y2"})
+			e3 := randRel3(rng, []string{"x3"})
+			p12 := algebra.EqAttr("x1", "x2")
+			p23 := algebra.EqAttr("y2", "x3")
+			lhs := applyOp(c.b, applyOp(c.a, e1, e2, p12), e3, p23)
+			rhs := applyOp(c.a, e1, applyOp(c.b, e2, e3, p23), p12)
+			attrs := outAttrs(c.b, outAttrs(c.a, []string{"x1"}, []string{"x2", "y2"}), []string{"x3"})
+			if !algebra.EqualBags(lhs, rhs, attrs) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no counterexample for ¬assoc(%v,%v); either the table is too conservative or the harness is weak", c.a, c.b)
+		}
+	}
+}
+
+func TestLAsscomTableEmpirically(t *testing.T) {
+	const trials = 200
+	for _, a := range reorderableOps {
+		for _, b := range reorderableOps {
+			rng := rand.New(rand.NewSource(int64(200*int(a) + int(b))))
+			for trial := 0; trial < trials; trial++ {
+				// Both predicates reference e1: p12(x1, x2), p13(w1, x3).
+				e1 := randRel3(rng, []string{"x1", "w1"})
+				e2 := randRel3(rng, []string{"x2"})
+				e3 := randRel3(rng, []string{"x3"})
+				p12 := algebra.EqAttr("x1", "x2")
+				p13 := algebra.EqAttr("w1", "x3")
+				lhs := applyOp(b, applyOp(a, e1, e2, p12), e3, p13)
+				rhs := applyOp(a, applyOp(b, e1, e3, p13), e2, p12)
+				attrs := outAttrs(b, outAttrs(a, []string{"x1", "w1"}, []string{"x2"}), []string{"x3"})
+				if !algebra.EqualBags(lhs, rhs, attrs) {
+					if LAsscom(a, b) {
+						t.Fatalf("l-asscom(%v,%v) claimed but violated:\ne1:\n%v\ne2:\n%v\ne3:\n%v\nLHS:\n%v\nRHS:\n%v",
+							a, b, e1, e2, e3, lhs, rhs)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestLAsscomFalseEntriesHaveCounterexamples(t *testing.T) {
+	cases := []struct{ a, b query.OpKind }{
+		{query.KindFullOuter, query.KindJoin},
+		{query.KindJoin, query.KindFullOuter},
+		{query.KindFullOuter, query.KindSemiJoin},
+	}
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(17))
+		found := false
+		for trial := 0; trial < 500 && !found; trial++ {
+			e1 := randRel3(rng, []string{"x1", "w1"})
+			e2 := randRel3(rng, []string{"x2"})
+			e3 := randRel3(rng, []string{"x3"})
+			p12 := algebra.EqAttr("x1", "x2")
+			p13 := algebra.EqAttr("w1", "x3")
+			lhs := applyOp(c.b, applyOp(c.a, e1, e2, p12), e3, p13)
+			rhs := applyOp(c.a, applyOp(c.b, e1, e3, p13), e2, p12)
+			attrs := outAttrs(c.b, outAttrs(c.a, []string{"x1", "w1"}, []string{"x2"}), []string{"x3"})
+			if !algebra.EqualBags(lhs, rhs, attrs) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no counterexample for ¬l-asscom(%v,%v)", c.a, c.b)
+		}
+	}
+}
+
+func TestRAsscomTableEmpirically(t *testing.T) {
+	const trials = 200
+	full := []query.OpKind{query.KindJoin, query.KindLeftOuter, query.KindFullOuter}
+	for _, a := range full {
+		for _, b := range full {
+			rng := rand.New(rand.NewSource(int64(300*int(a) + int(b))))
+			for trial := 0; trial < trials; trial++ {
+				// Both predicates reference e3: p13(x1, x3), p23(x2, w3).
+				e1 := randRel3(rng, []string{"x1"})
+				e2 := randRel3(rng, []string{"x2"})
+				e3 := randRel3(rng, []string{"x3", "w3"})
+				p13 := algebra.EqAttr("x1", "x3")
+				p23 := algebra.EqAttr("x2", "w3")
+				lhs := applyOp(a, e1, applyOp(b, e2, e3, p23), p13)
+				rhs := applyOp(b, e2, applyOp(a, e1, e3, p13), p23)
+				attrs := []string{"x1", "x2", "x3", "w3"}
+				if !algebra.EqualBags(lhs, rhs, attrs) {
+					if RAsscom(a, b) {
+						t.Fatalf("r-asscom(%v,%v) claimed but violated:\ne1:\n%v\ne2:\n%v\ne3:\n%v\nLHS:\n%v\nRHS:\n%v",
+							a, b, e1, e2, e3, lhs, rhs)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestRAsscomFalseEntriesHaveCounterexamples(t *testing.T) {
+	cases := []struct{ a, b query.OpKind }{
+		{query.KindJoin, query.KindLeftOuter},
+		{query.KindLeftOuter, query.KindJoin},
+		{query.KindJoin, query.KindFullOuter},
+	}
+	for _, c := range cases {
+		rng := rand.New(rand.NewSource(23))
+		found := false
+		for trial := 0; trial < 500 && !found; trial++ {
+			e1 := randRel3(rng, []string{"x1"})
+			e2 := randRel3(rng, []string{"x2"})
+			e3 := randRel3(rng, []string{"x3", "w3"})
+			p13 := algebra.EqAttr("x1", "x3")
+			p23 := algebra.EqAttr("x2", "w3")
+			lhs := applyOp(c.a, e1, applyOp(c.b, e2, e3, p23), p13)
+			rhs := applyOp(c.b, e2, applyOp(c.a, e1, e3, p13), p23)
+			if !algebra.EqualBags(lhs, rhs, []string{"x1", "x2", "x3", "w3"}) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no counterexample for ¬r-asscom(%v,%v)", c.a, c.b)
+		}
+	}
+}
+
+func TestTableSymmetry(t *testing.T) {
+	for _, a := range reorderableOps {
+		for _, b := range reorderableOps {
+			if LAsscom(a, b) != LAsscom(b, a) {
+				t.Errorf("l-asscom not symmetric for (%v,%v)", a, b)
+			}
+			if RAsscom(a, b) != RAsscom(b, a) {
+				t.Errorf("r-asscom not symmetric for (%v,%v)", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package core implements the paper's plan generators (Sec. 4): the
+// DP-based driver over csg-cmp-pairs, the OpTrees expansion that adds the
+// eager-aggregation variants of Fig. 8, the NeedsGrouping test (Fig. 7),
+// the complete generators EA-All (Fig. 9) and EA-Prune (Figs. 13/14), and
+// the heuristics H1 (Fig. 10) and H2 (Fig. 12).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"eagg/internal/bitset"
+	"eagg/internal/conflict"
+	"eagg/internal/cost"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// Algorithm selects the plan generator variant.
+type Algorithm int
+
+const (
+	// AlgDPhyp is the baseline: optimal operator ordering, no eager
+	// aggregation (the grouping stays on top).
+	AlgDPhyp Algorithm = iota
+	// AlgEAAll keeps every subplan: the complete search space of Sec. 4.3.
+	AlgEAAll
+	// AlgEAPrune is EA-All plus the optimality-preserving dominance
+	// pruning of Sec. 4.6.
+	AlgEAPrune
+	// AlgH1 keeps the single locally cheapest tree per plan class
+	// (Sec. 4.4).
+	AlgH1
+	// AlgH2 is H1 with the eagerness-biased cost comparison of Sec. 4.5.
+	AlgH2
+	// AlgBeam is an extension in the direction of the paper's future-work
+	// remark ("discover better heuristic algorithms"): it keeps the K
+	// cheapest plans per plan class, interpolating between H1 (K = 1) and
+	// EA-All (K = ∞) — a tunable quality/price dial.
+	AlgBeam
+)
+
+var algNames = map[Algorithm]string{
+	AlgDPhyp:   "DPhyp",
+	AlgEAAll:   "EA-All",
+	AlgEAPrune: "EA-Prune",
+	AlgH1:      "H1",
+	AlgH2:      "H2",
+	AlgBeam:    "Beam",
+}
+
+func (a Algorithm) String() string {
+	if s, ok := algNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configure an optimization run.
+type Options struct {
+	Algorithm Algorithm
+	// F is H2's tolerance factor (Sec. 4.5); the paper evaluates 1.01,
+	// 1.03, 1.05 and 1.1. Values ≤ 1 make H2 behave like H1.
+	F float64
+	// BeamWidth is the number of plans AlgBeam retains per plan class
+	// (default 4). BeamWidth 1 coincides with H1.
+	BeamWidth int
+	// FDReduceGroups enables FD-based reduction of grouping attribute
+	// sets in the cardinality estimator (sharper estimates; departs from
+	// the paper's evaluation conditions — see internal/cost).
+	FDReduceGroups bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	CsgCmpPairs int // pairs enumerated
+	PlansBuilt  int // operator trees constructed (incl. discarded)
+	TablePlans  int // plans retained across all DP-table entries
+}
+
+// Result is an optimization outcome.
+type Result struct {
+	Plan  *plan.Plan
+	Stats Stats
+}
+
+// Optimize runs the selected plan generator on the query.
+func Optimize(q *query.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Algorithm == AlgH2 && opts.F <= 0 {
+		return nil, errors.New("core: H2 requires a tolerance factor F > 0")
+	}
+	if opts.Algorithm == AlgBeam && opts.BeamWidth <= 0 {
+		opts.BeamWidth = 4
+	}
+	est := cost.NewEstimator(q)
+	est.FDReduceGroups = opts.FDReduceGroups
+	g := &generator{
+		q:    q,
+		det:  conflict.Detect(q),
+		est:  est,
+		opts: opts,
+		all:  bitset.Range64(0, len(q.Relations)),
+	}
+	g.prepare()
+	return g.run()
+}
+
+// generator carries the state of one optimization run.
+type generator struct {
+	q    *query.Query
+	det  *conflict.Detection
+	est  *cost.Estimator
+	opts Options
+	all  bitset.Set64
+
+	// table maps a relation set to its retained plans. Heuristic
+	// algorithms keep exactly one entry; EA-All/EA-Prune keep lists. The
+	// entry for the complete set holds the single best top-level plan.
+	table map[bitset.Set64][]*plan.Plan
+
+	// aggSrc[i] is the set of relations aggregate i draws from; aggOK[i]
+	// whether it is decomposable.
+	aggSrc []bitset.Set64
+	aggOK  []bool
+
+	// joinAttrs caches the union of all predicate attributes.
+	predAttrs []bitset.Set64
+
+	// gjRight is the union of all groupjoin right-subtree relations;
+	// groupings are never pushed there because they would aggregate away
+	// the inputs of the groupjoin's own vector F̄.
+	gjRight bitset.Set64
+
+	stats Stats
+}
+
+func (g *generator) prepare() {
+	g.table = make(map[bitset.Set64][]*plan.Plan)
+	if g.q.HasGrouping {
+		g.aggSrc = g.q.AggSourceRels()
+		g.aggOK = make([]bool, len(g.q.Aggregates))
+		for i, a := range g.q.Aggregates {
+			g.aggOK[i] = a.Kind.Decomposable()
+		}
+	}
+	for _, op := range g.det.Ops {
+		g.predAttrs = append(g.predAttrs, op.Node.Pred.Attrs())
+		if op.Node.Kind == query.KindGroupJoin {
+			g.gjRight = g.gjRight.Union(op.RightRels)
+		}
+	}
+}
+
+func (g *generator) run() (*Result, error) {
+	// Component 1: initial access paths (Fig. 5, lines 1-2).
+	for r := range g.q.Relations {
+		g.table[bitset.Single64(r)] = []*plan.Plan{g.est.Scan(r)}
+	}
+	if len(g.q.Relations) == 1 {
+		best := g.table[bitset.Single64(0)][0]
+		return &Result{Plan: g.finalize(best), Stats: g.stats}, nil
+	}
+
+	// Component 2: enumerate csg-cmp-pairs (Fig. 5, line 3).
+	pairs := g.det.Graph.CsgCmpPairs()
+	g.stats.CsgCmpPairs = len(pairs)
+
+	for _, pr := range pairs {
+		// Component 3: the applicability test per operator whose edge
+		// connects the pair (Fig. 5, lines 4-5).
+		for _, ei := range g.det.Graph.ConnectingEdges(pr.S1, pr.S2) {
+			op := g.det.OpForEdge(g.det.Graph.Edges[ei].Payload)
+			if op.Applicable(pr.S1, pr.S2) {
+				g.buildPlans(pr.S1, pr.S2, op)
+			}
+			// Commutative operators (B, K) could also be applied with
+			// swapped arguments (Fig. 5, lines 7-8). Under the symmetric
+			// C_out cost function the mirrored trees of Fig. 8 (e)-(h)
+			// have identical cost and properties, so we skip them.
+			if op.Node.Kind.Commutative() && op.Applicable(pr.S2, pr.S1) && !op.Applicable(pr.S1, pr.S2) {
+				g.buildPlans(pr.S2, pr.S1, op)
+			}
+		}
+	}
+
+	best := g.table[g.all]
+	if len(best) == 0 {
+		return nil, errors.New("core: no plan found for the complete relation set (conflicting query graph)")
+	}
+	for s, plans := range g.table {
+		if s != g.all {
+			g.stats.TablePlans += len(plans)
+		}
+	}
+	g.stats.TablePlans++
+	return &Result{Plan: best[0], Stats: g.stats}, nil
+}
+
+// preds collects the predicates of every edge connecting S1 and S2, so
+// cyclic query graphs apply all cross predicates at once.
+func (g *generator) preds(s1, s2 bitset.Set64) []*query.Predicate {
+	var out []*query.Predicate
+	for _, ei := range g.det.Graph.ConnectingEdges(s1, s2) {
+		out = append(out, g.det.OpForEdge(g.det.Graph.Edges[ei].Payload).Node.Pred)
+	}
+	return out
+}
+
+// buildPlans dispatches to the per-algorithm BuildPlans variant.
+func (g *generator) buildPlans(s1, s2 bitset.Set64, op *conflict.Op) {
+	t1s, ok1 := g.table[s1]
+	t2s, ok2 := g.table[s2]
+	if !ok1 || !ok2 {
+		// The enumeration may emit pairs whose components are not
+		// buildable (or were blocked by applicability); skip them.
+		return
+	}
+	preds := g.preds(s1, s2)
+	s := s1.Union(s2)
+	for _, t1 := range t1s {
+		for _, t2 := range t2s {
+			for _, tree := range g.opTrees(t1, t2, op, preds) {
+				g.stats.PlansBuilt++
+				if s == g.all {
+					g.insertTopLevelPlan(s, tree)
+				} else {
+					g.insert(s, tree)
+				}
+			}
+		}
+	}
+}
+
+// insert applies the algorithm's retention policy for non-top entries.
+func (g *generator) insert(s bitset.Set64, t *plan.Plan) {
+	switch g.opts.Algorithm {
+	case AlgEAAll:
+		g.table[s] = append(g.table[s], t)
+	case AlgEAPrune:
+		g.pruneDominatedPlans(s, t)
+	case AlgBeam:
+		g.insertBeam(s, t)
+	case AlgH2:
+		cur := g.table[s]
+		if len(cur) == 0 || g.compareAdjustedCosts(t, cur[0], false) {
+			g.table[s] = []*plan.Plan{t}
+		}
+	default: // DPhyp, H1: single cheapest plan
+		cur := g.table[s]
+		if len(cur) == 0 || t.Cost < cur[0].Cost {
+			g.table[s] = []*plan.Plan{t}
+		}
+	}
+}
+
+// insertTopLevelPlan implements Fig. 9's InsertTopLevelPlan: top-level
+// plans are always compared by plain cost and only the best one is kept.
+// The final grouping (or its elimination) has already been attached by
+// opTrees.
+func (g *generator) insertTopLevelPlan(s bitset.Set64, t *plan.Plan) {
+	cur := g.table[s]
+	if len(cur) == 0 || t.Cost < cur[0].Cost {
+		g.table[s] = []*plan.Plan{t}
+	}
+}
+
+// pruneDominatedPlans implements Fig. 13. Dominance (Def. 4) weakens the
+// FD-closure comparison to candidate-key implication, as the paper
+// suggests for implementations, and — because our distinct-count estimates
+// are plan-dependent — additionally compares the distinct profile of the
+// grouping-relevant attributes (the quantitative counterpart of the FD
+// condition: it is what determines future grouping cardinalities).
+func (g *generator) pruneDominatedPlans(s bitset.Set64, t *plan.Plan) {
+	g.fillProfile(s, t)
+	cur := g.table[s]
+	for _, old := range cur {
+		if dominates(old, t) {
+			return
+		}
+	}
+	kept := cur[:0]
+	for _, old := range cur {
+		if !dominates(t, old) {
+			kept = append(kept, old)
+		}
+	}
+	g.table[s] = append(kept, t)
+}
+
+// profileAttrs returns the attributes whose distinct counts can influence
+// future groupings of a plan over S: grouping attributes and join
+// attributes of S.
+func (g *generator) profileAttrs(s bitset.Set64) bitset.Set64 {
+	attrs := g.q.AttrsOf(s)
+	rel := g.q.GroupBy.Intersect(attrs)
+	for _, pa := range g.predAttrs {
+		rel = rel.Union(pa.Intersect(attrs))
+	}
+	return rel
+}
+
+func (g *generator) fillProfile(s bitset.Set64, t *plan.Plan) {
+	if t.Profile != nil {
+		return
+	}
+	attrs := g.profileAttrs(s)
+	prof := make([]float64, 0, attrs.Len()+s.Len())
+	attrs.ForEach(func(a int) {
+		prof = append(prof, g.est.Distinct(a, t))
+	})
+	// Per-relation path cardinalities are a further hidden dimension:
+	// they cap future per-relation grouping contributions.
+	s.ForEach(func(rel int) {
+		prof = append(prof, g.est.RelPathCard(rel, t))
+	})
+	t.Profile = prof
+}
+
+// dominates reports whether a dominates b: cost ≤, cardinality ≤, a's key
+// set implies b's (every key of b is implied by some key of a),
+// duplicate-freeness at least as strong, and a distinct profile that is
+// pointwise ≤.
+func dominates(a, b *plan.Plan) bool {
+	if a.Cost > b.Cost || a.Card > b.Card {
+		return false
+	}
+	if !a.DupFree && b.DupFree {
+		return false
+	}
+	for i := range a.Profile {
+		if a.Profile[i] > b.Profile[i] {
+			return false
+		}
+	}
+	for _, kb := range b.Keys {
+		implied := false
+		for _, ka := range a.Keys {
+			if ka.SubsetOf(kb) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return false
+		}
+	}
+	return true
+}
+
+// compareAdjustedCosts implements Fig. 12: H2 biases the comparison toward
+// more eager plans using the tolerance factor F. It returns whether t
+// should replace cur.
+func (g *generator) compareAdjustedCosts(t, cur *plan.Plan, topLevel bool) bool {
+	et, ec := t.Eagerness(), cur.Eagerness()
+	f := g.opts.F
+	switch {
+	case topLevel || et == ec:
+		return t.Cost < cur.Cost
+	case et < ec:
+		return f*t.Cost < cur.Cost
+	default:
+		return t.Cost < f*cur.Cost
+	}
+}
+
+// insertBeam keeps the BeamWidth cheapest plans per entry, preferring
+// diversity: a candidate costing the same as a retained plan but with a
+// strictly smaller cardinality replaces it (small results are what future
+// groupings and joins profit from).
+func (g *generator) insertBeam(s bitset.Set64, t *plan.Plan) {
+	k := g.opts.BeamWidth
+	cur := g.table[s]
+	// Insert in cost order.
+	pos := len(cur)
+	for i, old := range cur {
+		if t.Cost < old.Cost || (t.Cost == old.Cost && t.Card < old.Card) {
+			pos = i
+			break
+		}
+	}
+	if pos >= k {
+		return
+	}
+	cur = append(cur, nil)
+	copy(cur[pos+1:], cur[pos:])
+	cur[pos] = t
+	if len(cur) > k {
+		cur = cur[:k]
+	}
+	g.table[s] = cur
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"eagg/internal/bitset"
+	"eagg/internal/conflict"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// opTrees implements Fig. 6: for a pair of subplans and an operator it
+// returns the base tree plus the up-to-three eager-aggregation variants of
+// Fig. 8, each already wrapped with the final grouping (or its
+// elimination) when the tree completes the query.
+//
+// DPhyp mode and grouping-free queries produce only the base tree.
+func (g *generator) opTrees(t1, t2 *plan.Plan, op *conflict.Op, preds []*query.Predicate) []*plan.Plan {
+	kind := op.Node.Kind
+	out := make([]*plan.Plan, 0, 4)
+	add := func(l, r *plan.Plan) {
+		tree := g.est.Op(kind, preds, l, r)
+		out = append(out, g.maybeFinalize(tree))
+	}
+
+	add(t1, t2)
+	if g.opts.Algorithm == AlgDPhyp || !g.q.HasGrouping {
+		return out
+	}
+
+	var gl, gr *plan.Plan
+	if g.validPush(t1.Rels, true, kind) {
+		gp := g.gPlus(t1.Rels)
+		if g.needsGrouping(gp, t1) {
+			gl = g.est.Group(t1, gp)
+		}
+	}
+	if g.validPush(t2.Rels, false, kind) {
+		gp := g.gPlus(t2.Rels)
+		if g.needsGrouping(gp, t2) {
+			gr = g.est.Group(t2, gp)
+		}
+	}
+	if gl != nil {
+		add(gl, t2)
+	}
+	if gr != nil {
+		add(t1, gr)
+	}
+	if gl != nil && gr != nil {
+		add(gl, gr)
+	}
+	return out
+}
+
+// maybeFinalize attaches the final grouping to complete plans (Fig. 6,
+// lines 6-8 etc.): a grouping on G, or — when G contains a key of a
+// duplicate-free result — the free projection of Sec. 3.2.
+func (g *generator) maybeFinalize(tree *plan.Plan) *plan.Plan {
+	if tree.Rels != g.all {
+		return tree
+	}
+	return g.finalize(tree)
+}
+
+func (g *generator) finalize(tree *plan.Plan) *plan.Plan {
+	if !g.q.HasGrouping {
+		return tree
+	}
+	// At the top every predicate has been applied, so the query-level FD
+	// closure of G is valid: a key *implied* by the grouping attributes
+	// eliminates the final grouping just like one contained in them
+	// (Sec. 3.2 with FD+ instead of the syntactic test).
+	if tree.DupFree && tree.HasKeySubsetOf(g.est.FDClosure(g.q.GroupBy)) {
+		return g.est.Project(tree)
+	}
+	return g.est.FinalGroup(tree)
+}
+
+// needsGrouping implements Fig. 7: grouping on attrs is unnecessary iff
+// attrs contain a candidate key of t and t is duplicate-free. Below the
+// top this test is deliberately syntactic: query-level FD equivalences
+// from predicates that are not yet applied inside the subtree do not hold
+// there, and using them here both skips profitable groupings and breaks
+// the estimator consistency the dominance pruning relies on.
+func (g *generator) needsGrouping(attrs bitset.Set64, t *plan.Plan) bool {
+	return !(t.DupFree && t.HasKeySubsetOf(attrs))
+}
+
+// validPush implements the Valid check of Sec. 4.2 backed by the
+// equivalences of Sec. 3: a grouping may be pushed onto the given side iff
+//
+//   - the operator admits a push on that side (the left semijoin, antijoin
+//     and groupjoin only produce left attributes, so only their left
+//     argument can be grouped — Sec. 3.1.3);
+//   - the aggregation vector splits w.r.t. the side: every aggregate
+//     drawing from the side's relations draws only from them; and
+//   - those aggregates are decomposable (no distinct aggregates).
+//
+// Aggregates over relations outside the side are re-weighted through the
+// count attribute of the Groupby-Count equivalences; attribute-free
+// count(*) entries never block a push.
+func (g *generator) validPush(side bitset.Set64, isLeft bool, kind query.OpKind) bool {
+	if !g.q.HasGrouping {
+		return false
+	}
+	if !isLeft && kind.LeftOnly() {
+		return false
+	}
+	if side.Intersects(g.gjRight) {
+		return false // protect groupjoin F̄ inputs from pre-aggregation
+	}
+	for i, src := range g.aggSrc {
+		if src.IsEmpty() || !src.Intersects(side) {
+			continue
+		}
+		if !src.SubsetOf(side) {
+			return false // aggregate spans the side boundary: not splittable
+		}
+		if !g.aggOK[i] {
+			return false // not decomposable
+		}
+	}
+	return true
+}
+
+// gPlus computes G⁺ for a relation set S: the grouping attributes plus
+// every join attribute of predicates not yet applied inside S, restricted
+// to S's attributes (Sec. 3.1: G⁺ᵢ = Gᵢ ∪ Jᵢ, generalized to all
+// predicates that still connect S to the rest of the query).
+func (g *generator) gPlus(s bitset.Set64) bitset.Set64 {
+	attrs := g.q.AttrsOf(s)
+	gp := g.q.GroupBy.Intersect(attrs)
+	for i, op := range g.det.Ops {
+		predRels := g.q.RelsOf(g.predAttrs[i])
+		if !predRels.SubsetOf(s) {
+			gp = gp.Union(g.predAttrs[i].Intersect(attrs))
+		}
+		_ = op
+	}
+	return gp
+}

@@ -1,0 +1,447 @@
+// Package cost implements the logical property estimator: the cardinality
+// model, the candidate-key inference rules of Sec. 2.3, duplicate-freeness
+// tracking, and the C_out cost function of Sec. 4.4:
+//
+//	C_out(T) = 0                                if T is a single table
+//	         = |T| + C_out(T1) + C_out(T2)      if T = T1 ◦ T2
+//	         = |T| + C_out(T1)                  if T = Γ(T1)
+//
+// All plan nodes are created through an Estimator so that every plan in
+// the DP table carries consistent properties.
+package cost
+
+import (
+	"eagg/internal/bitset"
+	"eagg/internal/fd"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// maxKeys caps the candidate-key lists carried per plan; beyond this the
+// pairwise union rule would grow quadratically with no practical benefit.
+const maxKeys = 8
+
+// Estimator computes logical properties against a query's statistics.
+type Estimator struct {
+	Q *query.Query
+
+	// preds caches every predicate of the query with its relation set,
+	// for canonical set-level cardinalities.
+	preds []predInfo
+	canon map[bitset.Set64]float64
+
+	// fds holds the query-level functional dependencies (base keys and
+	// inner equi-join pairs); they hold in every complete plan and are
+	// used for the final-grouping elimination and, optionally, to shrink
+	// grouping attribute sets.
+	fds fd.Set
+
+	// FDReduceGroups enables FD-based reduction of grouping attribute
+	// sets in cardinality estimates (sharper, but departs from the
+	// paper's evaluation conditions — see groupCard).
+	FDReduceGroups bool
+}
+
+type predInfo struct {
+	rels bitset.Set64
+	sel  float64
+}
+
+// NewEstimator returns an estimator for the query.
+func NewEstimator(q *query.Query) *Estimator {
+	e := &Estimator{Q: q, canon: map[bitset.Set64]float64{}}
+	var walk func(n *query.OpNode)
+	walk = func(n *query.OpNode) {
+		if n == nil || n.Kind == query.KindScan {
+			return
+		}
+		e.preds = append(e.preds, predInfo{
+			rels: q.RelsOf(n.Pred.Attrs()),
+			sel:  n.Pred.Selectivity,
+		})
+		// Inner equi-join pairs induce a ↔ b in every complete plan
+		// (outer-join predicates do not: their padding breaks them).
+		if n.Kind == query.KindJoin {
+			for i := range n.Pred.Left {
+				e.fds.AddEquiv(n.Pred.Left[i], n.Pred.Right[i])
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(q.Root)
+	for ri := range q.Relations {
+		for _, k := range q.Relations[ri].Keys {
+			e.fds.Add(k, q.Relations[ri].Attrs)
+		}
+	}
+	return e
+}
+
+// FDClosure returns the attribute closure under the query-level functional
+// dependencies. Being query-level (not plan-level), it is identical for
+// every plan of the same query, so using it in pruning-relevant decisions
+// cannot break the dominance invariant.
+func (e *Estimator) FDClosure(attrs bitset.Set64) bitset.Set64 {
+	return e.fds.Closure(attrs)
+}
+
+// CanonCard is the canonical (plan-independent) cardinality of a relation
+// set: base cardinalities times the selectivities of all internal
+// predicates. Semijoin and antijoin match fractions are computed against
+// this value rather than the concrete right plan's cardinality — the match
+// semantics depend on the right side's value set, not on how the plan
+// shaped it, and a plan-dependent value would make the antijoin estimate
+// anti-monotone and break the dominance pruning of Sec. 4.6.
+func (e *Estimator) CanonCard(s bitset.Set64) float64 {
+	if c, ok := e.canon[s]; ok {
+		return c
+	}
+	c := 1.0
+	s.ForEach(func(r int) { c *= e.Q.Relations[r].Card })
+	for _, p := range e.preds {
+		if p.rels.SubsetOf(s) {
+			c *= p.sel
+		}
+	}
+	c = maxf(1, c)
+	e.canon[s] = c
+	return c
+}
+
+// Scan builds a leaf plan for a base relation. Scanning is free under
+// C_out (the scan cost would be the same constant in every plan).
+func (e *Estimator) Scan(rel int) *plan.Plan {
+	r := e.Q.Relations[rel]
+	return &plan.Plan{
+		Kind:    plan.NodeScan,
+		Rels:    bitset.Single64(rel),
+		Rel:     rel,
+		Card:    r.Card,
+		Cost:    0,
+		Keys:    capKeys(r.Keys),
+		DupFree: len(r.Keys) > 0,
+	}
+}
+
+// Distinct returns the distinct-value estimate of an attribute within a
+// subplan. The base distinct count is capped by the cardinality of *every*
+// intermediate result along the attribute's path through the plan: once a
+// selective join shrank the rows carrying the attribute, later fan-out
+// joins cannot re-create lost values. This propagation is what lets the
+// estimator see that grouping a customer⨝orders⨝lineitem intermediate by
+// c_custkey collapses to the number of participating customers.
+func (e *Estimator) Distinct(attr int, p *plan.Plan) float64 {
+	rel := e.Q.AttrRel[attr]
+	return maxf(1, e.distinctWalk(attr, rel, p))
+}
+
+func (e *Estimator) distinctWalk(attr, rel int, p *plan.Plan) float64 {
+	if p == nil || !p.Rels.Contains(rel) {
+		return e.Q.Distinct[attr]
+	}
+	switch p.Kind {
+	case plan.NodeScan:
+		return minf(e.Q.Distinct[attr], p.Card)
+	case plan.NodeOp:
+		var d float64
+		if p.Left.Rels.Contains(rel) {
+			d = e.distinctWalk(attr, rel, p.Left)
+		} else {
+			d = e.distinctWalk(attr, rel, p.Right)
+		}
+		return minf(d, p.Card)
+	default: // grouping, projection
+		return minf(e.distinctWalk(attr, rel, p.Left), p.Card)
+	}
+}
+
+// selectivity multiplies the selectivities of the predicates.
+func selectivity(preds []*query.Predicate) float64 {
+	s := 1.0
+	for _, p := range preds {
+		s *= p.Selectivity
+	}
+	return s
+}
+
+// Op builds a binary operator node and estimates its properties.
+//
+// The cardinality model is kept consistent with the key inference: when a
+// side's join attributes contain one of its candidate keys, every tuple of
+// the other side matches at most one tuple there, so the match count is
+// capped by the other side's cardinality. Without this cap the key rules
+// of Sec. 2.3 would declare keys that the cardinalities contradict, and
+// NeedsGrouping would skip groupings as "waste" that are anything but.
+func (e *Estimator) Op(kind query.OpKind, preds []*query.Predicate, left, right *plan.Plan) *plan.Plan {
+	sel := selectivity(preds)
+	var a1, a2 bitset.Set64
+	for _, p := range preds {
+		a1 = a1.Union(p.LeftAttrs())
+		a2 = a2.Union(p.RightAttrs())
+	}
+	leftKey := left.HasKeySubsetOf(a1)
+	rightKey := right.HasKeySubsetOf(a2)
+
+	inner := left.Card * right.Card * sel
+	if leftKey {
+		inner = minf(inner, right.Card)
+	}
+	if rightKey {
+		inner = minf(inner, left.Card)
+	}
+	// Expected number of partners per left/right tuple. For the
+	// existence-style operators (N, T) the fraction is computed against
+	// the canonical right-side cardinality (see CanonCard).
+	perLeft := right.Card * sel
+	perRight := left.Card * sel
+	perLeftCanon := e.CanonCard(right.Rels) * sel
+
+	unmatchedLeft := left.Card * maxf(0, 1-perLeft)
+	if rightKey {
+		unmatchedLeft = maxf(0, left.Card-inner)
+	}
+	unmatchedRight := right.Card * maxf(0, 1-perRight)
+	if leftKey {
+		unmatchedRight = maxf(0, right.Card-inner)
+	}
+
+	var card float64
+	switch kind {
+	case query.KindJoin:
+		card = inner
+	case query.KindSemiJoin:
+		card = left.Card * minf(1, perLeftCanon)
+	case query.KindAntiJoin:
+		card = left.Card * maxf(0, 1-perLeftCanon)
+	case query.KindLeftOuter:
+		card = inner + unmatchedLeft
+	case query.KindFullOuter:
+		card = inner + unmatchedLeft + unmatchedRight
+	case query.KindGroupJoin:
+		card = left.Card
+	default:
+		panic("cost: unsupported operator kind")
+	}
+	card = maxf(1, card)
+
+	p := &plan.Plan{
+		Kind:  plan.NodeOp,
+		Rels:  left.Rels.Union(right.Rels),
+		Op:    kind,
+		Preds: preds,
+		Left:  left,
+		Right: right,
+		Card:  card,
+		Cost:  card + left.Cost + right.Cost,
+	}
+	p.Keys = e.opKeys(kind, preds, left, right)
+	p.DupFree = opDupFree(kind, left, right)
+	return p
+}
+
+// opKeys implements the key-inference rules of Sec. 2.3.
+func (e *Estimator) opKeys(kind query.OpKind, preds []*query.Predicate, left, right *plan.Plan) []bitset.Set64 {
+	var a1, a2 bitset.Set64
+	for _, p := range preds {
+		a1 = a1.Union(p.LeftAttrs())
+		a2 = a2.Union(p.RightAttrs())
+	}
+	leftKey := left.HasKeySubsetOf(a1)   // A1 contains a key of e1
+	rightKey := right.HasKeySubsetOf(a2) // A2 contains a key of e2
+
+	switch kind {
+	case query.KindSemiJoin, query.KindAntiJoin, query.KindGroupJoin:
+		// Only left attributes survive; result keys are the left keys
+		// (Sec. 2.3.4).
+		return capKeys(left.Keys)
+	case query.KindJoin:
+		switch {
+		case leftKey && rightKey:
+			return capKeys(append(append([]bitset.Set64{}, left.Keys...), right.Keys...))
+		case leftKey:
+			return capKeys(right.Keys)
+		case rightKey:
+			return capKeys(left.Keys)
+		default:
+			return pairwiseKeys(left.Keys, right.Keys)
+		}
+	case query.KindLeftOuter:
+		if rightKey {
+			return capKeys(left.Keys)
+		}
+		return pairwiseKeys(left.Keys, right.Keys)
+	case query.KindFullOuter:
+		return pairwiseKeys(left.Keys, right.Keys)
+	}
+	return nil
+}
+
+// opDupFree: joins of duplicate-free inputs are duplicate-free; the
+// left-only operators preserve the left input's duplicate-freeness.
+func opDupFree(kind query.OpKind, left, right *plan.Plan) bool {
+	switch kind {
+	case query.KindSemiJoin, query.KindAntiJoin, query.KindGroupJoin:
+		return left.DupFree
+	default:
+		return left.DupFree && right.DupFree
+	}
+}
+
+// Group builds a pushed-down grouping Γ_{G⁺} on top of child.
+func (e *Estimator) Group(child *plan.Plan, groupBy bitset.Set64) *plan.Plan {
+	card := e.groupCard(child, groupBy)
+	p := &plan.Plan{
+		Kind:    plan.NodeGroup,
+		Rels:    child.Rels,
+		GroupBy: groupBy,
+		Left:    child,
+		Card:    card,
+		Cost:    card + child.Cost,
+		DupFree: true,
+	}
+	p.Keys = groupKeys(child, groupBy)
+	return p
+}
+
+// FinalGroup builds the query's top grouping Γ_G.
+func (e *Estimator) FinalGroup(child *plan.Plan) *plan.Plan {
+	p := e.Group(child, e.Q.GroupBy)
+	p.Final = true
+	return p
+}
+
+// Project builds the duplicate-preserving projection replacing an
+// unnecessary final grouping (Sec. 3.2); it is free under C_out.
+func (e *Estimator) Project(child *plan.Plan) *plan.Plan {
+	return &plan.Plan{
+		Kind:    plan.NodeProject,
+		Rels:    child.Rels,
+		Left:    child,
+		Card:    child.Card,
+		Cost:    child.Cost,
+		Keys:    capKeys(child.Keys),
+		DupFree: child.DupFree,
+	}
+}
+
+// groupCard estimates |Γ_G(e)| = min(|e|, Π d); the distinct product is
+// computed per owning relation, capping each relation's contribution by
+// that relation's path-capped row count: the attributes of one relation
+// cannot form more combinations than the relation has surviving rows
+// (c_custkey and c_name never multiply). Grouping on ∅ yields one group.
+func (e *Estimator) groupCard(child *plan.Plan, groupBy bitset.Set64) float64 {
+	// With FDReduceGroups, attributes functionally implied by the rest of
+	// G contribute no combinations (c_custkey determines c_name and,
+	// through inner key joins, n_name) and are dropped before
+	// multiplying. Off by default: the sharper estimate makes the lazy
+	// baseline's final grouping cheap enough to erase gains the paper
+	// reports (see EXPERIMENTS.md on Q10), so the paper-faithful mode
+	// keeps the plain per-relation product.
+	reduced := groupBy
+	if e.FDReduceGroups {
+		reduced = e.fds.Reduce(groupBy)
+	}
+	card := 1.0
+	for _, rel := range e.Q.RelsOf(reduced).Elems() {
+		relProd := 1.0
+		reduced.Intersect(e.Q.Relations[rel].Attrs).ForEach(func(a int) {
+			relProd *= e.Distinct(a, child)
+		})
+		card *= minf(relProd, e.RelPathCard(rel, child))
+	}
+	return maxf(1, minf(card, child.Card))
+}
+
+// RelPathCard is the smallest cardinality of any subplan containing the
+// relation — an upper bound on how many of the relation's rows survive in
+// the result, and hence on the distinct combinations of its attributes.
+func (e *Estimator) RelPathCard(rel int, p *plan.Plan) float64 {
+	if p == nil || !p.Rels.Contains(rel) {
+		return e.Q.Relations[rel].Card
+	}
+	switch p.Kind {
+	case plan.NodeScan:
+		return p.Card
+	case plan.NodeOp:
+		var c float64
+		if p.Left.Rels.Contains(rel) {
+			c = e.RelPathCard(rel, p.Left)
+		} else {
+			c = e.RelPathCard(rel, p.Right)
+		}
+		return minf(c, p.Card)
+	default:
+		return minf(e.RelPathCard(rel, p.Left), p.Card)
+	}
+}
+
+// groupKeys: the grouping attributes are a key of the result, and keys of
+// the child contained in G remain keys.
+func groupKeys(child *plan.Plan, groupBy bitset.Set64) []bitset.Set64 {
+	keys := []bitset.Set64{groupBy}
+	for _, k := range child.Keys {
+		if k.SubsetOf(groupBy) && k != groupBy {
+			keys = append(keys, k)
+		}
+	}
+	return capKeys(keys)
+}
+
+// pairwiseKeys combines keys k1 ∪ k2 per Sec. 2.3's fallback rule.
+func pairwiseKeys(a, b []bitset.Set64) []bitset.Set64 {
+	var out []bitset.Set64
+	for _, k1 := range a {
+		for _, k2 := range b {
+			out = append(out, k1.Union(k2))
+			if len(out) >= maxKeys {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func capKeys(keys []bitset.Set64) []bitset.Set64 {
+	// Deduplicate and drop dominated keys (a key that is a superset of
+	// another key carries no extra information).
+	var out []bitset.Set64
+	for _, k := range keys {
+		dominated := false
+		for _, o := range out {
+			if o.SubsetOf(k) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// Remove existing keys dominated by k.
+		kept := out[:0]
+		for _, o := range out {
+			if !k.SubsetOf(o) {
+				kept = append(kept, o)
+			}
+		}
+		out = append(kept, k)
+		if len(out) >= maxKeys {
+			break
+		}
+	}
+	return out
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eagg/internal/algebra"
+	"eagg/internal/query"
+)
+
+// Canonical evaluates the query exactly as written: the initial operator
+// tree followed by the top grouping. It is the reference result against
+// which optimized plans are checked.
+func Canonical(q *query.Query, data Data) (*algebra.Rel, error) {
+	if q.Root == nil {
+		return nil, fmt.Errorf("engine: query has no operator tree")
+	}
+	rel, err := evalTree(q, q.Root, data)
+	if err != nil {
+		return nil, err
+	}
+	if !q.HasGrouping {
+		return rel, nil
+	}
+	var g []string
+	q.GroupBy.ForEach(func(a int) { g = append(g, q.AttrNames[a]) })
+	return algebra.Group(rel, g, q.Aggregates), nil
+}
+
+func evalTree(q *query.Query, n *query.OpNode, data Data) (*algebra.Rel, error) {
+	if n.Kind == query.KindScan {
+		rel, ok := data[n.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: no data for relation %d", n.Rel)
+		}
+		return rel, nil
+	}
+	l, err := evalTree(q, n.Left, data)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalTree(q, n.Right, data)
+	if err != nil {
+		return nil, err
+	}
+	var ps []algebra.Pred
+	for i := range n.Pred.Left {
+		ps = append(ps, algebra.EqAttr(q.AttrNames[n.Pred.Left[i]], q.AttrNames[n.Pred.Right[i]]))
+	}
+	pred := algebra.AndPred(ps...)
+	switch n.Kind {
+	case query.KindJoin:
+		return algebra.Join(l, r, pred), nil
+	case query.KindSemiJoin:
+		return algebra.SemiJoin(l, r, pred), nil
+	case query.KindAntiJoin:
+		return algebra.AntiJoin(l, r, pred), nil
+	case query.KindLeftOuter:
+		return algebra.LeftOuter(l, r, pred, nil), nil
+	case query.KindFullOuter:
+		return algebra.FullOuter(l, r, pred, nil, nil), nil
+	case query.KindGroupJoin:
+		return algebra.GroupJoin(l, r, pred, n.GroupJoinAggs), nil
+	}
+	return nil, fmt.Errorf("engine: unsupported node kind %v", n.Kind)
+}
+
+// OutputAttrs returns the attribute names of the query result: G ∪ A(F)
+// for grouping queries, or every visible attribute otherwise.
+func OutputAttrs(q *query.Query) []string {
+	if q.HasGrouping {
+		var out []string
+		q.GroupBy.ForEach(func(a int) { out = append(out, q.AttrNames[a]) })
+		return append(out, q.Aggregates.Outs()...)
+	}
+	var out []string
+	var visible func(n *query.OpNode)
+	visible = func(n *query.OpNode) {
+		if n.Kind == query.KindScan {
+			q.Relations[n.Rel].Attrs.ForEach(func(a int) {
+				out = append(out, q.AttrNames[a])
+			})
+			return
+		}
+		visible(n.Left)
+		if !n.Kind.LeftOnly() {
+			visible(n.Right)
+		}
+	}
+	visible(q.Root)
+	return out
+}
+
+// RandomData generates relation contents that respect the catalog's
+// declared keys (unique values in key attributes) while keeping join
+// attribute domains tiny so joins actually match. Aggregate inputs include
+// NULLs to exercise the NULL semantics of the equivalences.
+func RandomData(rng *rand.Rand, q *query.Query, maxRows int) Data {
+	data := Data{}
+	for ri := range q.Relations {
+		rel := &q.Relations[ri]
+		n := 1 + rng.Intn(maxRows)
+		var keyAttrs []int
+		for _, k := range rel.Keys {
+			k.ForEach(func(a int) { keyAttrs = append(keyAttrs, a) })
+		}
+		isKey := map[int]bool{}
+		for _, a := range keyAttrs {
+			isKey[a] = true
+		}
+		r := &algebra.Rel{}
+		rel.Attrs.ForEach(func(a int) { r.Attrs = append(r.Attrs, q.AttrNames[a]) })
+		for row := 0; row < n; row++ {
+			t := algebra.Tuple{}
+			rel.Attrs.ForEach(func(a int) {
+				name := q.AttrNames[a]
+				switch {
+				case isKey[a]:
+					t[name] = algebra.Int(int64(row)) // unique
+				case rng.Intn(7) == 0:
+					t[name] = algebra.Null
+				default:
+					t[name] = algebra.Int(int64(rng.Intn(3)))
+				}
+			})
+			r.Tuples = append(r.Tuples, t)
+		}
+		data[ri] = r
+	}
+	return data
+}

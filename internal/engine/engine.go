@@ -1,0 +1,223 @@
+// Package engine executes optimized plans on concrete data through the
+// algebra runtime, so that plans using eager aggregation can be verified to
+// produce exactly the same results as the canonical (lazy) plan.
+//
+// The compilation realizes the mechanics behind the paper's equivalences in
+// composed form. Every pushed-down grouping Γ_{G⁺} computes
+//
+//   - partial states for the aggregates whose sources lie inside the
+//     grouped subtree (F¹ of the decompositions of Sec. 2.1.2), and
+//   - one weight attribute: the count(*)-style multiplicity each grouped
+//     row stands for (the c of the Groupby-Count equivalences).
+//
+// Joins concatenate weights; re-grouping re-aggregates partials weighted by
+// the weights of *other* collapsed sides (the ⊗ operator), and the final
+// grouping combines everything into the original aggregation vector F.
+// Left and full outerjoins pad grouped sides with the default vectors
+// F¹({⊥}) and c:1 exactly as the generalized operators of Sec. 2.2 demand.
+package engine
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/bitset"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// Data maps relation ids to their contents.
+type Data map[int]*algebra.Rel
+
+// aggState tracks one original aggregate through the plan.
+type aggState struct {
+	// partial is nil while the aggregate is still raw (its argument
+	// attributes flow through unaggregated). Once a grouping collapses
+	// its source relations it holds the partial attribute names:
+	// [p] for sum/count/min/max-style states, [s, n] for avg.
+	partial []string
+	// defaults aligns with partial: the {⊥} value of each partial
+	// attribute, used as outerjoin defaults.
+	defaults []aggfn.Default
+	// cover is the relation set whose multiplicity is folded into the
+	// partial.
+	cover bitset.Set64
+}
+
+// weight is one multiplicity attribute with the relation set it covers.
+type weight struct {
+	attr  string
+	cover bitset.Set64
+}
+
+// compiled is an executed subplan plus its aggregate bookkeeping.
+type compiled struct {
+	rel     *algebra.Rel
+	weights []weight
+	aggs    []aggState // indexed like the query's aggregation vector
+}
+
+// Exec executes an optimized plan against the data and returns the result
+// relation over G ∪ A(F) (or the plain operator result for grouping-free
+// queries).
+func Exec(q *query.Query, p *plan.Plan, data Data) (*algebra.Rel, error) {
+	e := &executor{q: q, data: data}
+	c, err := e.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.rel, nil
+}
+
+type executor struct {
+	q    *query.Query
+	data Data
+	seq  int
+}
+
+func (e *executor) fresh(prefix string) string {
+	e.seq++
+	return fmt.Sprintf("§%s%d", prefix, e.seq)
+}
+
+func (e *executor) attrNames(set bitset.Set64) []string {
+	var out []string
+	set.ForEach(func(a int) { out = append(out, e.q.AttrNames[a]) })
+	return out
+}
+
+func (e *executor) compile(p *plan.Plan) (*compiled, error) {
+	switch p.Kind {
+	case plan.NodeScan:
+		rel, ok := e.data[p.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: no data for relation %d", p.Rel)
+		}
+		return &compiled{rel: rel, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+	case plan.NodeOp:
+		return e.compileOp(p)
+	case plan.NodeGroup:
+		child, err := e.compile(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		if p.Final {
+			return e.finalGroup(child, p.GroupBy, false)
+		}
+		return e.group(child, p)
+	case plan.NodeProject:
+		child, err := e.compile(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		// The projection replaces the final grouping when every group is
+		// a single tuple; evaluating the final vector per group yields
+		// identical results (Eqv. 42).
+		return e.finalGroup(child, e.q.GroupBy, true)
+	}
+	return nil, fmt.Errorf("engine: unknown node kind %d", p.Kind)
+}
+
+// pred compiles the plan node's predicates.
+func (e *executor) pred(preds []*query.Predicate) algebra.Pred {
+	var ps []algebra.Pred
+	for _, p := range preds {
+		for i := range p.Left {
+			ps = append(ps, algebra.EqAttr(e.q.AttrNames[p.Left[i]], e.q.AttrNames[p.Right[i]]))
+		}
+	}
+	return algebra.AndPred(ps...)
+}
+
+// sideDefaults builds the outerjoin default vector for a padded side: every
+// weight defaults to 1 and every partial attribute to its {⊥} value.
+func sideDefaults(c *compiled) algebra.Defaults {
+	d := algebra.Defaults{}
+	for _, w := range c.weights {
+		d[w.attr] = algebra.Int(1)
+	}
+	for _, st := range c.aggs {
+		for i, attr := range st.partial {
+			switch st.defaults[i] {
+			case aggfn.DefaultOne:
+				d[attr] = algebra.Int(1)
+			case aggfn.DefaultZero:
+				d[attr] = algebra.Int(0)
+			}
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
+	l, err := e.compile(p.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.compile(p.Right)
+	if err != nil {
+		return nil, err
+	}
+	pred := e.pred(p.Preds)
+
+	out := &compiled{aggs: make([]aggState, len(e.q.Aggregates))}
+	dropRight := p.Op.LeftOnly()
+	for i := range out.aggs {
+		switch {
+		case l.aggs[i].partial != nil:
+			out.aggs[i] = l.aggs[i]
+		case !dropRight && r.aggs[i].partial != nil:
+			out.aggs[i] = r.aggs[i]
+		}
+	}
+	out.weights = append(out.weights, l.weights...)
+	if !dropRight {
+		out.weights = append(out.weights, r.weights...)
+	}
+
+	switch p.Op {
+	case query.KindJoin:
+		out.rel = algebra.Join(l.rel, r.rel, pred)
+	case query.KindSemiJoin:
+		out.rel = algebra.SemiJoin(l.rel, r.rel, pred)
+	case query.KindAntiJoin:
+		out.rel = algebra.AntiJoin(l.rel, r.rel, pred)
+	case query.KindLeftOuter:
+		out.rel = algebra.LeftOuter(l.rel, r.rel, pred, sideDefaults(r))
+	case query.KindFullOuter:
+		out.rel = algebra.FullOuter(l.rel, r.rel, pred, sideDefaults(l), sideDefaults(r))
+	case query.KindGroupJoin:
+		if len(r.weights) != 0 {
+			return nil, fmt.Errorf("engine: groupjoin over a pre-aggregated right side is not supported")
+		}
+		// Locate the groupjoin's own vector on the original tree node.
+		gj := findGroupJoin(e.q.Root, p.Rels)
+		if gj == nil {
+			return nil, fmt.Errorf("engine: groupjoin node not found in the query tree")
+		}
+		out.rel = algebra.GroupJoin(l.rel, r.rel, pred, gj.GroupJoinAggs)
+	default:
+		return nil, fmt.Errorf("engine: unsupported operator %v", p.Op)
+	}
+	return out, nil
+}
+
+// findGroupJoin locates the original groupjoin node covering exactly the
+// relations the plan node covers (the conflict detector keeps groupjoin
+// operands fixed, so the match is unique).
+func findGroupJoin(n *query.OpNode, rels bitset.Set64) *query.OpNode {
+	if n == nil || n.Kind == query.KindScan {
+		return nil
+	}
+	if n.Kind == query.KindGroupJoin && n.Rels() == rels {
+		return n
+	}
+	if g := findGroupJoin(n.Left, rels); g != nil {
+		return g
+	}
+	return findGroupJoin(n.Right, rels)
+}

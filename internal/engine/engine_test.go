@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/query"
+	"eagg/internal/randquery"
+)
+
+// TestOptimizedPlansMatchCanonical is the end-to-end correctness gate:
+// every plan any algorithm produces for a random query must compute
+// exactly the canonical result on random data (including NULLs, outer
+// joins, semijoins, and multi-level eager aggregation).
+func TestOptimizedPlansMatchCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240612))
+	algs := []struct {
+		alg core.Algorithm
+		f   float64
+	}{
+		{core.AlgDPhyp, 0},
+		{core.AlgEAAll, 0},
+		{core.AlgEAPrune, 0},
+		{core.AlgH1, 0},
+		{core.AlgH2, 1.03},
+		{core.AlgBeam, 0},
+	}
+	for n := 2; n <= 6; n++ {
+		for trial := 0; trial < 15; trial++ {
+			q := randquery.Generate(rng, randquery.Params{Relations: n})
+			data := RandomData(rng, q, 6)
+			want, err := Canonical(q, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			attrs := OutputAttrs(q)
+			for _, a := range algs {
+				res, err := core.Optimize(q, core.Options{Algorithm: a.alg, F: a.f})
+				if err != nil {
+					t.Fatalf("n=%d trial=%d %v: %v", n, trial, a.alg, err)
+				}
+				got, err := Exec(q, res.Plan, data)
+				if err != nil {
+					t.Fatalf("n=%d trial=%d %v: exec: %v\nplan:\n%v", n, trial, a.alg, err, res.Plan.StringWithQuery(q))
+				}
+				if !algebra.EqualBags(want, got, attrs) {
+					t.Fatalf("n=%d trial=%d: %v plan computes a different result\nplan:\n%v\nwant:\n%v\ngot:\n%v",
+						n, trial, a.alg, res.Plan.StringWithQuery(q), want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestAvgThroughEagerAggregation: avg requires the sum/countNN
+// decomposition; exercise it explicitly on a two-relation query where the
+// optimizer pushes a grouping.
+func TestAvgThroughEagerAggregation(t *testing.T) {
+	q := query.New()
+	r0 := q.AddRelation("fact", 1000)
+	r1 := q.AddRelation("dim", 10)
+	fk := q.AddAttr(r0, "fact.fk", 10)
+	g := q.AddAttr(r0, "fact.g", 2)
+	q.AddAttr(r0, "fact.a", 500)
+	pk := q.AddAttr(r1, "dim.pk", 10)
+	q.AddKey(r1, pk)
+	q.Root = &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: r0},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
+		Pred:  &query.Predicate{Left: []int{fk}, Right: []int{pk}, Selectivity: 0.1},
+	}
+	q.SetGrouping([]int{g}, aggfn.Vector{
+		{Out: "m", Kind: aggfn.Avg, Arg: "fact.a"},
+		{Out: "c", Kind: aggfn.CountStar},
+	})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		data := RandomData(rng, q, 8)
+		want, err := Canonical(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Exec(q, res.Plan, data)
+		if err != nil {
+			t.Fatalf("exec: %v\n%v", err, res.Plan.StringWithQuery(q))
+		}
+		if !algebra.EqualBags(want, got, OutputAttrs(q)) {
+			t.Fatalf("trial %d: avg mismatch\nplan:\n%v\nwant:\n%v\ngot:\n%v",
+				trial, res.Plan.StringWithQuery(q), want, got)
+		}
+	}
+}
+
+// TestEagerPlanIsActuallyExecuted guards against the engine silently
+// falling back to canonical evaluation: the optimized plan for the skewed
+// fact/dim query must contain a grouping and still match.
+func TestEagerPlanIsActuallyExecuted(t *testing.T) {
+	q := query.New()
+	r0 := q.AddRelation("fact", 100000)
+	r1 := q.AddRelation("dim", 10)
+	fk := q.AddAttr(r0, "fact.fk", 10)
+	g := q.AddAttr(r0, "fact.g", 2)
+	q.AddAttr(r0, "fact.a", 50000)
+	pk := q.AddAttr(r1, "dim.pk", 10)
+	q.AddKey(r1, pk)
+	q.Root = &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: r0},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
+		Pred:  &query.Predicate{Left: []int{fk}, Right: []int{pk}, Selectivity: 0.1},
+	}
+	q.SetGrouping([]int{g}, aggfn.Vector{
+		{Out: "c", Kind: aggfn.CountStar},
+		{Out: "s", Kind: aggfn.Sum, Arg: "fact.a"},
+	})
+	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.CountGroupings() == 0 {
+		t.Fatalf("expected an eager grouping in:\n%v", res.Plan.StringWithQuery(q))
+	}
+	rng := rand.New(rand.NewSource(77))
+	data := RandomData(rng, q, 10)
+	want, _ := Canonical(q, data)
+	got, err := Exec(q, res.Plan, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !algebra.EqualBags(want, got, OutputAttrs(q)) {
+		t.Fatalf("eager plan result mismatch\nwant:\n%v\ngot:\n%v", want, got)
+	}
+}
+
+func TestCanonicalErrors(t *testing.T) {
+	q := query.New()
+	q.AddRelation("r", 10)
+	if _, err := Canonical(q, Data{}); err == nil {
+		t.Error("Canonical without an operator tree must error")
+	}
+	// Missing relation data must surface as an error, not a panic.
+	q2 := query.New()
+	r0 := q2.AddRelation("a", 10)
+	r1 := q2.AddRelation("b", 10)
+	x := q2.AddAttr(r0, "x", 3)
+	y := q2.AddAttr(r1, "y", 3)
+	q2.Root = &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: r0},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
+		Pred:  &query.Predicate{Left: []int{x}, Right: []int{y}, Selectivity: 0.5},
+	}
+	if _, err := Canonical(q2, Data{}); err == nil {
+		t.Error("Canonical with missing data must error")
+	}
+}
+
+// TestLargerQueriesEndToEnd extends the execution check to seven-relation
+// queries with the heuristic and beam generators (EA-All excluded — its
+// table explodes). Skipped with -short.
+func TestLargerQueriesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger end-to-end battery")
+	}
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 8; trial++ {
+		q := randquery.Generate(rng, randquery.Params{Relations: 7})
+		data := RandomData(rng, q, 5)
+		want, err := Canonical(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []core.Options{
+			{Algorithm: core.AlgEAPrune},
+			{Algorithm: core.AlgH1},
+			{Algorithm: core.AlgH2, F: 1.03},
+			{Algorithm: core.AlgBeam, BeamWidth: 8},
+		} {
+			res, err := core.Optimize(q, cfg)
+			if err != nil {
+				t.Fatalf("%v: %v", cfg.Algorithm, err)
+			}
+			got, err := Exec(q, res.Plan, data)
+			if err != nil {
+				t.Fatalf("%v exec: %v\n%v", cfg.Algorithm, err, res.Plan.StringWithQuery(q))
+			}
+			if !algebra.EqualBags(want, got, OutputAttrs(q)) {
+				t.Fatalf("trial %d %v: result mismatch\nplan:\n%v", trial, cfg.Algorithm, res.Plan.StringWithQuery(q))
+			}
+		}
+	}
+}

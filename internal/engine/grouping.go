@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/bitset"
+	"eagg/internal/plan"
+)
+
+// product materializes the product of the given weight attributes as a
+// fresh column and returns its name ("" when there are none, the attribute
+// itself when there is exactly one).
+func (e *executor) product(rel *algebra.Rel, attrs []string) (string, *algebra.Rel) {
+	switch len(attrs) {
+	case 0:
+		return "", rel
+	case 1:
+		return attrs[0], rel
+	}
+	name := e.fresh("prod")
+	cols := append([]string(nil), attrs...)
+	rel = algebra.Map(rel, map[string]func(algebra.Tuple) algebra.Value{
+		name: func(t algebra.Tuple) algebra.Value {
+			v := algebra.Int(1)
+			for _, a := range cols {
+				v = algebra.Mul(v, t.Get(a))
+			}
+			return v
+		},
+	})
+	return name, rel
+}
+
+func weightAttrs(ws []weight, excludeCover bitset.Set64) []string {
+	var out []string
+	for _, w := range ws {
+		if !w.cover.Intersects(excludeCover) {
+			out = append(out, w.attr)
+		}
+	}
+	return out
+}
+
+// group executes a pushed-down grouping node: collapse the subtree to one
+// row per G⁺ value, computing a fresh weight and partial aggregate states.
+func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
+	s := p.Rels
+	gNames := e.attrNames(p.GroupBy)
+	rel := child.rel
+	out := &compiled{aggs: make([]aggState, len(e.q.Aggregates))}
+
+	// Fresh weight: the number of original tuple combinations each
+	// grouped row stands for — Σ over the group of the product of the
+	// existing weights (count(*) when none exist yet).
+	wAll, rel2 := e.product(rel, weightAttrs(child.weights, bitset.Empty64))
+	rel = rel2
+	wNew := e.fresh("w")
+	inner := aggfn.Vector{}
+	if wAll == "" {
+		inner = append(inner, aggfn.Agg{Out: wNew, Kind: aggfn.CountStar})
+	} else {
+		inner = append(inner, aggfn.Agg{Out: wNew, Kind: aggfn.Sum, Arg: wAll})
+	}
+
+	srcs := e.q.AggSourceRels()
+	for i, agg := range e.q.Aggregates {
+		st := child.aggs[i]
+		switch {
+		case st.partial != nil:
+			// Re-aggregate the partial, weighted by the multiplicities
+			// of the other collapsed sides (the ⊗ adjustment).
+			wOther, rel3 := e.product(rel, weightAttrs(child.weights, st.cover))
+			rel = rel3
+			ns, err := e.reaggregate(agg.Kind, st, wOther, &inner, s)
+			if err != nil {
+				return nil, err
+			}
+			out.aggs[i] = ns
+		case srcs[i].IsEmpty():
+			// count(*): fully tracked by the weights.
+		case !srcs[i].Intersects(s):
+			// Raw and entirely outside this subtree: untouched.
+		case !srcs[i].SubsetOf(s):
+			return nil, fmt.Errorf("engine: aggregate %d spans the grouped subtree boundary — invalid plan", i)
+		default:
+			// First collapse: raw → partial, weighted by all existing
+			// multiplicities.
+			ns, err := e.collapse(agg, wAll, &inner, s)
+			if err != nil {
+				return nil, err
+			}
+			out.aggs[i] = ns
+		}
+	}
+
+	out.rel = algebra.Group(rel, gNames, inner)
+	out.weights = []weight{{attr: wNew, cover: s}}
+	return out, nil
+}
+
+// collapse turns a raw aggregate into a partial state, appending the
+// needed inner aggregates.
+func (e *executor) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
+	switch agg.Kind {
+	case aggfn.Sum:
+		p := e.fresh("p")
+		if w == "" {
+			*inner = append(*inner, aggfn.Agg{Out: p, Kind: aggfn.Sum, Arg: agg.Arg})
+		} else {
+			*inner = append(*inner, aggfn.Agg{Out: p, Kind: aggfn.SumTimes, Arg: agg.Arg, Arg2: w})
+		}
+		return aggState{partial: []string{p}, defaults: []aggfn.Default{aggfn.DefaultNull}, cover: cover}, nil
+	case aggfn.Count:
+		p := e.fresh("p")
+		if w == "" {
+			*inner = append(*inner, aggfn.Agg{Out: p, Kind: aggfn.Count, Arg: agg.Arg})
+		} else {
+			*inner = append(*inner, aggfn.Agg{Out: p, Kind: aggfn.SumIfNotNull, Arg: agg.Arg, Arg2: w})
+		}
+		return aggState{partial: []string{p}, defaults: []aggfn.Default{aggfn.DefaultZero}, cover: cover}, nil
+	case aggfn.Min, aggfn.Max:
+		p := e.fresh("p")
+		*inner = append(*inner, aggfn.Agg{Out: p, Kind: agg.Kind, Arg: agg.Arg})
+		return aggState{partial: []string{p}, defaults: []aggfn.Default{aggfn.DefaultNull}, cover: cover}, nil
+	case aggfn.Avg:
+		ps, pn := e.fresh("ps"), e.fresh("pn")
+		if w == "" {
+			*inner = append(*inner,
+				aggfn.Agg{Out: ps, Kind: aggfn.Sum, Arg: agg.Arg},
+				aggfn.Agg{Out: pn, Kind: aggfn.Count, Arg: agg.Arg})
+		} else {
+			*inner = append(*inner,
+				aggfn.Agg{Out: ps, Kind: aggfn.SumTimes, Arg: agg.Arg, Arg2: w},
+				aggfn.Agg{Out: pn, Kind: aggfn.SumIfNotNull, Arg: agg.Arg, Arg2: w})
+		}
+		return aggState{
+			partial:  []string{ps, pn},
+			defaults: []aggfn.Default{aggfn.DefaultNull, aggfn.DefaultZero},
+			cover:    cover,
+		}, nil
+	}
+	return aggState{}, fmt.Errorf("engine: aggregate kind %v cannot be pushed (not decomposable)", agg.Kind)
+}
+
+// reaggregate merges an existing partial at a higher grouping.
+func (e *executor) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
+	sumLike := func(src string, def aggfn.Default) (string, aggfn.Default) {
+		p := e.fresh("p")
+		if wOther == "" {
+			*inner = append(*inner, aggfn.Agg{Out: p, Kind: aggfn.Sum, Arg: src})
+		} else {
+			*inner = append(*inner, aggfn.Agg{Out: p, Kind: aggfn.SumTimes, Arg: src, Arg2: wOther})
+		}
+		return p, def
+	}
+	switch kind {
+	case aggfn.Sum, aggfn.Count:
+		p, d := sumLike(st.partial[0], st.defaults[0])
+		return aggState{partial: []string{p}, defaults: []aggfn.Default{d}, cover: cover}, nil
+	case aggfn.Min, aggfn.Max:
+		p := e.fresh("p")
+		*inner = append(*inner, aggfn.Agg{Out: p, Kind: kind, Arg: st.partial[0]})
+		return aggState{partial: []string{p}, defaults: []aggfn.Default{aggfn.DefaultNull}, cover: cover}, nil
+	case aggfn.Avg:
+		ps, _ := sumLike(st.partial[0], aggfn.DefaultNull)
+		pn, _ := sumLike(st.partial[1], aggfn.DefaultZero)
+		return aggState{
+			partial:  []string{ps, pn},
+			defaults: []aggfn.Default{aggfn.DefaultNull, aggfn.DefaultZero},
+			cover:    cover,
+		}, nil
+	}
+	return aggState{}, fmt.Errorf("engine: cannot re-aggregate partial of kind %v", kind)
+}
+
+// finalGroup evaluates the query's final grouping (or its projection
+// replacement — results are identical when G holds a key of a
+// duplicate-free input, which is exactly when the optimizer chooses the
+// projection).
+func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64, viaProjection bool) (*compiled, error) {
+	_ = viaProjection
+	rel := child.rel
+	final := aggfn.Vector{}
+	srcs := e.q.AggSourceRels()
+	for i, agg := range e.q.Aggregates {
+		st := child.aggs[i]
+		if st.partial != nil {
+			wOther, rel2 := e.product(rel, weightAttrs(child.weights, st.cover))
+			rel = rel2
+			fa, err := finalOfPartial(agg, st, wOther)
+			if err != nil {
+				return nil, err
+			}
+			final = append(final, fa)
+			continue
+		}
+		// Raw aggregate (or count(*)): weight by every collapsed side.
+		wAll, rel2 := e.product(rel, weightAttrs(child.weights, srcs[i]))
+		rel = rel2
+		fa, err := finalOfRaw(agg, wAll)
+		if err != nil {
+			return nil, err
+		}
+		final = append(final, fa)
+	}
+	gNames := e.attrNames(groupBy)
+	res := algebra.Group(rel, gNames, final)
+	return &compiled{rel: res, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+}
+
+func finalOfPartial(agg aggfn.Agg, st aggState, w string) (aggfn.Agg, error) {
+	switch agg.Kind {
+	case aggfn.Sum, aggfn.Count, aggfn.CountStar:
+		if w == "" {
+			return aggfn.Agg{Out: agg.Out, Kind: aggfn.Sum, Arg: st.partial[0]}, nil
+		}
+		return aggfn.Agg{Out: agg.Out, Kind: aggfn.SumTimes, Arg: st.partial[0], Arg2: w}, nil
+	case aggfn.Min, aggfn.Max:
+		return aggfn.Agg{Out: agg.Out, Kind: agg.Kind, Arg: st.partial[0]}, nil
+	case aggfn.Avg:
+		return aggfn.Agg{Out: agg.Out, Kind: aggfn.AvgMerge, Arg: st.partial[0], Arg2: st.partial[1], Weight: w}, nil
+	}
+	return aggfn.Agg{}, fmt.Errorf("engine: no final form for partial %v", agg.Kind)
+}
+
+func finalOfRaw(agg aggfn.Agg, w string) (aggfn.Agg, error) {
+	if w == "" {
+		return agg, nil
+	}
+	switch agg.Kind {
+	case aggfn.CountStar:
+		return aggfn.Agg{Out: agg.Out, Kind: aggfn.Sum, Arg: w}, nil
+	case aggfn.Sum:
+		return aggfn.Agg{Out: agg.Out, Kind: aggfn.SumTimes, Arg: agg.Arg, Arg2: w}, nil
+	case aggfn.Count:
+		return aggfn.Agg{Out: agg.Out, Kind: aggfn.SumIfNotNull, Arg: agg.Arg, Arg2: w}, nil
+	case aggfn.Avg:
+		return aggfn.Agg{Out: agg.Out, Kind: aggfn.AvgWeighted, Arg: agg.Arg, Arg2: w}, nil
+	case aggfn.Min, aggfn.Max, aggfn.SumDistinct, aggfn.CountDistinct, aggfn.AvgDistinct:
+		return agg, nil // duplicate agnostic
+	}
+	return aggfn.Agg{}, fmt.Errorf("engine: no weighted final form for %v", agg.Kind)
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// groupJoinQuery builds a query whose tree contains a groupjoin:
+// Γ_{g}( (fact Z_{fk=dk; z:sum(dv)} detail) B_{fk2=pk} dim ) with
+// aggregates over fact attributes. The groupjoin acts as a reordering
+// barrier; groupings may still be pushed around it on the left side.
+func groupJoinQuery() *query.Query {
+	q := query.New()
+	fact := q.AddRelation("fact", 50_000)
+	detail := q.AddRelation("detail", 200_000)
+	dim := q.AddRelation("dim", 50)
+	fk := q.AddAttr(fact, "fact.fk", 5_000)
+	g := q.AddAttr(fact, "fact.g", 8)
+	q.AddAttr(fact, "fact.v", 10_000)
+	fk2 := q.AddAttr(fact, "fact.fk2", 50)
+	dk := q.AddAttr(detail, "detail.dk", 5_000)
+	q.AddAttr(detail, "detail.dv", 100_000)
+	pk := q.AddAttr(dim, "dim.pk", 50)
+	q.AddKey(dim, pk)
+
+	gj := &query.OpNode{
+		Kind:  query.KindGroupJoin,
+		Left:  &query.OpNode{Kind: query.KindScan, Rel: fact},
+		Right: &query.OpNode{Kind: query.KindScan, Rel: detail},
+		Pred:  &query.Predicate{Left: []int{fk}, Right: []int{dk}, Selectivity: 1.0 / 5_000},
+		GroupJoinAggs: aggfn.Vector{
+			{Out: "z", Kind: aggfn.Sum, Arg: "detail.dv"},
+			{Out: "zn", Kind: aggfn.CountStar},
+		},
+	}
+	q.Root = &query.OpNode{
+		Kind:  query.KindJoin,
+		Left:  gj,
+		Right: &query.OpNode{Kind: query.KindScan, Rel: dim},
+		Pred:  &query.Predicate{Left: []int{fk2}, Right: []int{pk}, Selectivity: 1.0 / 50},
+	}
+	q.SetGrouping([]int{g}, aggfn.Vector{
+		{Out: "cnt", Kind: aggfn.CountStar},
+		{Out: "s", Kind: aggfn.Sum, Arg: "fact.v"},
+	})
+	return q
+}
+
+// TestGroupJoinQueryEndToEnd optimizes and executes a groupjoin query with
+// every algorithm, checking results against the canonical evaluation.
+func TestGroupJoinQueryEndToEnd(t *testing.T) {
+	q := groupJoinQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		data := RandomData(rng, q, 8)
+		want, err := Canonical(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []core.Algorithm{core.AlgDPhyp, core.AlgEAPrune, core.AlgH1} {
+			res, err := core.Optimize(q, core.Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			got, err := Exec(q, res.Plan, data)
+			if err != nil {
+				t.Fatalf("%v exec: %v\n%v", alg, err, res.Plan.StringWithQuery(q))
+			}
+			if !algebra.EqualBags(want, got, OutputAttrs(q)) {
+				t.Fatalf("trial %d %v: groupjoin plan result differs\nplan:\n%v\nwant:\n%v\ngot:\n%v",
+					trial, alg, res.Plan.StringWithQuery(q), want, got)
+			}
+		}
+	}
+}
+
+// TestGroupJoinKeepsOperandsFixed: the conflict detector treats the
+// groupjoin conservatively, so its right operand stays exactly the
+// original right subtree in every produced plan.
+func TestGroupJoinKeepsOperandsFixed(t *testing.T) {
+	q := groupJoinQuery()
+	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gj *plan.Plan
+	var walk func(p *plan.Plan)
+	walk = func(p *plan.Plan) {
+		if p == nil {
+			return
+		}
+		if p.Kind == plan.NodeOp && p.Op == query.KindGroupJoin {
+			gj = p
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(res.Plan)
+	if gj == nil {
+		t.Fatalf("optimized plan lost the groupjoin:\n%v", res.Plan.StringWithQuery(q))
+	}
+	if !gj.Right.Rels.IsSingleton() || gj.Right.Rels.Min() != 1 {
+		t.Errorf("groupjoin right operand moved: %v", gj.Right.Rels)
+	}
+}

@@ -1,0 +1,163 @@
+package eqv
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+)
+
+// This file verifies the Appendix A variants beyond Fig. 3: the left
+// outerjoin with user-provided defaults (Sec. A.3, Eqvs. 65-73 in spirit)
+// and the top-grouping eliminations over join results (Sec. A.2.6).
+
+// TestLeftOuterWithDefaultPush verifies the A.3 family: pushing a grouping
+// below e1 E^D e2 behaves exactly like the default-free case on the left
+// side (Eqv. 65), because the user defaults D only affect the padded right
+// side.
+func TestLeftOuterWithDefaultPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := algebra.Defaults{"a2": algebra.Int(-7)}
+	f := aggfn.Vector{
+		{Out: "k", Kind: aggfn.CountStar},
+		{Out: "s1", Kind: aggfn.Sum, Arg: "a1"},
+		{Out: "s2", Kind: aggfn.Sum, Arg: "a2"},
+	}
+	for trial := 0; trial < 250; trial++ {
+		in := randInstance(rng)
+		in.G = []string{"g1", "g2"}
+		in.F = f
+
+		// LHS: Γ_G;F(e1 E^D e2).
+		joined := algebra.LeftOuter(in.E1, in.E2, in.Pred(), d)
+		lhs := algebra.Group(joined, in.G, in.F)
+
+		// RHS (Eqv. 65 shape): Γ_{G;(F2⊗c1)◦F²1}(Γ_{G1+;F¹1◦c1}(e1) E^D e2).
+		f1 := aggfn.Vector{f[0], f[1]}
+		f2 := aggfn.Vector{f[2]}
+		dec, err := f1.Decompose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner := dec.Inner.Concat(aggfn.Vector{{Out: "c1", Kind: aggfn.CountStar}})
+		grouped := algebra.Group(in.E1, in.GPlus1(), inner)
+		joinedR := algebra.LeftOuter(grouped, in.E2, in.Pred(), d)
+		adj, err := f2.Adjust("c1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs := algebra.Group(joinedR, in.G, dec.Outer.Concat(adj))
+
+		if !algebra.EqualBags(lhs, rhs, in.OutAttrs()) {
+			t.Fatalf("trial %d: Eqv 65 mismatch\ne1:\n%v\ne2:\n%v\nLHS:\n%v\nRHS:\n%v",
+				trial, in.E1, in.E2, lhs, rhs)
+		}
+	}
+}
+
+// TestTopGroupingEliminationOverJoin verifies the Sec. A.2.6 shape:
+// when G is a key of the (duplicate-free) join result, the final grouping
+// over e1 E e2 can be replaced by the map/projection of Eqv. 42.
+func TestTopGroupingEliminationOverJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 200; trial++ {
+		// e1 with unique key k1 (duplicate-free construction).
+		n1 := 1 + rng.Intn(5)
+		e1 := &algebra.Rel{Attrs: []string{"k1", "j1", "a1"}}
+		for i := 0; i < n1; i++ {
+			e1.Tuples = append(e1.Tuples, algebra.Tuple{
+				"k1": algebra.Int(int64(i)),
+				"j1": algebra.Int(int64(rng.Intn(3))),
+				"a1": algebra.Int(int64(rng.Intn(4))),
+			})
+		}
+		// e2 with unique join attribute so the left outerjoin preserves
+		// e1's key.
+		n2 := 1 + rng.Intn(3)
+		e2 := &algebra.Rel{Attrs: []string{"j2", "a2"}}
+		for i := 0; i < n2; i++ {
+			e2.Tuples = append(e2.Tuples, algebra.Tuple{
+				"j2": algebra.Int(int64(i)),
+				"a2": algebra.Int(int64(rng.Intn(4))),
+			})
+		}
+		f := aggfn.Vector{
+			{Out: "c", Kind: aggfn.CountStar},
+			{Out: "s", Kind: aggfn.Sum, Arg: "a2"},
+			{Out: "m", Kind: aggfn.Min, Arg: "a1"},
+		}
+		g := []string{"k1"}
+		joined := algebra.LeftOuter(e1, e2, algebra.EqAttr("j1", "j2"), nil)
+
+		lhs := algebra.Group(joined, g, f)
+		// Eqv. 42 RHS: Π_C(χ_F̂(e)) — per-tuple aggregate evaluation.
+		rhs := algebra.Project(algebra.MapAggs(joined, f), append([]string{"k1"}, f.Outs()...))
+
+		if !algebra.EqualBags(lhs, rhs, append([]string{"k1"}, f.Outs()...)) {
+			t.Fatalf("trial %d: top-grouping elimination mismatch\nLHS:\n%v\nRHS:\n%v",
+				trial, lhs, rhs)
+		}
+	}
+}
+
+// TestGroupJoinPushWithThetaLe exercises the θ-groupjoin push (Eqv. 101
+// family) with a non-equality comparison, using a band-style θ = '≤'.
+func TestGroupJoinPushWithThetaLe(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	r, err := RuleByNum(39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		in := randInstance(rng)
+		in.Theta = algebra.CmpLe
+		in.FBar = aggfn.Vector{
+			{Out: "z", Kind: aggfn.Sum, Arg: "a2"},
+			{Out: "zn", Kind: aggfn.Count, Arg: "a2"},
+		}
+		in.G = []string{"g1"}
+		in.F = aggfn.Vector{
+			{Out: "k", Kind: aggfn.CountStar},
+			{Out: "s1", Kind: aggfn.Sum, Arg: "a1"},
+			{Out: "sz", Kind: aggfn.Sum, Arg: "z"},
+			{Out: "mz", Kind: aggfn.Min, Arg: "zn"},
+		}
+		equal, lhs, rhs, err := r.Check(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal {
+			t.Fatalf("trial %d: θ-groupjoin push mismatch\nLHS:\n%v\nRHS:\n%v", trial, lhs, rhs)
+		}
+	}
+}
+
+// TestEqv34WithAvgBothSides stresses the Split equivalence with avg on
+// both sides (sum/countNN decompositions and weighted AvgMerge recombine).
+func TestEqv34WithAvgBothSides(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, num := range []int{34, 35, 36} {
+		r, err := RuleByNum(num)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			in := randInstance(rng)
+			in.G = []string{"g1", "g2"}
+			in.F = aggfn.Vector{
+				{Out: "v1", Kind: aggfn.Avg, Arg: "a1"},
+				{Out: "v2", Kind: aggfn.Avg, Arg: "a2"},
+				{Out: "k", Kind: aggfn.CountStar},
+			}
+			equal, lhs, rhs, err := r.Check(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equal {
+				t.Fatalf("Eqv %d trial %d: avg split mismatch\ne1:\n%v\ne2:\n%v\nLHS:\n%v\nRHS:\n%v",
+					num, trial, in.E1, in.E2, lhs, rhs)
+			}
+		}
+	}
+}

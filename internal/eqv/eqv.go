@@ -1,0 +1,402 @@
+// Package eqv is the executable form of the paper's equivalences (Fig. 3
+// and Appendix A). Every equivalence Γ_G;F(e1 ◦ e2) ≡ … is available as a
+// function that constructs the right-hand side with the algebra runtime, so
+// the test suite can verify each equivalence by evaluating both sides on
+// concrete relations.
+//
+// The equivalences share one generic shape, "eager aggregation with mode m
+// per side", where a side is either left untouched, grouped with a count
+// (Eager Count), grouped with decomposed aggregates (Eager Group-by), or
+// both (Eager Groupby-Count / Split). The numbered constructors below
+// instantiate this shape exactly as printed in the paper.
+package eqv
+
+import (
+	"errors"
+	"fmt"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+)
+
+// Op selects the binary operator under the grouping.
+type Op int
+
+const (
+	// OpJoin is the inner join B.
+	OpJoin Op = iota
+	// OpLeftOuter is the left outerjoin E.
+	OpLeftOuter
+	// OpFullOuter is the full outerjoin K.
+	OpFullOuter
+	// OpSemiJoin is the left semijoin N.
+	OpSemiJoin
+	// OpAntiJoin is the left antijoin T.
+	OpAntiJoin
+	// OpGroupJoin is the left groupjoin Z.
+	OpGroupJoin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpLeftOuter:
+		return "leftouter"
+	case OpFullOuter:
+		return "fullouter"
+	case OpSemiJoin:
+		return "semijoin"
+	case OpAntiJoin:
+		return "antijoin"
+	case OpGroupJoin:
+		return "groupjoin"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Mode describes what is pushed into one side of the operator.
+type Mode int
+
+const (
+	// ModeNone leaves the side untouched.
+	ModeNone Mode = iota
+	// ModeCount pushes only c:count(*) (Eager/Lazy Count).
+	ModeCount
+	// ModeAggs pushes the decomposed aggregates F¹ᵢ without a count
+	// (Eager/Lazy Group-by); requires the other side's vector to be empty.
+	ModeAggs
+	// ModeAggsCount pushes F¹ᵢ ◦ (c:count(*)) (Eager/Lazy Groupby-Count
+	// and Split).
+	ModeAggsCount
+)
+
+// Instance bundles everything an equivalence mentions: the two inputs, the
+// equi-join attribute lists J1/J2, the grouping attributes G, the
+// aggregation vector F, and — for the groupjoin — its comparison θ and its
+// own aggregation vector F̄.
+type Instance struct {
+	E1, E2 *algebra.Rel
+	J1, J2 []string
+	G      []string
+	F      aggfn.Vector
+
+	Theta algebra.Cmp  // groupjoin comparison (default '=')
+	FBar  aggfn.Vector // the groupjoin's aggregation vector F̄
+}
+
+// countAttr1 and countAttr2 are the names of the introduced count
+// attributes c1 and c2. Input relations must not use them.
+const (
+	countAttr1 = "c1"
+	countAttr2 = "c2"
+)
+
+// Pred returns the equi-join predicate q: ⋀ J1[i] = J2[i].
+func (in *Instance) Pred() algebra.Pred {
+	ps := make([]algebra.Pred, len(in.J1))
+	for i := range in.J1 {
+		ps[i] = algebra.EqAttr(in.J1[i], in.J2[i])
+	}
+	return algebra.AndPred(ps...)
+}
+
+// side1Has reports whether attr belongs to side 1 (always A(e1)).
+func (in *Instance) side1Has(attr string) bool { return in.E1.HasAttr(attr) }
+
+// side2Has reports whether attr belongs to side 2: A(e2), except for the
+// groupjoin where the visible side-2 attributes are the outputs of F̄.
+func (in *Instance) side2Has(op Op) func(string) bool {
+	if op == OpGroupJoin {
+		outs := map[string]bool{}
+		for _, a := range in.FBar {
+			outs[a.Out] = true
+		}
+		return func(attr string) bool { return outs[attr] }
+	}
+	return in.E2.HasAttr
+}
+
+// G1 returns G ∩ A(e1).
+func (in *Instance) G1() []string { return filterAttrs(in.G, in.side1Has) }
+
+// G2 returns G ∩ side2.
+func (in *Instance) G2(op Op) []string { return filterAttrs(in.G, in.side2Has(op)) }
+
+// GPlus1 returns G1 ∪ J1 (the paper's G₁⁺).
+func (in *Instance) GPlus1() []string { return unionAttrs(in.G1(), in.J1) }
+
+// GPlus2 returns G2 ∪ J2 (the paper's G₂⁺).
+func (in *Instance) GPlus2(op Op) []string { return unionAttrs(in.G2(op), in.J2) }
+
+// OutAttrs returns the result schema of the grouped expression:
+// G ∪ A(F).
+func (in *Instance) OutAttrs() []string { return unionAttrs(in.G, in.F.Outs()) }
+
+func filterAttrs(attrs []string, keep func(string) bool) []string {
+	var out []string
+	for _, a := range attrs {
+		if keep(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func unionAttrs(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, x := range b {
+		dup := false
+		for _, y := range out {
+			if x == y {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// apply evaluates e1 ◦ e2 for the operator with optional default vectors.
+func (in *Instance) apply(op Op, e1, e2 *algebra.Rel, d1, d2 algebra.Defaults) *algebra.Rel {
+	switch op {
+	case OpJoin:
+		return algebra.Join(e1, e2, in.Pred())
+	case OpLeftOuter:
+		return algebra.LeftOuter(e1, e2, in.Pred(), d2)
+	case OpFullOuter:
+		return algebra.FullOuter(e1, e2, in.Pred(), d1, d2)
+	case OpSemiJoin:
+		return algebra.SemiJoin(e1, e2, in.Pred())
+	case OpAntiJoin:
+		return algebra.AntiJoin(e1, e2, in.Pred())
+	case OpGroupJoin:
+		return algebra.GroupJoinTheta(e1, e2, in.J1, in.J2, in.Theta, in.FBar)
+	}
+	panic("eqv: unknown op")
+}
+
+// LHS evaluates the left-hand side Γ_G;F(e1 ◦ e2) directly.
+func (in *Instance) LHS(op Op) *algebra.Rel {
+	return algebra.Group(in.apply(op, in.E1, in.E2, nil, nil), in.G, in.F)
+}
+
+// defaultsFor converts the symbolic {⊥}-defaults of an inner vector into an
+// algebra default assignment; withCount adds c:1.
+func defaultsFor(inner aggfn.Vector, countAttr string, withCount bool) algebra.Defaults {
+	d := algebra.Defaults{}
+	for _, a := range inner {
+		switch a.BottomDefault() {
+		case aggfn.DefaultOne:
+			d[a.Out] = algebra.Int(1)
+		case aggfn.DefaultZero:
+			d[a.Out] = algebra.Int(0)
+			// DefaultNull coincides with NULL padding: nothing to add.
+		}
+	}
+	if withCount {
+		d[countAttr] = algebra.Int(1)
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+// Eager constructs the right-hand side of the eager-aggregation
+// equivalences for the given operator and per-side modes. It returns an
+// error when the preconditions (splittability, decomposability, emptiness
+// constraints of the specialized equivalences) do not hold.
+func (in *Instance) Eager(op Op, left, right Mode) (*algebra.Rel, error) {
+	if op == OpSemiJoin || op == OpAntiJoin {
+		return nil, errors.New("eqv: semijoin/antijoin use PushSemiAnti, not Eager")
+	}
+	if right != ModeNone && op == OpGroupJoin {
+		return nil, errors.New("eqv: the groupjoin only admits a left push")
+	}
+	if left == ModeNone && right == ModeNone {
+		return nil, errors.New("eqv: nothing to push")
+	}
+
+	// Split F into F1 ◦ F2. count(*) entries are attribute-free (case S1)
+	// and may live on either side; place them on a side that aggregates.
+	f1, f2, ok := in.split(op, left, right)
+	if !ok {
+		return nil, errors.New("eqv: F is not splittable w.r.t. e1, e2")
+	}
+	// The specialized equivalences require emptiness of the not-pushed
+	// aggregate vector when no count is available to re-weight it.
+	if left != ModeNone && !hasCount(left) && len(f2) > 0 {
+		return nil, errors.New("eqv: pushing without count on the left requires F2 = ()")
+	}
+	if right != ModeNone && !hasCount(right) && len(f1) > 0 {
+		return nil, errors.New("eqv: pushing without count on the right requires F1 = ()")
+	}
+	if left == ModeCount && len(f1) > 0 {
+		return nil, errors.New("eqv: Eager Count on the left requires F1 = ()")
+	}
+	if right == ModeCount && len(f2) > 0 {
+		return nil, errors.New("eqv: Eager Count on the right requires F2 = ()")
+	}
+
+	e1, e2 := in.E1, in.E2
+	var outer1, outer2 aggfn.Vector // F²ᵢ replacements for pushed sides
+	var d1, d2 algebra.Defaults
+
+	// Left side.
+	if left != ModeNone {
+		inner := aggfn.Vector{}
+		if hasAggs(left) {
+			dec, err := f1.Decompose()
+			if err != nil {
+				return nil, fmt.Errorf("eqv: F1 not decomposable: %w", err)
+			}
+			inner = dec.Inner
+			outer1 = dec.Outer
+		} else {
+			outer1 = nil // F1 is empty here by the checks above
+		}
+		if hasCount(left) {
+			inner = inner.Concat(aggfn.Vector{{Out: countAttr1, Kind: aggfn.CountStar}})
+		}
+		if op == OpFullOuter {
+			d1 = defaultsFor(innerAggsOnly(inner, countAttr1), countAttr1, hasCount(left))
+		}
+		e1 = algebra.Group(e1, in.GPlus1(), inner)
+	} else {
+		outer1 = f1
+	}
+
+	// Right side.
+	if right != ModeNone {
+		inner := aggfn.Vector{}
+		if hasAggs(right) {
+			dec, err := f2.Decompose()
+			if err != nil {
+				return nil, fmt.Errorf("eqv: F2 not decomposable: %w", err)
+			}
+			inner = dec.Inner
+			outer2 = dec.Outer
+		} else {
+			outer2 = nil
+		}
+		if hasCount(right) {
+			inner = inner.Concat(aggfn.Vector{{Out: countAttr2, Kind: aggfn.CountStar}})
+		}
+		if op == OpLeftOuter || op == OpFullOuter {
+			d2 = defaultsFor(innerAggsOnly(inner, countAttr2), countAttr2, hasCount(right))
+		}
+		e2 = algebra.Group(e2, in.GPlus2(op), inner)
+	} else {
+		outer2 = f2
+	}
+
+	// Top vector: each side's contribution, ⊗-adjusted by the other
+	// side's count attribute when one was introduced.
+	top := outer1
+	if hasCount(right) {
+		adj, err := outer1.Adjust(countAttr2)
+		if err != nil {
+			return nil, err
+		}
+		top = adj
+	}
+	part2 := outer2
+	if hasCount(left) {
+		adj, err := outer2.Adjust(countAttr1)
+		if err != nil {
+			return nil, err
+		}
+		part2 = adj
+	}
+	top = top.Concat(part2)
+
+	joined := in.apply(op, e1, e2, d1, d2)
+	return algebra.Group(joined, in.G, top), nil
+}
+
+// innerAggsOnly strips the count attribute from an inner vector so the
+// default vector logic sees F¹ᵢ alone (the count's default is handled
+// separately as c:1).
+func innerAggsOnly(inner aggfn.Vector, countAttr string) aggfn.Vector {
+	var out aggfn.Vector
+	for _, a := range inner {
+		if a.Out != countAttr {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func hasCount(m Mode) bool { return m == ModeCount || m == ModeAggsCount }
+func hasAggs(m Mode) bool  { return m == ModeAggs || m == ModeAggsCount }
+
+// split separates F into (F1, F2) by side, routing attribute-free
+// count(*) entries to a side that can absorb them.
+func (in *Instance) split(op Op, left, right Mode) (f1, f2 aggfn.Vector, ok bool) {
+	// Preferred side for count(*): one whose mode aggregates; default left.
+	countStarLeft := true
+	switch {
+	case hasAggs(left):
+		countStarLeft = true
+	case hasAggs(right):
+		countStarLeft = false
+	case left == ModeCount: // F1 must be empty
+		countStarLeft = false
+	}
+	s1, s2 := in.side1Has, in.side2Has(op)
+	for _, a := range in.F {
+		args := a.Args()
+		if len(args) == 0 {
+			if countStarLeft {
+				f1 = append(f1, a)
+			} else {
+				f2 = append(f2, a)
+			}
+			continue
+		}
+		in1, in2 := true, true
+		for _, arg := range args {
+			if !s1(arg) {
+				in1 = false
+			}
+			if !s2(arg) {
+				in2 = false
+			}
+		}
+		switch {
+		case in1 && !in2:
+			f1 = append(f1, a)
+		case in2 && !in1:
+			f2 = append(f2, a)
+		default:
+			return nil, nil, false
+		}
+	}
+	return f1, f2, true
+}
+
+// PushSemiAnti constructs the right-hand side of Eqvs. 37/38:
+// Γ_G;F(e1) ◦ e2 for ◦ ∈ {N, T}, valid when F(q) ∩ A(e1) ⊆ G.
+func (in *Instance) PushSemiAnti(op Op) (*algebra.Rel, error) {
+	if op != OpSemiJoin && op != OpAntiJoin {
+		return nil, errors.New("eqv: PushSemiAnti needs a semijoin or antijoin")
+	}
+	for _, j := range in.J1 {
+		found := false
+		for _, g := range in.G {
+			if g == j {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("eqv: join attribute %s of e1 not in G", j)
+		}
+	}
+	grouped := algebra.Group(in.E1, in.G, in.F)
+	return in.apply(op, grouped, in.E2, nil, nil), nil
+}

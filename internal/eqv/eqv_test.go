@@ -1,0 +1,370 @@
+package eqv
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+)
+
+// fig4Instance is the paper's Fig. 4 example for Eqvs. 10 and 12.
+func fig4Instance() *Instance {
+	e1 := algebra.NewRel([]string{"g1", "j1", "a1"},
+		[]any{1, 1, 2},
+		[]any{1, 2, 4},
+		[]any{1, 2, 8},
+	)
+	e2 := algebra.NewRel([]string{"g2", "j2", "a2"},
+		[]any{1, 1, 2},
+		[]any{1, 1, 4},
+		[]any{1, 2, 8},
+	)
+	return &Instance{
+		E1: e1, E2: e2,
+		J1: []string{"j1"}, J2: []string{"j2"},
+		G: []string{"g1", "g2"},
+		F: aggfn.Vector{
+			{Out: "c", Kind: aggfn.CountStar},
+			{Out: "b1", Kind: aggfn.Sum, Arg: "a1"},
+			{Out: "b2", Kind: aggfn.Sum, Arg: "a2"},
+		},
+	}
+}
+
+// TestFig4Eqv10 replays the paper's Example 1 (Sec. 3.1.1): the final
+// result e7 must equal Γ with c=4, b1=16, b2=22.
+func TestFig4Eqv10(t *testing.T) {
+	in := fig4Instance()
+	r, err := RuleByNum(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := r.RHS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algebra.NewRel([]string{"g1", "g2", "c", "b1", "b2"},
+		[]any{1, 1, 4, 16, 22})
+	if !algebra.EqualBags(rhs, want, want.Attrs) {
+		t.Errorf("Eqv 10 RHS:\n%v\nwant:\n%v", rhs, want)
+	}
+	lhs := in.LHS(OpJoin)
+	if !algebra.EqualBags(lhs, want, want.Attrs) {
+		t.Errorf("Eqv 10 LHS:\n%v\nwant:\n%v", lhs, want)
+	}
+}
+
+// TestFig4Eqv12 runs Example 2 (Sec. 3.1.2) extended with orphan tuples on
+// both sides, exercising the full outerjoin defaults F¹1({⊥}), c1:1.
+func TestFig4Eqv12(t *testing.T) {
+	in := fig4Instance()
+	in.E1.Tuples = append(in.E1.Tuples,
+		algebra.Tuple{"g1": algebra.Int(2), "j1": algebra.Int(5), "a1": algebra.Int(3)})
+	in.E2.Tuples = append(in.E2.Tuples,
+		algebra.Tuple{"g2": algebra.Int(7), "j2": algebra.Int(9), "a2": algebra.Int(5)})
+	r, _ := RuleByNum(12)
+	equal, lhs, rhs, err := r.Check(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal {
+		t.Errorf("Eqv 12 mismatch:\nLHS:\n%v\nRHS:\n%v", lhs, rhs)
+	}
+	// The orphan right tuple must surface as a group with count(*)=1 and
+	// NULL b1 (F¹1({⊥}) semantics).
+	found := false
+	for _, tu := range rhs.Tuples {
+		if tu.Get("g2").Kind == algebra.KindInt && tu.Get("g2").I == 7 {
+			found = true
+			if tu.Get("c").I != 1 || !tu.Get("b1").IsNull() || tu.Get("b2").I != 5 {
+				t.Errorf("orphan group wrong: %v", tu)
+			}
+		}
+	}
+	if !found {
+		t.Error("right orphan group missing")
+	}
+}
+
+// randInstance generates a random instance. The aggregation vector and
+// grouping attributes are chosen per rule by the caller.
+func randRel(rng *rand.Rand, attrs []string, nullable map[string]float64) *algebra.Rel {
+	n := rng.Intn(6)
+	r := &algebra.Rel{Attrs: attrs}
+	for i := 0; i < n; i++ {
+		tu := algebra.Tuple{}
+		for _, a := range attrs {
+			if p, ok := nullable[a]; ok && rng.Float64() < p {
+				tu[a] = algebra.Null
+				continue
+			}
+			tu[a] = algebra.Int(int64(rng.Intn(3)))
+		}
+		r.Tuples = append(r.Tuples, tu)
+	}
+	return r
+}
+
+func randInstance(rng *rand.Rand) *Instance {
+	null := map[string]float64{"a1": 0.2, "a2": 0.2, "j1": 0.1, "j2": 0.1}
+	return &Instance{
+		E1: randRel(rng, []string{"g1", "j1", "a1"}, null),
+		E2: randRel(rng, []string{"g2", "j2", "a2"}, null),
+		J1: []string{"j1"}, J2: []string{"j2"},
+	}
+}
+
+// Aggregation vectors compatible with the rules' side constraints.
+func vecBoth() aggfn.Vector {
+	return aggfn.Vector{
+		{Out: "k", Kind: aggfn.CountStar},
+		{Out: "s1", Kind: aggfn.Sum, Arg: "a1"},
+		{Out: "n1", Kind: aggfn.Count, Arg: "a1"},
+		{Out: "s2", Kind: aggfn.Sum, Arg: "a2"},
+		{Out: "v2", Kind: aggfn.Avg, Arg: "a2"},
+		{Out: "m2", Kind: aggfn.Max, Arg: "a2"},
+	}
+}
+
+func vecLeftOnly() aggfn.Vector {
+	return aggfn.Vector{
+		{Out: "k", Kind: aggfn.CountStar},
+		{Out: "s1", Kind: aggfn.Sum, Arg: "a1"},
+		{Out: "n1", Kind: aggfn.Count, Arg: "a1"},
+		{Out: "v1", Kind: aggfn.Avg, Arg: "a1"},
+		{Out: "m1", Kind: aggfn.Min, Arg: "a1"},
+	}
+}
+
+func vecRightOnly() aggfn.Vector {
+	return aggfn.Vector{
+		{Out: "k", Kind: aggfn.CountStar},
+		{Out: "s2", Kind: aggfn.Sum, Arg: "a2"},
+		{Out: "n2", Kind: aggfn.Count, Arg: "a2"},
+		{Out: "v2", Kind: aggfn.Avg, Arg: "a2"},
+		{Out: "m2", Kind: aggfn.Max, Arg: "a2"},
+	}
+}
+
+// configureForRule sets G and F so the rule's preconditions hold.
+func configureForRule(in *Instance, r Rule, rng *rand.Rand) {
+	switch {
+	case r.Op == OpSemiJoin || r.Op == OpAntiJoin:
+		// Whole-Γ push needs J1 ⊆ G and F over e1 only.
+		in.G = []string{"g1", "j1"}
+		in.F = vecLeftOnly()
+	case r.Op == OpGroupJoin:
+		in.Theta = algebra.CmpEq
+		if rng.Intn(3) == 0 {
+			in.Theta = algebra.CmpLe
+		}
+		in.FBar = aggfn.Vector{
+			{Out: "z", Kind: aggfn.Sum, Arg: "a2"},
+			{Out: "zc", Kind: aggfn.CountStar},
+		}
+		switch {
+		case r.Left == ModeAggsCount: // Eqv. 39: F may span both sides
+			in.G = []string{"g1"}
+			in.F = aggfn.Vector{
+				{Out: "k", Kind: aggfn.CountStar},
+				{Out: "s1", Kind: aggfn.Sum, Arg: "a1"},
+				{Out: "sz", Kind: aggfn.Sum, Arg: "z"},
+				{Out: "mz", Kind: aggfn.Max, Arg: "z"},
+			}
+		case r.Left == ModeAggs: // Eqv. 40: F2 = ()
+			in.G = []string{"g1"}
+			in.F = vecLeftOnly()
+		default: // Eqv. 41: F1 = ()
+			in.G = []string{"g1"}
+			in.F = aggfn.Vector{
+				{Out: "sz", Kind: aggfn.Sum, Arg: "z"},
+				{Out: "kz", Kind: aggfn.Count, Arg: "z"},
+			}
+		}
+	default:
+		in.G = []string{"g1", "g2"}
+		switch rng.Intn(6) {
+		case 0:
+			in.G = []string{"g1"} // grouping attributes from one side only
+		case 1:
+			in.G = nil // grouping on ∅: one global group
+		}
+		needF1Empty := r.Left == ModeCount || (r.Right != ModeNone && !hasCount(r.Right))
+		needF2Empty := r.Right == ModeCount || (r.Left != ModeNone && !hasCount(r.Left))
+		switch {
+		case needF1Empty:
+			in.F = vecRightOnly()
+		case needF2Empty:
+			in.F = vecLeftOnly()
+		default:
+			in.F = vecBoth()
+		}
+	}
+}
+
+// TestAllRulesRandomized verifies every equivalence of Fig. 3 on hundreds
+// of random instances, including NULLs in join and aggregate attributes.
+func TestAllRulesRandomized(t *testing.T) {
+	const trials = 300
+	for _, r := range Rules {
+		r := r
+		t.Run(ruleName(r), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + r.Num)))
+			for trial := 0; trial < trials; trial++ {
+				in := randInstance(rng)
+				configureForRule(in, r, rng)
+				equal, lhs, rhs, err := r.Check(in)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !equal {
+					t.Fatalf("trial %d: Eqv %d violated\ne1:\n%v\ne2:\n%v\nLHS:\n%v\nRHS:\n%v",
+						trial, r.Num, in.E1, in.E2, lhs, rhs)
+				}
+			}
+		})
+	}
+}
+
+func ruleName(r Rule) string {
+	return "Eqv" + itoa(r.Num) + "_" + r.Op.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestTwoAttributeJoinPredicate exercises Eqv. 10 with a conjunctive
+// two-attribute join predicate.
+func TestTwoAttributeJoinPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	null := map[string]float64{"a1": 0.2, "a2": 0.2}
+	for trial := 0; trial < 100; trial++ {
+		in := &Instance{
+			E1: randRel(rng, []string{"g1", "j1", "j1b", "a1"}, null),
+			E2: randRel(rng, []string{"g2", "j2", "j2b", "a2"}, null),
+			J1: []string{"j1", "j1b"}, J2: []string{"j2", "j2b"},
+			G: []string{"g1", "g2"},
+			F: vecBoth(),
+		}
+		r, _ := RuleByNum(10)
+		equal, lhs, rhs, err := r.Check(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal {
+			t.Fatalf("trial %d mismatch:\nLHS:\n%v\nRHS:\n%v", trial, lhs, rhs)
+		}
+	}
+}
+
+// TestPreconditionErrors checks that the constructors reject instances
+// violating their preconditions instead of building wrong plans.
+func TestPreconditionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randInstance(rng)
+	in.G = []string{"g1", "g2"}
+
+	// Non-splittable: an aggregate spanning both sides.
+	in.F = aggfn.Vector{{Out: "x", Kind: aggfn.SumTimes, Arg: "a1", Arg2: "a2"}}
+	if _, err := in.Eager(OpJoin, ModeAggsCount, ModeNone); err == nil {
+		t.Error("expected splittability error")
+	}
+
+	// Non-decomposable pushed side.
+	in.F = aggfn.Vector{{Out: "d", Kind: aggfn.CountDistinct, Arg: "a1"}}
+	if _, err := in.Eager(OpJoin, ModeAggsCount, ModeNone); err == nil {
+		t.Error("expected decomposability error")
+	}
+
+	// Eager Group-by left with non-empty F2.
+	in.F = vecBoth()
+	if _, err := in.Eager(OpJoin, ModeAggs, ModeNone); err == nil {
+		t.Error("expected F2-empty error")
+	}
+
+	// Eager Count left with non-empty F1.
+	if _, err := in.Eager(OpJoin, ModeCount, ModeNone); err == nil {
+		t.Error("expected F1-empty error")
+	}
+
+	// Semijoin push without J1 ⊆ G.
+	in.G = []string{"g1"}
+	in.F = vecLeftOnly()
+	if _, err := in.PushSemiAnti(OpSemiJoin); err == nil {
+		t.Error("expected join-attribute-not-grouped error")
+	}
+
+	// Right push into a groupjoin is not defined.
+	if _, err := in.Eager(OpGroupJoin, ModeNone, ModeAggsCount); err == nil {
+		t.Error("expected groupjoin right-push error")
+	}
+}
+
+// TestEliminateTopGrouping verifies Eqv. 42 on a duplicate-free input whose
+// grouping attributes form a key.
+func TestEliminateTopGrouping(t *testing.T) {
+	e := algebra.NewRel([]string{"g", "a"},
+		[]any{1, 10},
+		[]any{2, nil},
+		[]any{3, 30},
+	)
+	in := &Instance{
+		G: []string{"g"},
+		F: aggfn.Vector{
+			{Out: "k", Kind: aggfn.CountStar},
+			{Out: "s", Kind: aggfn.Sum, Arg: "a"},
+			{Out: "c", Kind: aggfn.Count, Arg: "a"},
+			{Out: "m", Kind: aggfn.Min, Arg: "a"},
+		},
+	}
+	lhs := algebra.Group(e, in.G, in.F)
+	rhs, err := EliminateTopGrouping(e, in.G, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !algebra.EqualBags(lhs, rhs, unionAttrs(in.G, in.F.Outs())) {
+		t.Errorf("Eqv 42 mismatch:\nLHS:\n%v\nRHS:\n%v", lhs, rhs)
+	}
+}
+
+// TestGroupJoinViaOuterjoin verifies Eqv. 100: the groupjoin can be
+// expressed as a left outerjoin with defaults over a grouped right side.
+//
+// Sec. A.5.1 discusses the count(*) corner: our groupjoin follows Def. 9
+// literally, so count(*) over an empty partner set is 0, and the matching
+// outerjoin default is 0. (The paper instead redefines count(*)(∅) := 1 in
+// the context of outerjoin defaults so that the groupjoin can stand in for
+// Γ(e1 E e2) patterns, where the padded tuple is counted; both conventions
+// make the equivalence exact, they just fix the constant differently.)
+func TestGroupJoinViaOuterjoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := aggfn.Vector{
+		{Out: "z", Kind: aggfn.Sum, Arg: "a2"},
+		{Out: "zc", Kind: aggfn.CountStar},
+	}
+	for trial := 0; trial < 200; trial++ {
+		in := randInstance(rng)
+		lhs := algebra.GroupJoinTheta(in.E1, in.E2, in.J1, in.J2, algebra.CmpEq, f)
+		// RHS: Π_C(e1 E^{D}_{J1=J2} Γ_{J2;F}(e2)).
+		grouped := algebra.Group(in.E2, in.J2, f)
+		d := algebra.Defaults{"zc": algebra.Int(0)}
+		joined := algebra.LeftOuter(in.E1, grouped, in.Pred(), d)
+		attrs := unionAttrs(in.E1.Attrs, f.Outs())
+		rhs := algebra.Project(joined, attrs)
+		if !algebra.EqualBags(lhs, rhs, attrs) {
+			t.Fatalf("trial %d: Eqv 100 mismatch\nLHS:\n%v\nRHS:\n%v", trial, lhs, rhs)
+		}
+	}
+}

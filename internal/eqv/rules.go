@@ -1,0 +1,107 @@
+package eqv
+
+import (
+	"errors"
+	"fmt"
+
+	"eagg/internal/algebra"
+)
+
+// Rule identifies one equivalence of Fig. 3 by its number in the paper.
+type Rule struct {
+	// Num is the equation number in the paper (10–41).
+	Num int
+	// Name is the paper's section heading for the rule group.
+	Name string
+	// Op is the operator under the grouping on the left-hand side.
+	Op Op
+	// Left and Right are the push modes of the right-hand side.
+	Left, Right Mode
+}
+
+// Rules lists every equivalence of Fig. 3, in paper order. Eqvs. 37/38
+// (semijoin/antijoin) use whole-Γ pushes and are marked with ModeNone on
+// both sides; RHS dispatches them to PushSemiAnti.
+var Rules = []Rule{
+	{10, "Eager/Lazy Groupby-Count", OpJoin, ModeAggsCount, ModeNone},
+	{11, "Eager/Lazy Groupby-Count", OpLeftOuter, ModeAggsCount, ModeNone},
+	{12, "Eager/Lazy Groupby-Count", OpFullOuter, ModeAggsCount, ModeNone},
+	{13, "Eager/Lazy Groupby-Count", OpJoin, ModeNone, ModeAggsCount},
+	{14, "Eager/Lazy Groupby-Count", OpLeftOuter, ModeNone, ModeAggsCount},
+	{15, "Eager/Lazy Groupby-Count", OpFullOuter, ModeNone, ModeAggsCount},
+
+	{16, "Eager/Lazy Group-by", OpJoin, ModeAggs, ModeNone},
+	{17, "Eager/Lazy Group-by", OpLeftOuter, ModeAggs, ModeNone},
+	{18, "Eager/Lazy Group-by", OpFullOuter, ModeAggs, ModeNone},
+	{19, "Eager/Lazy Group-by", OpJoin, ModeNone, ModeAggs},
+	{20, "Eager/Lazy Group-by", OpLeftOuter, ModeNone, ModeAggs},
+	{21, "Eager/Lazy Group-by", OpFullOuter, ModeNone, ModeAggs},
+
+	{22, "Eager/Lazy Count", OpJoin, ModeCount, ModeNone},
+	{23, "Eager/Lazy Count", OpLeftOuter, ModeCount, ModeNone},
+	{24, "Eager/Lazy Count", OpFullOuter, ModeCount, ModeNone},
+	{25, "Eager/Lazy Count", OpJoin, ModeNone, ModeCount},
+	{26, "Eager/Lazy Count", OpLeftOuter, ModeNone, ModeCount},
+	{27, "Eager/Lazy Count", OpFullOuter, ModeNone, ModeCount},
+
+	{28, "Double Eager/Lazy", OpJoin, ModeAggs, ModeCount},
+	{29, "Double Eager/Lazy", OpLeftOuter, ModeAggs, ModeCount},
+	{30, "Double Eager/Lazy", OpFullOuter, ModeAggs, ModeCount},
+	{31, "Double Eager/Lazy", OpJoin, ModeCount, ModeAggs},
+	{32, "Double Eager/Lazy", OpLeftOuter, ModeCount, ModeAggs},
+	{33, "Double Eager/Lazy", OpFullOuter, ModeCount, ModeAggs},
+
+	{34, "Eager/Lazy Split", OpJoin, ModeAggsCount, ModeAggsCount},
+	{35, "Eager/Lazy Split", OpLeftOuter, ModeAggsCount, ModeAggsCount},
+	{36, "Eager/Lazy Split", OpFullOuter, ModeAggsCount, ModeAggsCount},
+
+	{37, "Others", OpSemiJoin, ModeNone, ModeNone},
+	{38, "Others", OpAntiJoin, ModeNone, ModeNone},
+	{39, "Others", OpGroupJoin, ModeAggsCount, ModeNone},
+	{40, "Others", OpGroupJoin, ModeAggs, ModeNone},
+	{41, "Others", OpGroupJoin, ModeCount, ModeNone},
+}
+
+// RuleByNum returns the rule with the given paper equation number.
+func RuleByNum(num int) (Rule, error) {
+	for _, r := range Rules {
+		if r.Num == num {
+			return r, nil
+		}
+	}
+	return Rule{}, fmt.Errorf("eqv: no rule %d", num)
+}
+
+// RHS constructs the right-hand side of the rule on the instance.
+func (r Rule) RHS(in *Instance) (*algebra.Rel, error) {
+	if r.Op == OpSemiJoin || r.Op == OpAntiJoin {
+		return in.PushSemiAnti(r.Op)
+	}
+	return in.Eager(r.Op, r.Left, r.Right)
+}
+
+// Check evaluates both sides of the rule on the instance and reports
+// whether they agree as bags over G ∪ A(F). The returned relations allow
+// callers to print counterexamples.
+func (r Rule) Check(in *Instance) (equal bool, lhs, rhs *algebra.Rel, err error) {
+	rhs, err = r.RHS(in)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	lhs = in.LHS(r.Op)
+	return algebra.EqualBags(lhs, rhs, in.OutAttrs()), lhs, rhs, nil
+}
+
+// EliminateTopGrouping implements Eqv. 42: Γ_G;F(e) ≡ Π_C(χ_F̂(e)) with
+// C = G ∪ A(F), valid when G contains a key of e and e is duplicate-free.
+// The key/duplicate-free precondition is the caller's obligation (the plan
+// generator tracks it via NeedsGrouping); this function just builds the
+// right-hand side.
+func EliminateTopGrouping(e *algebra.Rel, g []string, f *Instance) (*algebra.Rel, error) {
+	if f == nil {
+		return nil, errors.New("eqv: nil instance")
+	}
+	mapped := algebra.MapAggs(e, f.F)
+	c := unionAttrs(g, f.F.Outs())
+	return algebra.Project(mapped, c), nil
+}

@@ -1,0 +1,87 @@
+// Package fd implements functional dependencies over the query's attribute
+// universe. The paper's dominance criterion (Def. 4) and top-grouping
+// elimination (Sec. 3.2) are stated in terms of FD closures; the plan
+// generator uses this package for the query-level dependencies that hold
+// in every complete plan:
+//
+//   - key → attributes for every base-relation candidate key, and
+//   - a ↔ b for every *inner* equi-join predicate a = b.
+//
+// Both families survive outer-join padding under the null-equality
+// convention of Sec. 2.3 (a padded key is NULL and so are the attributes
+// it determines; an inner predicate below an outer join holds with both
+// sides NULL on padded rows). Predicates of outer joins themselves are
+// excluded: a left outerjoin pads only its right side, so a = b fails with
+// a non-NULL and b NULL.
+package fd
+
+import "eagg/internal/bitset"
+
+// FD is a functional dependency Det → Dep.
+type FD struct {
+	Det, Dep bitset.Set64
+}
+
+// Set is a collection of functional dependencies.
+type Set struct {
+	fds []FD
+}
+
+// Add appends Det → Dep.
+func (s *Set) Add(det, dep bitset.Set64) {
+	if dep.SubsetOf(det) || det.IsEmpty() {
+		return // trivial
+	}
+	s.fds = append(s.fds, FD{Det: det, Dep: dep})
+}
+
+// AddEquiv records a ↔ b (both directions of an inner equi-join pair).
+func (s *Set) AddEquiv(a, b int) {
+	s.Add(bitset.Single64(a), bitset.Single64(b))
+	s.Add(bitset.Single64(b), bitset.Single64(a))
+}
+
+// Len returns the number of stored dependencies.
+func (s *Set) Len() int { return len(s.fds) }
+
+// Closure computes the attribute closure attrs⁺ under the dependency set
+// (the standard fixpoint).
+func (s *Set) Closure(attrs bitset.Set64) bitset.Set64 {
+	out := attrs
+	for changed := true; changed; {
+		changed = false
+		for _, f := range s.fds {
+			if f.Det.SubsetOf(out) && !f.Dep.SubsetOf(out) {
+				out = out.Union(f.Dep)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// Implies reports whether attrs → a follows from the set.
+func (s *Set) Implies(attrs bitset.Set64, a int) bool {
+	return s.Closure(attrs).Contains(a)
+}
+
+// Reduce removes attributes that are functionally implied by the remaining
+// ones — a minimal-ish cover of the attribute set (greedy, ascending, so
+// the result is deterministic). Grouping by Reduce(G) produces exactly the
+// groups of G, which is what the cardinality estimator exploits.
+func (s *Set) Reduce(attrs bitset.Set64) bitset.Set64 {
+	if len(s.fds) == 0 {
+		return attrs
+	}
+	out := attrs
+	attrs.ForEach(func(a int) {
+		rest := out.Remove(a)
+		if !rest.IsEmpty() && s.Closure(rest).Contains(a) {
+			out = rest
+		}
+	})
+	if out.IsEmpty() {
+		return attrs // never reduce to nothing
+	}
+	return out
+}

@@ -1,0 +1,442 @@
+// Package hypergraph implements query hypergraphs and the csg-cmp-pair
+// enumeration underlying DPhyp (Moerkotte & Neumann, "Dynamic Programming
+// Strikes Back", SIGMOD 2008), which the paper's plan generators build on
+// (Sec. 4.1).
+//
+// Nodes are relations 0…n-1; a hyperedge (U, V) connects every relation set
+// containing U with every set containing V. Simple edges are hyperedges
+// with singleton endpoints. Hyperedges arise from the conflict detector's
+// TES sets, which encode reordering restrictions of non-inner joins.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"eagg/internal/bitset"
+)
+
+// Edge is a hyperedge (Left, Right) with disjoint, non-empty endpoints.
+// Payload carries an opaque operator reference for the plan generator.
+type Edge struct {
+	Left, Right bitset.Set64
+	Payload     int
+}
+
+// Graph is a query hypergraph over nodes {0,…,N-1}.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// New returns an empty hypergraph over n nodes.
+func New(n int) *Graph {
+	if n < 1 || n > 63 {
+		panic(fmt.Sprintf("hypergraph: unsupported node count %d", n))
+	}
+	return &Graph{N: n}
+}
+
+// AddEdge adds a hyperedge. It panics on overlapping or empty endpoints —
+// such edges are always construction bugs.
+func (g *Graph) AddEdge(left, right bitset.Set64, payload int) {
+	if left.IsEmpty() || right.IsEmpty() || left.Intersects(right) {
+		panic("hypergraph: invalid hyperedge endpoints")
+	}
+	g.Edges = append(g.Edges, Edge{Left: left, Right: right, Payload: payload})
+}
+
+// AddSimpleEdge adds the edge ({u},{v}).
+func (g *Graph) AddSimpleEdge(u, v, payload int) {
+	g.AddEdge(bitset.Single64(u), bitset.Single64(v), payload)
+}
+
+// All returns the full node set.
+func (g *Graph) All() bitset.Set64 {
+	return bitset.Range64(0, g.N)
+}
+
+// ConnectsSets reports whether some edge connects S1 and S2, i.e. condition
+// 3 of Def. 3: ∃(u,v) ∈ E with u ⊆ S1 ∧ v ⊆ S2 (or the mirror image).
+// It returns the index of a witnessing edge, or -1.
+func (g *Graph) ConnectsSets(s1, s2 bitset.Set64) int {
+	for i, e := range g.Edges {
+		if (e.Left.SubsetOf(s1) && e.Right.SubsetOf(s2)) ||
+			(e.Left.SubsetOf(s2) && e.Right.SubsetOf(s1)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ConnectingEdges returns the indices of all edges connecting S1 and S2.
+func (g *Graph) ConnectingEdges(s1, s2 bitset.Set64) []int {
+	var out []int
+	for i, e := range g.Edges {
+		if (e.Left.SubsetOf(s1) && e.Right.SubsetOf(s2)) ||
+			(e.Left.SubsetOf(s2) && e.Right.SubsetOf(s1)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsConnected reports whether S induces a connected subgraph under the
+// reachability notion: starting from min(S), grow by edges whose one
+// endpoint is inside the grown set and whose other endpoint lies fully
+// inside S. For simple graphs this coincides with the DP notion of
+// connectedness (Def. 3 / the recursive definition of the DPhyp paper).
+// For hypergraphs it is an approximation used only inside the DPhyp fast
+// path; the definitional notion is Buildable/BuildableSets below.
+func (g *Graph) IsConnected(s bitset.Set64) bool {
+	if s.IsEmpty() {
+		return false
+	}
+	if s.IsSingleton() {
+		return true
+	}
+	reach := s.MinSet()
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.Edges {
+			if e.Left.SubsetOf(reach) && e.Right.SubsetOf(s) && !e.Right.SubsetOf(reach) {
+				reach = reach.Union(e.Right)
+				changed = true
+			}
+			if e.Right.SubsetOf(reach) && e.Left.SubsetOf(s) && !e.Left.SubsetOf(reach) {
+				reach = reach.Union(e.Left)
+				changed = true
+			}
+		}
+	}
+	return reach == s
+}
+
+// neighborHyper describes one reachable hypernode: Rep is its minimum
+// element (the DPhyp representative), Full the complete endpoint that must
+// be absorbed together.
+type neighborHyper struct {
+	Rep  int
+	Full bitset.Set64
+}
+
+// neighborhood computes 𝒩(S, X): for every edge with one endpoint inside
+// S, the not-yet-absorbed remainder of the other endpoint is reachable if
+// it avoids the exclusion set X. Taking the remainder v \ S (rather than
+// requiring v ∩ S = ∅) handles hyperedges whose endpoint partially overlaps
+// the grown set; every grown candidate is re-validated with IsConnected, so
+// this only adds reachable steps. When two edges offer hypernodes with the
+// same representative, the smaller one wins — larger supersets remain
+// reachable through subsequent recursion steps.
+func (g *Graph) neighborhood(s, x bitset.Set64) []neighborHyper {
+	byRep := map[int]bitset.Set64{}
+	add := func(v bitset.Set64) {
+		rem := v.Diff(s)
+		if rem.IsEmpty() || rem.Intersects(x) {
+			return
+		}
+		rep := rem.Min()
+		if old, ok := byRep[rep]; !ok || rem.Len() < old.Len() {
+			byRep[rep] = rem
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Left.SubsetOf(s) {
+			add(e.Right)
+		}
+		if e.Right.SubsetOf(s) {
+			add(e.Left)
+		}
+	}
+	out := make([]neighborHyper, 0, len(byRep))
+	for rep, full := range byRep {
+		out = append(out, neighborHyper{Rep: rep, Full: full})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rep < out[j].Rep })
+	return out
+}
+
+// CsgCmpPair is one enumerated pair per Def. 3.
+type CsgCmpPair struct {
+	S1, S2 bitset.Set64
+}
+
+// HasHyperedges reports whether any edge has a non-singleton endpoint.
+func (g *Graph) HasHyperedges() bool {
+	for _, e := range g.Edges {
+		if !e.Left.IsSingleton() || !e.Right.IsSingleton() {
+			return true
+		}
+	}
+	return false
+}
+
+// CsgCmpPairs enumerates every csg-cmp-pair of the hypergraph exactly once
+// (unordered: each pair appears with min(S1) < min(S2)) and returns them
+// ordered by |S1 ∪ S2| ascending, so a dynamic programming driver can
+// consume them directly: all sub-pairs of a set precede the pairs forming
+// that set.
+//
+// Two strategies are used. Simple graphs (no hyperedges) run the DPhyp
+// enumeration (EnumerateCsg/EmitCsg/EnumerateCsgRec/EnumerateCmp). For
+// hypergraphs the representative/exclusion-set mechanism of textbook DPhyp
+// is incomplete when two hypernodes share a minimum element (the exclusion
+// set then blocks the smaller hypernode after the larger was offered), so
+// we switch to a provably complete closure-based enumeration: connected
+// sets are exactly the closure of singletons under "absorb the remainder
+// of an edge endpoint whose other endpoint is contained", and complements
+// are enumerated the same way within the exterior of each S1.
+func (g *Graph) CsgCmpPairs() []CsgCmpPair {
+	var pairs []CsgCmpPair
+	if g.HasHyperedges() {
+		pairs = g.completePairs()
+	} else {
+		pairs = g.dphypPairs()
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		si := pairs[i].S1.Union(pairs[i].S2).Len()
+		sj := pairs[j].S1.Union(pairs[j].S2).Len()
+		return si < sj
+	})
+	return pairs
+}
+
+// dphypPairs runs the DPhyp enumeration. Exact on simple graphs; on
+// hypergraphs the representative/exclusion-set mechanism can both miss
+// pairs and emit pairs with non-buildable components, so CsgCmpPairs never
+// uses it there.
+func (g *Graph) dphypPairs() []CsgCmpPair {
+	var pairs []CsgCmpPair
+	seen := map[[2]uint64]bool{}
+	emit := func(s1, s2 bitset.Set64) {
+		key := [2]uint64{uint64(s1), uint64(s2)}
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, CsgCmpPair{S1: s1, S2: s2})
+		}
+	}
+	// EnumerateCsg: seed with every node, descending, then grow.
+	for i := g.N - 1; i >= 0; i-- {
+		s1 := bitset.Single64(i)
+		below := bitset.Range64(0, i+1)
+		g.emitCsg(s1, emit)
+		g.enumerateCsgRec(s1, below, emit)
+	}
+	return pairs
+}
+
+// BuildableSets computes the family of connected sets under the recursive
+// DP definition: singletons are connected, and S1 ∪ S2 is connected when
+// S1 and S2 are disjoint connected sets linked by an edge. This is exactly
+// the family of relation sets a cross-product-free bottom-up plan
+// generator can build. The pairs recorded along the way are exactly the
+// csg-cmp-pairs.
+//
+// The worklist combines every newly discovered set against the family
+// discovered so far, which makes the enumeration definitionally complete:
+// for any valid pair (A, B), whichever of the two is processed later sees
+// the other already in the family.
+func (g *Graph) BuildableSets() (family []bitset.Set64, pairs []CsgCmpPair) {
+	inFamily := map[uint64]bool{}
+	seenPair := map[[2]uint64]bool{}
+	var queue []bitset.Set64
+	add := func(s bitset.Set64) {
+		if !inFamily[uint64(s)] {
+			inFamily[uint64(s)] = true
+			family = append(family, s)
+			queue = append(queue, s)
+		}
+	}
+	for i := 0; i < g.N; i++ {
+		add(bitset.Single64(i))
+	}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		// Snapshot length: sets added during this pass are processed on
+		// their own turn.
+		snapshot := len(family)
+		for i := 0; i < snapshot; i++ {
+			t := family[i]
+			if s.Intersects(t) || g.ConnectsSets(s, t) < 0 {
+				continue
+			}
+			a, b := s, t
+			if a.Min() > b.Min() {
+				a, b = b, a
+			}
+			key := [2]uint64{uint64(a), uint64(b)}
+			if !seenPair[key] {
+				seenPair[key] = true
+				pairs = append(pairs, CsgCmpPair{S1: a, S2: b})
+			}
+			add(s.Union(t))
+		}
+	}
+	return family, pairs
+}
+
+// completePairs enumerates all csg-cmp-pairs via the recursive-definition
+// fixpoint. Used for hypergraphs, where the DPhyp representative trick can
+// miss pairs when distinct hypernodes share a minimum element.
+func (g *Graph) completePairs() []CsgCmpPair {
+	_, pairs := g.BuildableSets()
+	return pairs
+}
+
+// enumerateCsgRec grows the connected set s1 by subsets of its
+// neighborhood, emitting complements for every grown set.
+func (g *Graph) enumerateCsgRec(s1, x bitset.Set64, emit func(a, b bitset.Set64)) {
+	neighbors := g.neighborhood(s1, x)
+	if len(neighbors) == 0 {
+		return
+	}
+	reps := bitset.Empty64
+	for _, n := range neighbors {
+		reps = reps.Add(n.Rep)
+	}
+	expand := func(sub bitset.Set64) bitset.Set64 {
+		full := bitset.Empty64
+		for _, n := range neighbors {
+			if sub.Contains(n.Rep) {
+				full = full.Union(n.Full)
+			}
+		}
+		return full
+	}
+	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+		grown := s1.Union(expand(sub))
+		if g.IsConnected(grown) {
+			g.emitCsg(grown, emit)
+		}
+		return true
+	})
+	newX := x.Union(reps)
+	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+		grown := s1.Union(expand(sub))
+		if g.IsConnected(grown) {
+			g.enumerateCsgRec(grown, newX, emit)
+		}
+		return true
+	})
+}
+
+// emitCsg enumerates the complements of the connected set s1.
+func (g *Graph) emitCsg(s1 bitset.Set64, emit func(a, b bitset.Set64)) {
+	x := s1.Union(bitset.Range64(0, s1.Min()+1))
+	neighbors := g.neighborhood(s1, x)
+	for i := len(neighbors) - 1; i >= 0; i-- {
+		n := neighbors[i]
+		s2 := n.Full
+		if g.IsConnected(s2) && g.ConnectsSets(s1, s2) >= 0 {
+			emit(s1, s2)
+		}
+		// Exclude smaller representatives so each complement is grown
+		// from exactly one seed.
+		var lower bitset.Set64
+		for _, m := range neighbors {
+			if m.Rep <= n.Rep {
+				lower = lower.Add(m.Rep)
+			}
+		}
+		g.enumerateCmpRec(s1, s2, x.Union(lower), emit)
+	}
+}
+
+// enumerateCmpRec grows the complement s2 within the exclusion set x.
+func (g *Graph) enumerateCmpRec(s1, s2, x bitset.Set64, emit func(a, b bitset.Set64)) {
+	neighbors := g.neighborhood(s2, x)
+	if len(neighbors) == 0 {
+		return
+	}
+	reps := bitset.Empty64
+	for _, n := range neighbors {
+		reps = reps.Add(n.Rep)
+	}
+	expand := func(sub bitset.Set64) bitset.Set64 {
+		full := bitset.Empty64
+		for _, n := range neighbors {
+			if sub.Contains(n.Rep) {
+				full = full.Union(n.Full)
+			}
+		}
+		return full
+	}
+	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+		grown := s2.Union(expand(sub))
+		if !grown.Intersects(s1) && g.IsConnected(grown) && g.ConnectsSets(s1, grown) >= 0 {
+			emit(s1, grown)
+		}
+		return true
+	})
+	newX := x.Union(reps)
+	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+		grown := s2.Union(expand(sub))
+		if !grown.Intersects(s1) && g.IsConnected(grown) {
+			g.enumerateCmpRec(s1, grown, newX, emit)
+		}
+		return true
+	})
+}
+
+// Buildable reports whether S is connected under the recursive DP
+// definition, computed top-down with memoization. Exponential in |S| —
+// intended for tests and small diagnostics; the production path uses
+// BuildableSets.
+func (g *Graph) Buildable(s bitset.Set64) bool {
+	return g.buildableMemo(s, map[uint64]bool{})
+}
+
+func (g *Graph) buildableMemo(s bitset.Set64, memo map[uint64]bool) bool {
+	if s.IsSingleton() {
+		return true
+	}
+	if s.IsEmpty() {
+		return false
+	}
+	if v, ok := memo[uint64(s)]; ok {
+		return v
+	}
+	memo[uint64(s)] = false // guard against re-entry
+	result := false
+	rest := s.Remove(s.Min())
+	rest.SubsetsAsc(func(sub bitset.Set64) bool {
+		s2 := sub
+		s1 := s.Diff(s2)
+		if s1.IsEmpty() {
+			return true
+		}
+		if g.ConnectsSets(s1, s2) >= 0 && g.buildableMemo(s1, memo) && g.buildableMemo(s2, memo) {
+			result = true
+			return false
+		}
+		return true
+	})
+	memo[uint64(s)] = result
+	return result
+}
+
+// CountCsgCmpPairsBrute counts csg-cmp-pairs by brute force over all
+// subsets using the recursive connectedness definition; used to validate
+// the enumerators in tests. Exponential — callers keep N small.
+func (g *Graph) CountCsgCmpPairsBrute() int {
+	count := 0
+	memo := map[uint64]bool{}
+	all := g.All()
+	all.SubsetsAsc(func(s bitset.Set64) bool {
+		if s.IsSingleton() {
+			return true
+		}
+		s.SubsetsAsc(func(s1 bitset.Set64) bool {
+			s2 := s.Diff(s1)
+			if s2.IsEmpty() || s1.Min() > s2.Min() {
+				return true
+			}
+			if g.ConnectsSets(s1, s2) >= 0 && g.buildableMemo(s1, memo) && g.buildableMemo(s2, memo) {
+				count++
+			}
+			return true
+		})
+		return true
+	})
+	return count
+}

@@ -1,0 +1,180 @@
+// Package plan defines the operator trees the plan generators build, along
+// with the logical properties attached to every subplan: estimated
+// cardinality, accumulated C_out cost, candidate keys, duplicate-freeness
+// and eagerness. Property computation lives in internal/cost.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"eagg/internal/bitset"
+	"eagg/internal/query"
+)
+
+// NodeKind discriminates plan nodes.
+type NodeKind int
+
+const (
+	// NodeScan reads a base relation.
+	NodeScan NodeKind = iota
+	// NodeOp applies one of the binary operators of Sec. 2.2.
+	NodeOp
+	// NodeGroup is a pushed-down grouping operator Γ_{G⁺} introduced by
+	// eager aggregation, or the query's final grouping Γ_G.
+	NodeGroup
+	// NodeProject stands for the duplicate-preserving projection that
+	// replaces an unnecessary top grouping (Sec. 3.2); it is free under
+	// C_out.
+	NodeProject
+)
+
+// Plan is an immutable plan node. Plans share subtrees freely (the DP
+// table interleaves them), so nodes are never mutated after construction.
+type Plan struct {
+	Kind NodeKind
+	// Rels is the set of base relations covered, T(T) in the paper.
+	Rels bitset.Set64
+
+	// Scan fields.
+	Rel int
+
+	// Op fields.
+	Op          query.OpKind
+	Preds       []*query.Predicate
+	Left, Right *Plan
+
+	// Group fields: the grouping attributes (G⁺ for pushed groupings, G
+	// for the final grouping). Child is Left.
+	GroupBy bitset.Set64
+	// Final marks the query's top grouping (aggregates finalized here).
+	Final bool
+
+	// Logical properties (filled by the estimator).
+	Card    float64
+	Cost    float64
+	Keys    []bitset.Set64
+	DupFree bool
+
+	// Profile caches the distinct-count estimates of the
+	// grouping-relevant attributes for the dominance test of Sec. 4.6
+	// (lazily filled by the plan generator; nil until then). With a
+	// path-dependent distinct estimator, two plans of equal cost and
+	// cardinality can still differ in the cardinality of future
+	// groupings, so the profile joins cost, cardinality and keys as a
+	// dominance dimension.
+	Profile []float64
+}
+
+// Input returns the only child of a unary node.
+func (p *Plan) Input() *Plan { return p.Left }
+
+// Eagerness implements Sec. 4.5: the number of grouping operators that are
+// a direct child of the topmost operator. Non-operator nodes have
+// eagerness 0.
+func (p *Plan) Eagerness() int {
+	if p == nil || p.Kind != NodeOp {
+		return 0
+	}
+	e := 0
+	if p.Left != nil && p.Left.Kind == NodeGroup {
+		e++
+	}
+	if p.Right != nil && p.Right.Kind == NodeGroup {
+		e++
+	}
+	return e
+}
+
+// HasKeySubsetOf reports whether some candidate key is contained in attrs
+// — the key test of NeedsGrouping (Fig. 7).
+func (p *Plan) HasKeySubsetOf(attrs bitset.Set64) bool {
+	for _, k := range p.Keys {
+		if k.SubsetOf(attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountGroupings returns the number of grouping operators in the plan,
+// excluding the final grouping.
+func (p *Plan) CountGroupings() int {
+	if p == nil {
+		return 0
+	}
+	n := p.Left.CountGroupings() + p.Right.CountGroupings()
+	if p.Kind == NodeGroup && !p.Final {
+		n++
+	}
+	return n
+}
+
+// String renders the plan as an indented tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	p.render(&b, 0, nil)
+	return b.String()
+}
+
+// StringWithQuery renders the plan with attribute and relation names
+// resolved against the query.
+func (p *Plan) StringWithQuery(q *query.Query) string {
+	var b strings.Builder
+	p.render(&b, 0, q)
+	return b.String()
+}
+
+func (p *Plan) render(b *strings.Builder, depth int, q *query.Query) {
+	if p == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	switch p.Kind {
+	case NodeScan:
+		name := fmt.Sprintf("R%d", p.Rel)
+		if q != nil {
+			name = q.Relations[p.Rel].Name
+		}
+		fmt.Fprintf(b, "%sscan %s (card=%.6g)\n", indent, name, p.Card)
+	case NodeOp:
+		fmt.Fprintf(b, "%s%v %v (card=%.6g cost=%.6g)\n", indent, p.Op, p.Rels, p.Card, p.Cost)
+		p.Left.render(b, depth+1, q)
+		p.Right.render(b, depth+1, q)
+	case NodeGroup:
+		label := "Γ"
+		if p.Final {
+			label = "Γ(final)"
+		}
+		attrs := p.GroupBy.String()
+		if q != nil {
+			var names []string
+			p.GroupBy.ForEach(func(a int) { names = append(names, q.AttrNames[a]) })
+			attrs = "{" + strings.Join(names, ", ") + "}"
+		}
+		fmt.Fprintf(b, "%s%s %s (card=%.6g cost=%.6g)\n", indent, label, attrs, p.Card, p.Cost)
+		p.Left.render(b, depth+1, q)
+	case NodeProject:
+		fmt.Fprintf(b, "%sΠ (card=%.6g cost=%.6g)\n", indent, p.Card, p.Cost)
+		p.Left.render(b, depth+1, q)
+	}
+}
+
+// Signature returns a canonical string identifying the plan's structure
+// (used by tests to compare plans irrespective of pointer identity).
+func (p *Plan) Signature() string {
+	if p == nil {
+		return "·"
+	}
+	switch p.Kind {
+	case NodeScan:
+		return fmt.Sprintf("R%d", p.Rel)
+	case NodeOp:
+		return fmt.Sprintf("(%s %v %s)", p.Left.Signature(), p.Op, p.Right.Signature())
+	case NodeGroup:
+		return fmt.Sprintf("Γ%v[%s]", p.GroupBy, p.Left.Signature())
+	case NodeProject:
+		return fmt.Sprintf("Π[%s]", p.Left.Signature())
+	}
+	return "?"
+}

@@ -1,0 +1,145 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/bitset"
+)
+
+func buildValid() *Query {
+	q := New()
+	r0 := q.AddRelation("r0", 100)
+	r1 := q.AddRelation("r1", 200)
+	a0 := q.AddAttr(r0, "a0", 10)
+	g0 := q.AddAttr(r0, "g0", 5)
+	b1 := q.AddAttr(r1, "b1", 20)
+	q.Root = &OpNode{
+		Kind:  KindJoin,
+		Left:  &OpNode{Kind: KindScan, Rel: r0},
+		Right: &OpNode{Kind: KindScan, Rel: r1},
+		Pred:  &Predicate{Left: []int{a0}, Right: []int{b1}, Selectivity: 0.05},
+	}
+	q.SetGrouping([]int{g0}, aggfn.Vector{{Out: "c", Kind: aggfn.CountStar}})
+	return q
+}
+
+func TestValidate(t *testing.T) {
+	if err := buildValid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(q *Query)
+		want   string
+	}{
+		{"missing tree", func(q *Query) { q.Root = nil }, "missing operator tree"},
+		{"bad selectivity", func(q *Query) { q.Root.Pred.Selectivity = 0 }, "selectivity"},
+		{"missing predicate", func(q *Query) { q.Root.Pred = nil }, "without predicate"},
+		{"swapped predicate sides", func(q *Query) {
+			q.Root.Pred.Left, q.Root.Pred.Right = q.Root.Pred.Right, q.Root.Pred.Left
+		}, "not in the matching subtrees"},
+		{"unknown aggregate attr", func(q *Query) {
+			q.Aggregates = aggfn.Vector{{Out: "x", Kind: aggfn.Sum, Arg: "nope"}}
+		}, "unknown attribute"},
+	}
+	for _, c := range cases {
+		q := buildValid()
+		c.mutate(q)
+		err := q.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRelsAndAttrs(t *testing.T) {
+	q := buildValid()
+	if q.Root.Rels() != bitset.New64(0, 1) {
+		t.Errorf("Rels = %v", q.Root.Rels())
+	}
+	if got := q.RelsOf(bitset.New64(q.AttrID("a0"), q.AttrID("b1"))); got != bitset.New64(0, 1) {
+		t.Errorf("RelsOf = %v", got)
+	}
+	attrs0 := q.AttrsOf(bitset.New64(0))
+	if !attrs0.Contains(q.AttrID("a0")) || attrs0.Contains(q.AttrID("b1")) {
+		t.Errorf("AttrsOf = %v", attrs0)
+	}
+}
+
+func TestAggSourceRels(t *testing.T) {
+	q := buildValid()
+	q.Aggregates = aggfn.Vector{
+		{Out: "c", Kind: aggfn.CountStar},
+		{Out: "s", Kind: aggfn.Sum, Arg: "b1"},
+	}
+	src := q.AggSourceRels()
+	if !src[0].IsEmpty() {
+		t.Errorf("count(*) source = %v", src[0])
+	}
+	if src[1] != bitset.New64(1) {
+		t.Errorf("sum(b1) source = %v", src[1])
+	}
+}
+
+func TestPredicateAttrSets(t *testing.T) {
+	p := &Predicate{Left: []int{1, 3}, Right: []int{5}, Selectivity: 0.5}
+	if p.LeftAttrs() != bitset.New64(1, 3) || p.RightAttrs() != bitset.New64(5) {
+		t.Error("predicate attr sets broken")
+	}
+	if p.Attrs() != bitset.New64(1, 3, 5) {
+		t.Error("Attrs broken")
+	}
+}
+
+func TestOpKindPredicates(t *testing.T) {
+	if !KindJoin.Commutative() || !KindFullOuter.Commutative() {
+		t.Error("B and K are commutative")
+	}
+	if KindLeftOuter.Commutative() || KindSemiJoin.Commutative() {
+		t.Error("E and N are not commutative")
+	}
+	for _, k := range []OpKind{KindSemiJoin, KindAntiJoin, KindGroupJoin} {
+		if !k.LeftOnly() {
+			t.Errorf("%v must be left-only", k)
+		}
+	}
+	if KindJoin.LeftOnly() || KindFullOuter.LeftOnly() {
+		t.Error("B/K are not left-only")
+	}
+}
+
+func TestDuplicateAttrPanics(t *testing.T) {
+	q := New()
+	r := q.AddRelation("r", 10)
+	q.AddAttr(r, "a", 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attribute must panic")
+		}
+	}()
+	q.AddAttr(r, "a", 5)
+}
+
+func TestUnknownAttrPanics(t *testing.T) {
+	q := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown attribute must panic")
+		}
+	}()
+	q.AttrID("missing")
+}
+
+func TestDistinctFloor(t *testing.T) {
+	q := New()
+	r := q.AddRelation("r", 10)
+	a := q.AddAttr(r, "a", 0.2)
+	if q.Distinct[a] < 1 {
+		t.Error("distinct counts are floored at 1")
+	}
+}

@@ -1,0 +1,216 @@
+package randquery
+
+import (
+	"math"
+	"math/rand"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/query"
+)
+
+// Params configure the workload generator.
+type Params struct {
+	// Relations is the number of base relations (leaves), 2…20 in the
+	// paper's experiments.
+	Relations int
+	// OuterJoinShare is the probability that an internal node becomes a
+	// non-inner join; the concrete operator is then drawn uniformly from
+	// {left outerjoin, full outerjoin, semijoin, antijoin}. The default
+	// (used when the value is 0 and DefaultOps is false… see Defaults)
+	// mirrors a mixed OLAP workload.
+	OuterJoinShare float64
+	// MinCard/MaxCard bound the log-uniform base cardinalities.
+	MinCard, MaxCard float64
+	// GroupingRelations is how many relations contribute a grouping
+	// attribute (capped by Relations).
+	GroupingRelations int
+	// Aggregates is how many aggregate functions the query computes (in
+	// addition to a count(*)).
+	Aggregates int
+}
+
+// Defaults fills zero fields with the defaults used throughout the
+// evaluation.
+func (p Params) Defaults() Params {
+	if p.MinCard == 0 {
+		p.MinCard = 10
+	}
+	if p.MaxCard == 0 {
+		p.MaxCard = 100000
+	}
+	if p.OuterJoinShare == 0 {
+		p.OuterJoinShare = 0.35
+	}
+	if p.GroupingRelations == 0 {
+		p.GroupingRelations = 2
+	}
+	if p.Aggregates == 0 {
+		p.Aggregates = 2
+	}
+	return p
+}
+
+// Generate produces a random query with the paper's construction: a
+// uniformly random binary tree (via Dyck-word unranking), random operators
+// and predicates, random grouping attributes, cardinalities and
+// selectivities. All randomness flows from rng, so workloads are
+// reproducible from a seed.
+func Generate(rng *rand.Rand, p Params) *query.Query {
+	p = p.Defaults()
+	n := p.Relations
+	if n < 2 {
+		panic("randquery: need at least two relations")
+	}
+
+	shape := UnrankTree(n, rng.Int63n(Catalan(n-1)))
+	q := query.New()
+
+	// Relations with log-uniform cardinalities.
+	cards := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := math.Log(p.MinCard), math.Log(p.MaxCard)
+		cards[i] = math.Exp(lo + rng.Float64()*(hi-lo))
+		q.AddRelation(relName(i), math.Ceil(cards[i]))
+	}
+
+	// Assign relations to leaves left-to-right and build the operator
+	// tree with random operators and predicates.
+	next := 0
+	var build func(t *Tree) *query.OpNode
+	build = func(t *Tree) *query.OpNode {
+		if t.IsLeaf() {
+			node := &query.OpNode{Kind: query.KindScan, Rel: next}
+			next++
+			return node
+		}
+		l := build(t.Left)
+		r := build(t.Right)
+		kind := query.KindJoin
+		if rng.Float64() < p.OuterJoinShare {
+			kind = []query.OpKind{
+				query.KindLeftOuter, query.KindFullOuter,
+				query.KindSemiJoin, query.KindAntiJoin,
+			}[rng.Intn(4)]
+		}
+		lr := pickRel(rng, l.Rels().Elems())
+		rr := pickRel(rng, r.Rels().Elems())
+		la := q.AddAttr(lr, attrName(lr, "j", countAttrs(q, lr)), distinctFor(rng, cards[lr]))
+		ra := q.AddAttr(rr, attrName(rr, "j", countAttrs(q, rr)), distinctFor(rng, cards[rr]))
+		// Selectivity: key/foreign-key flavoured with variance. z is
+		// log-uniform in [0.2, 5]; sel = z / min(card) capped at 1.
+		z := math.Exp(math.Log(0.2) + rng.Float64()*(math.Log(5)-math.Log(0.2)))
+		sel := z / math.Min(cards[lr], cards[rr])
+		if sel > 1 {
+			sel = 1
+		}
+		return &query.OpNode{
+			Kind: kind, Left: l, Right: r,
+			Pred: &query.Predicate{Left: []int{la}, Right: []int{ra}, Selectivity: sel},
+		}
+	}
+	q.Root = build(shape)
+
+	// Grouping attributes: from relations visible at the top (relations
+	// on the right side of semijoins/antijoins lose their attributes).
+	visible := visibleRels(q.Root)
+	var groupBy []int
+	for _, r := range pickSome(rng, visible, p.GroupingRelations) {
+		// Grouping attributes have few distinct values (card^0.2…0.6) so
+		// that grouping actually reduces cardinalities.
+		d := math.Max(2, math.Pow(cards[r], 0.2+0.4*rng.Float64()))
+		groupBy = append(groupBy, q.AddAttr(r, attrName(r, "g", countAttrs(q, r)), d))
+	}
+
+	// Aggregates: count(*) plus sums/mins/counts over visible relations.
+	f := aggfn.Vector{{Out: "cnt", Kind: aggfn.CountStar}}
+	for i := 0; i < p.Aggregates; i++ {
+		r := visible[rng.Intn(len(visible))]
+		a := q.AddAttr(r, attrName(r, "a", countAttrs(q, r)), distinctFor(rng, cards[r]))
+		kind := []aggfn.Kind{aggfn.Sum, aggfn.Min, aggfn.Max, aggfn.Count}[rng.Intn(4)]
+		f = append(f, aggfn.Agg{Out: aggOut(i), Kind: kind, Arg: q.AttrNames[a]})
+	}
+	q.SetGrouping(groupBy, f)
+
+	// Keys: half of the relations get a key on their first join
+	// attribute, creating the cases where NeedsGrouping fires.
+	for r := 0; r < n; r++ {
+		if rng.Intn(2) == 0 {
+			if a := firstAttr(q, r); a >= 0 {
+				q.AddKey(r, a)
+				q.Distinct[a] = q.Relations[r].Card // keys are unique
+			}
+		}
+	}
+	return q
+}
+
+// visibleRels returns the relations whose attributes survive to the top of
+// the operator tree (right sides of semijoins and antijoins drop out; the
+// groupjoin also hides its right side, but the generator does not emit
+// groupjoins).
+func visibleRels(n *query.OpNode) []int {
+	if n.Kind == query.KindScan {
+		return []int{n.Rel}
+	}
+	left := visibleRels(n.Left)
+	if n.Kind.LeftOnly() {
+		return left
+	}
+	return append(left, visibleRels(n.Right)...)
+}
+
+func relName(i int) string {
+	return "R" + itoa(i)
+}
+
+func attrName(rel int, class string, seq int) string {
+	return "R" + itoa(rel) + "." + class + itoa(seq)
+}
+
+func aggOut(i int) string { return "agg" + itoa(i) }
+
+func countAttrs(q *query.Query, rel int) int {
+	return q.Relations[rel].Attrs.Len()
+}
+
+func firstAttr(q *query.Query, rel int) int {
+	if q.Relations[rel].Attrs.IsEmpty() {
+		return -1
+	}
+	return q.Relations[rel].Attrs.Min()
+}
+
+func distinctFor(rng *rand.Rand, card float64) float64 {
+	// Join attributes have between card^0.5 and card distinct values.
+	return math.Max(2, math.Pow(card, 0.5+0.5*rng.Float64()))
+}
+
+func pickRel(rng *rand.Rand, rels []int) int {
+	return rels[rng.Intn(len(rels))]
+}
+
+func pickSome(rng *rand.Rand, from []int, k int) []int {
+	if k > len(from) {
+		k = len(from)
+	}
+	perm := rng.Perm(len(from))
+	out := make([]int, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, from[i])
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

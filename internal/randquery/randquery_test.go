@@ -1,0 +1,158 @@
+package randquery
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/query"
+)
+
+func TestCatalan(t *testing.T) {
+	want := []int64{1, 1, 2, 5, 14, 42, 132, 429, 1430, 4862}
+	for m, w := range want {
+		if got := Catalan(m); got != w {
+			t.Errorf("Catalan(%d) = %d, want %d", m, got, w)
+		}
+	}
+	// The largest size the paper uses: 19 internal nodes for 20 relations.
+	if got := Catalan(19); got != 1767263190 {
+		t.Errorf("Catalan(19) = %d", got)
+	}
+}
+
+func TestUnrankDyckLexOrder(t *testing.T) {
+	m := 4
+	prev := ""
+	for r := int64(0); r < Catalan(m); r++ {
+		w := UnrankDyck(m, r)
+		if len(w) != 2*m {
+			t.Fatalf("word %q has wrong length", w)
+		}
+		if r > 0 && w <= prev {
+			t.Fatalf("lex order violated: %q after %q", w, prev)
+		}
+		depth := 0
+		for _, c := range w {
+			if c == '(' {
+				depth++
+			} else {
+				depth--
+			}
+			if depth < 0 {
+				t.Fatalf("invalid Dyck word %q", w)
+			}
+		}
+		if depth != 0 {
+			t.Fatalf("unbalanced Dyck word %q", w)
+		}
+		prev = w
+	}
+}
+
+func TestUnrankTreeBijective(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		seen := map[string]bool{}
+		total := Catalan(n - 1)
+		for r := int64(0); r < total; r++ {
+			tree := UnrankTree(n, r)
+			if tree.Leaves() != n || tree.Internal() != n-1 {
+				t.Fatalf("n=%d rank=%d: %d leaves, %d internal", n, r, tree.Leaves(), tree.Internal())
+			}
+			d := DyckOf(tree)
+			if seen[d] {
+				t.Fatalf("n=%d: duplicate tree %q", n, d)
+			}
+			seen[d] = true
+			// Round trip: the serialized word must unrank back to itself.
+			if got := UnrankDyck(n-1, r); got != d {
+				t.Fatalf("n=%d rank=%d: word %q, tree serializes to %q", n, r, got, d)
+			}
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("n=%d: %d distinct trees, want %d", n, len(seen), total)
+		}
+	}
+}
+
+func TestUnrankPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range rank")
+		}
+	}()
+	UnrankDyck(3, Catalan(3))
+}
+
+func TestGenerateValidQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 20; n++ {
+		for trial := 0; trial < 20; trial++ {
+			q := Generate(rng, Params{Relations: n})
+			if err := q.Validate(); err != nil {
+				t.Fatalf("n=%d trial %d: %v", n, trial, err)
+			}
+			if len(q.Relations) != n {
+				t.Fatalf("n=%d: got %d relations", n, len(q.Relations))
+			}
+			if !q.HasGrouping || len(q.Aggregates) == 0 {
+				t.Fatalf("n=%d: query lacks grouping", n)
+			}
+			// Grouping attributes must be visible at the top.
+			vis := map[int]bool{}
+			for _, r := range visibleRels(q.Root) {
+				vis[r] = true
+			}
+			q.GroupBy.ForEach(func(a int) {
+				if !vis[q.AttrRel[a]] {
+					t.Fatalf("n=%d: grouping attribute %s hidden by a left-only operator",
+						n, q.AttrNames[a])
+				}
+			})
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), Params{Relations: 9})
+	b := Generate(rand.New(rand.NewSource(7)), Params{Relations: 9})
+	var sigA, sigB string
+	var walk func(n *query.OpNode) string
+	walk = func(n *query.OpNode) string {
+		if n.Kind == query.KindScan {
+			return "R" + itoa(n.Rel)
+		}
+		return "(" + walk(n.Left) + " " + n.Kind.String() + " " + walk(n.Right) + ")"
+	}
+	sigA, sigB = walk(a.Root), walk(b.Root)
+	if sigA != sigB {
+		t.Errorf("same seed produced different trees:\n%s\n%s", sigA, sigB)
+	}
+}
+
+func TestGenerateOperatorMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := map[query.OpKind]int{}
+	var tally func(n *query.OpNode)
+	tally = func(n *query.OpNode) {
+		if n == nil || n.Kind == query.KindScan {
+			return
+		}
+		counts[n.Kind]++
+		tally(n.Left)
+		tally(n.Right)
+	}
+	for trial := 0; trial < 300; trial++ {
+		tally(Generate(rng, Params{Relations: 8}).Root)
+	}
+	if counts[query.KindJoin] == 0 || counts[query.KindFullOuter] == 0 ||
+		counts[query.KindLeftOuter] == 0 || counts[query.KindSemiJoin] == 0 {
+		t.Errorf("operator mix degenerate: %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if frac := float64(counts[query.KindJoin]) / float64(total); frac < 0.4 || frac > 0.9 {
+		t.Errorf("inner join share %.2f outside expectation", frac)
+	}
+}

@@ -1,0 +1,124 @@
+// Package randquery generates the random query workload of Sec. 5:
+// uniformly random binary operator trees obtained by unranking Dyck words
+// in lexicographic order (Liebehenschel's procedure), random operators on
+// internal nodes, relations on leaves, random equality join predicates,
+// random grouping attributes, and random cardinalities and selectivities.
+package randquery
+
+import "fmt"
+
+// maxInternal bounds the tree sizes the unranker supports; Catalan numbers
+// and ballot counts up to this size fit comfortably in int64.
+const maxInternal = 30
+
+// completions[l][d] is the number of ways to complete a Dyck prefix with l
+// symbols remaining and current depth d (opens minus closes).
+var completions [2*maxInternal + 1][]int64
+
+func init() {
+	for l := 0; l <= 2*maxInternal; l++ {
+		completions[l] = make([]int64, 2*maxInternal+2)
+	}
+	completions[0][0] = 1
+	for l := 1; l <= 2*maxInternal; l++ {
+		for d := 0; d <= 2*maxInternal; d++ {
+			c := completions[l-1][d+1] // emit '('
+			if d > 0 {
+				c += completions[l-1][d-1] // emit ')'
+			}
+			completions[l][d] = c
+		}
+	}
+}
+
+// Catalan returns the m-th Catalan number, the number of binary trees with
+// m internal nodes (m+1 leaves).
+func Catalan(m int) int64 {
+	if m < 0 || m > maxInternal {
+		panic(fmt.Sprintf("randquery: Catalan(%d) out of supported range", m))
+	}
+	return completions[2*m][0]
+}
+
+// UnrankDyck returns the rank-th Dyck word of length 2m in lexicographic
+// order ('(' < ')'), rank ∈ [0, Catalan(m)).
+func UnrankDyck(m int, rank int64) string {
+	if rank < 0 || rank >= Catalan(m) {
+		panic(fmt.Sprintf("randquery: rank %d out of range for m=%d", rank, m))
+	}
+	buf := make([]byte, 2*m)
+	depth := 0
+	for i := 0; i < 2*m; i++ {
+		remaining := 2*m - i - 1
+		// Count completions if we emit '(' here.
+		withOpen := completions[remaining][depth+1]
+		if rank < withOpen {
+			buf[i] = '('
+			depth++
+		} else {
+			rank -= withOpen
+			buf[i] = ')'
+			depth--
+		}
+	}
+	return string(buf)
+}
+
+// Tree is a binary tree shape; leaves are nil-children nodes.
+type Tree struct {
+	Left, Right *Tree
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (t *Tree) IsLeaf() bool { return t.Left == nil && t.Right == nil }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int {
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.Left.Leaves() + t.Right.Leaves()
+}
+
+// Internal returns the number of internal nodes.
+func (t *Tree) Internal() int {
+	if t.IsLeaf() {
+		return 0
+	}
+	return 1 + t.Left.Internal() + t.Right.Internal()
+}
+
+// UnrankTree returns the rank-th binary tree with n leaves (n-1 internal
+// nodes) under the lexicographic Dyck-word order.
+func UnrankTree(n int, rank int64) *Tree {
+	if n < 1 {
+		panic("randquery: trees need at least one leaf")
+	}
+	word := UnrankDyck(n-1, rank)
+	pos := 0
+	var parse func() *Tree
+	parse = func() *Tree {
+		if pos >= len(word) || word[pos] == ')' {
+			return &Tree{}
+		}
+		pos++ // consume '('
+		left := parse()
+		pos++ // consume ')'
+		right := parse()
+		return &Tree{Left: left, Right: right}
+	}
+	t := parse()
+	if pos != len(word) {
+		panic("randquery: dangling Dyck symbols")
+	}
+	return t
+}
+
+// DyckOf serializes a tree back into its Dyck word (inverse of
+// UnrankTree's parse), used to verify bijectivity.
+func DyckOf(t *Tree) string {
+	if t.IsLeaf() {
+		return ""
+	}
+	return "(" + DyckOf(t.Left) + ")" + DyckOf(t.Right)
+}

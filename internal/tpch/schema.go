@@ -1,0 +1,97 @@
+// Package tpch provides the TPC-H substrate of the evaluation (Sec. 5.4):
+// the schema with scale-factor-1 statistics ("Query statistics were taken
+// from a scale factor 1 instance of TPC-H"), the paper's example query Ex
+// from the introduction, operator trees for the join+grouping cores of
+// TPC-H Q3, Q5 and Q10, and a scaled-down synthetic data generator used to
+// execute plans (the substitution for a full dbgen database documented in
+// DESIGN.md).
+package tpch
+
+import (
+	"math/rand"
+
+	"eagg/internal/algebra"
+	"eagg/internal/engine"
+	"eagg/internal/query"
+)
+
+// SF1 cardinalities per the TPC-H specification at scale factor 1.
+const (
+	CardRegion   = 5
+	CardNation   = 25
+	CardSupplier = 10_000
+	CardCustomer = 150_000
+	CardPart     = 200_000
+	CardPartSupp = 800_000
+	CardOrders   = 1_500_000
+	CardLineitem = 6_001_215
+)
+
+// Distinct counts used for the selection/grouping columns referenced by
+// the queries (SF-1 values per the spec's data distributions).
+const (
+	DistinctOrderDate    = 2406 // o_orderdate spans ~2406 days
+	DistinctShipDate     = 2526
+	DistinctMktSegment   = 5
+	DistinctRegionName   = 5
+	DistinctNationName   = 25
+	DistinctReturnFlag   = 3
+	DistinctOrdersPerCus = 100_000 // customers with orders ≈ 100k distinct o_custkey
+)
+
+// scan builds a scan node.
+func scan(rel int) *query.OpNode { return &query.OpNode{Kind: query.KindScan, Rel: rel} }
+
+// join builds an operator node with a single-pair equi predicate.
+func join(kind query.OpKind, l, r *query.OpNode, la, ra int, sel float64) *query.OpNode {
+	return &query.OpNode{
+		Kind: kind, Left: l, Right: r,
+		Pred: &query.Predicate{Left: []int{la}, Right: []int{ra}, Selectivity: sel},
+	}
+}
+
+// GenerateData produces a scaled-down synthetic instance whose foreign-key
+// structure matches TPC-H (every FK hits an existing PK; nation keys are
+// shared across customer and supplier), sized so that executing both lazy
+// and eager plans stays fast while producing identical results.
+func GenerateData(rng *rand.Rand, q *query.Query, scale map[string]int) engine.Data {
+	data := engine.Data{}
+	for ri := range q.Relations {
+		rel := &q.Relations[ri]
+		n := scale[rel.Name]
+		if n <= 0 {
+			n = 20
+		}
+		r := &algebra.Rel{}
+		rel.Attrs.ForEach(func(a int) { r.Attrs = append(r.Attrs, q.AttrNames[a]) })
+		keyed := map[int]bool{}
+		for _, k := range rel.Keys {
+			k.ForEach(func(a int) { keyed[a] = true })
+		}
+		for row := 0; row < n; row++ {
+			t := algebra.Tuple{}
+			rel.Attrs.ForEach(func(a int) {
+				name := q.AttrNames[a]
+				switch {
+				case keyed[a]:
+					t[name] = algebra.Int(int64(row))
+				default:
+					// Foreign keys and dimension columns: small domains
+					// derived from the attribute's distinct count, capped
+					// for the scaled instance.
+					d := int64(q.Distinct[a])
+					if d > int64(n) {
+						d = int64(n)
+					}
+					if d < 1 {
+						d = 1
+					}
+					t[name] = algebra.Int(rng.Int63n(d))
+				}
+			})
+			r.Tuples = append(r.Tuples, t)
+		}
+		data[ri] = r
+	}
+	return data
+}

@@ -1,0 +1,160 @@
+package tpch
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/engine"
+	"eagg/internal/plan"
+)
+
+func TestQueriesValidate(t *testing.T) {
+	for name, q := range Queries() {
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTable2CostRatios checks the qualitative shape of Table 2: Ex gains
+// orders of magnitude from eager aggregation, Q3 and Q10 gain noticeably,
+// Q5 gains little (relative cost close to 1).
+func TestTable2CostRatios(t *testing.T) {
+	ratios := map[string]float64{}
+	for name, q := range Queries() {
+		dphyp, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp})
+		if err != nil {
+			t.Fatalf("%s DPhyp: %v", name, err)
+		}
+		ea, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+		if err != nil {
+			t.Fatalf("%s EA-Prune: %v", name, err)
+		}
+		ratios[name] = ea.Plan.Cost / dphyp.Plan.Cost
+	}
+	// Paper's Table 2 (Rel. Cost EA/DPhyp): Ex 6.1e-4, Q3 0.65, Q5 0.9,
+	// Q10 0.58. Our cost model differs in constants; assert the shape.
+	if ratios["Ex"] > 0.05 {
+		t.Errorf("Ex ratio %.4g: eager aggregation should collapse the cost", ratios["Ex"])
+	}
+	if ratios["Q3"] >= 1 || ratios["Q3"] < 0.1 {
+		t.Errorf("Q3 ratio %.4g outside the moderate-gain band", ratios["Q3"])
+	}
+	if ratios["Q10"] >= 1 || ratios["Q10"] < 0.1 {
+		t.Errorf("Q10 ratio %.4g outside the moderate-gain band", ratios["Q10"])
+	}
+	if ratios["Q5"] > 1.0001 || ratios["Q5"] < 0.5 {
+		t.Errorf("Q5 ratio %.4g should be close to 1 (smallest gain)", ratios["Q5"])
+	}
+	if !(ratios["Ex"] < ratios["Q10"] && ratios["Q10"] <= ratios["Q5"]) {
+		t.Errorf("gain ordering broken: %v", ratios)
+	}
+}
+
+// TestPlansExecuteCorrectly runs each query's DPhyp and EA-Prune plans on
+// scaled synthetic data and checks both match the canonical result.
+func TestPlansExecuteCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, q := range Queries() {
+		data := GenerateData(rng, q, ExecutionScale(name))
+		want, err := engine.Canonical(q, data)
+		if err != nil {
+			t.Fatalf("%s canonical: %v", name, err)
+		}
+		attrs := engine.OutputAttrs(q)
+		for _, alg := range []core.Algorithm{core.AlgDPhyp, core.AlgEAPrune, core.AlgH1} {
+			res, err := core.Optimize(q, core.Options{Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%s %v: %v", name, alg, err)
+			}
+			got, err := engine.Exec(q, res.Plan, data)
+			if err != nil {
+				t.Fatalf("%s %v exec: %v\n%v", name, alg, err, res.Plan.StringWithQuery(q))
+			}
+			if !algebra.EqualBags(want, got, attrs) {
+				t.Fatalf("%s: %v plan result differs from canonical\nplan:\n%v",
+					name, alg, res.Plan.StringWithQuery(q))
+			}
+		}
+	}
+}
+
+// TestExEagerPlanShape: the optimized Ex plan must push groupings below
+// the full outerjoin — the paper's headline transformation.
+func TestExEagerPlanShape(t *testing.T) {
+	q := Ex()
+	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.CountGroupings() < 1 {
+		t.Errorf("Ex plan lacks eager groupings:\n%v", res.Plan.StringWithQuery(q))
+	}
+}
+
+func TestGenerateDataRespectsKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := Ex()
+	data := GenerateData(rng, q, ExecutionScale("Ex"))
+	// nation_s has key ns.n_nationkey — all values distinct.
+	seen := map[int64]bool{}
+	for _, tu := range data[0].Tuples {
+		v := tu.Get("ns.n_nationkey")
+		if seen[v.I] {
+			t.Fatal("key attribute with duplicate values")
+		}
+		seen[v.I] = true
+	}
+	if len(data[0].Tuples) != 25 {
+		t.Errorf("nation_s rows = %d", len(data[0].Tuples))
+	}
+}
+
+// TestStatsInternalConsistency sanity-checks the hard-coded SF-1 numbers
+// against the TPC-H spec's structural ratios.
+func TestStatsInternalConsistency(t *testing.T) {
+	if CardOrders != 10*CardCustomer {
+		t.Error("orders = 10 × customers at SF-1")
+	}
+	if CardSupplier*80 != CardPartSupp*1 {
+		t.Error("partsupp = 80 × suppliers at SF-1")
+	}
+	if CardLineitem < 4*CardOrders || CardLineitem > 4.3*CardOrders {
+		t.Error("lineitem ≈ 4 × orders at SF-1")
+	}
+	if CardNation != 25 || CardRegion != 5 {
+		t.Error("fixed-size dimensions wrong")
+	}
+}
+
+// TestQ5CyclicPredicateIsHyperedge: the folded c_nationkey = s_nationkey
+// predicate makes the supplier join a hyperedge ({c,l},{s}).
+func TestQ5CyclicPredicateIsHyperedge(t *testing.T) {
+	q := Q5()
+	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CsgCmpPairs == 0 {
+		t.Fatal("no pairs enumerated")
+	}
+	// The plan must apply the combined predicate: supplier joins only
+	// after customer and lineitem are both present.
+	var check func(p *plan.Plan) bool
+	supplier := 3
+	check = func(p *plan.Plan) bool {
+		if p == nil || p.Kind != plan.NodeOp {
+			return true
+		}
+		if p.Right != nil && p.Right.Rels.IsSingleton() && p.Right.Rels.Min() == supplier {
+			// Left side must contain customer (0) and lineitem (2).
+			if !p.Left.Rels.Contains(0) || !p.Left.Rels.Contains(2) {
+				t.Errorf("supplier joined without customer+lineitem: left=%v", p.Left.Rels)
+			}
+		}
+		return check(p.Left) && check(p.Right)
+	}
+	check(res.Plan)
+}
