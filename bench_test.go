@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"eagg/internal/aggfn"
 	"eagg/internal/conflict"
 	"eagg/internal/core"
 	"eagg/internal/engine"
@@ -34,11 +35,14 @@ func workload(n, count int) []*query.Query {
 	return out
 }
 
+// optimizeAll pins Workers: 1: the figure benchmarks reproduce the
+// paper's single-threaded measurement conditions; parallel scaling is
+// measured separately by BenchmarkOptimizeParallel.
 func optimizeAll(b *testing.B, qs []*query.Query, alg core.Algorithm, f float64) float64 {
 	b.Helper()
 	var lastCost float64
 	for _, q := range qs {
-		res, err := core.Optimize(q, core.Options{Algorithm: alg, F: f})
+		res, err := core.Optimize(q, core.Options{Algorithm: alg, F: f, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,11 +63,11 @@ func BenchmarkFig15(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, q := range qs {
-					d, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp})
+					d, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp, Workers: 1})
 					if err != nil {
 						b.Fatal(err)
 					}
-					p, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+					p, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Workers: 1})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -127,7 +131,7 @@ func BenchmarkFig17(b *testing.B) {
 	qs := workload(n, 8)
 	opt := make([]float64, len(qs))
 	for i, q := range qs {
-		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +143,7 @@ func BenchmarkFig17(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for qi, q := range qs {
-					res, err := core.Optimize(q, core.Options{Algorithm: h.alg, F: h.f})
+					res, err := core.Optimize(q, core.Options{Algorithm: h.alg, F: h.f, Workers: 1})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -198,11 +202,115 @@ func BenchmarkTable2(b *testing.B) {
 		} {
 			b.Run(name+"/"+alg.name, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := core.Optimize(q, core.Options{Algorithm: alg.a, F: alg.f}); err != nil {
+					if _, err := core.Optimize(q, core.Options{Algorithm: alg.a, F: alg.f, Workers: 1}); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
+		}
+	}
+}
+
+// starQuery builds an n-relation star: a large fact relation inner-joined
+// to n-1 keyed dimensions through foreign keys, grouped on a fact
+// attribute. Star graphs are the parallel driver's best case: level L
+// holds C(n-1, L-1) distinct subproblem keys, so every level fans out.
+func starQuery(n int) *query.Query {
+	q := query.New()
+	fact := q.AddRelation("fact", 1_000_000)
+	g := q.AddAttr(fact, "fact.g", 50)
+	v := q.AddAttr(fact, "fact.v", 500_000)
+	root := &query.OpNode{Kind: query.KindScan, Rel: fact}
+	for i := 1; i < n; i++ {
+		card := float64(100 * i)
+		d := q.AddRelation(fmt.Sprintf("dim%d", i), card)
+		pk := q.AddAttr(d, fmt.Sprintf("dim%d.pk", i), card)
+		q.AddKey(d, pk)
+		fk := q.AddAttr(fact, fmt.Sprintf("fact.fk%d", i), card)
+		root = &query.OpNode{
+			Kind:  query.KindJoin,
+			Left:  root,
+			Right: &query.OpNode{Kind: query.KindScan, Rel: d},
+			Pred:  &query.Predicate{Left: []int{fk}, Right: []int{pk}, Selectivity: 1 / card},
+		}
+	}
+	q.Root = root
+	q.SetGrouping([]int{g}, aggfn.Vector{
+		{Out: "cnt", Kind: aggfn.CountStar},
+		{Out: "total", Kind: aggfn.Sum, Arg: q.AttrNames[v]},
+	})
+	return q
+}
+
+// chainQuery builds an n-relation chain R0 ⋈ R1 ⋈ … ⋈ R(n-1), grouped on
+// attributes of both endpoints. Chains are the parallel driver's hardest
+// case: level L holds only n-L+1 intervals, so the fan-out is narrow.
+func chainQuery(n int) *query.Query {
+	q := query.New()
+	cards := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cards[i] = float64(1000 * (1 + (i*7919)%97))
+		q.AddRelation(fmt.Sprintf("R%d", i), cards[i])
+	}
+	root := &query.OpNode{Kind: query.KindScan, Rel: 0}
+	for i := 1; i < n; i++ {
+		la := q.AddAttr(i-1, fmt.Sprintf("R%d.j%d", i-1, i), cards[i-1]/2)
+		ra := q.AddAttr(i, fmt.Sprintf("R%d.j%d", i, i), cards[i]/2)
+		root = &query.OpNode{
+			Kind:  query.KindJoin,
+			Left:  root,
+			Right: &query.OpNode{Kind: query.KindScan, Rel: i},
+			Pred:  &query.Predicate{Left: []int{la}, Right: []int{ra}, Selectivity: 2 / cards[i]},
+		}
+	}
+	q.Root = root
+	g0 := q.AddAttr(0, "R0.g", 20)
+	gn := q.AddAttr(n-1, fmt.Sprintf("R%d.g", n-1), 20)
+	v := q.AddAttr(0, "R0.v", cards[0])
+	q.SetGrouping([]int{g0, gn}, aggfn.Vector{
+		{Out: "cnt", Kind: aggfn.CountStar},
+		{Out: "total", Kind: aggfn.Sum, Arg: q.AttrNames[v]},
+	})
+	return q
+}
+
+// BenchmarkOptimizeParallel measures the parallel DP driver
+// (Options.Workers) on 12-relation chain and star workloads. Workers: 1 is
+// the sequential reference; plans are bit-identical for every worker
+// count, so the ns/op ratio between the sub-benchmarks is a pure speedup
+// measurement. Run on a multi-core machine to see the scaling (per-level
+// barriers bound the speedup by the widest level's task count; star
+// queries fan out much wider than chains).
+func BenchmarkOptimizeParallel(b *testing.B) {
+	shapes := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"star12", starQuery(12)},
+		{"chain12", chainQuery(12)},
+	}
+	algs := []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"H1", core.AlgH1},
+		{"EA-Prune", core.AlgEAPrune},
+	}
+	for _, sh := range shapes {
+		for _, a := range algs {
+			for _, w := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/workers=%d", sh.name, a.name, w), func(b *testing.B) {
+					var contention int64
+					for i := 0; i < b.N; i++ {
+						res, err := core.Optimize(sh.q, core.Options{Algorithm: a.alg, Workers: w})
+						if err != nil {
+							b.Fatal(err)
+						}
+						contention = res.Stats.ShardContention
+					}
+					b.ReportMetric(float64(contention), "contended-locks")
+				})
+			}
 		}
 	}
 }
@@ -249,7 +357,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					kept, built = 0, 0
 					for _, q := range qs {
-						res, err := core.Optimize(q, core.Options{Algorithm: cfg.alg})
+						res, err := core.Optimize(q, core.Options{Algorithm: cfg.alg, Workers: 1})
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -282,7 +390,7 @@ func BenchmarkAblationEagerVariants(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					built = 0
 					for _, q := range qs {
-						res, err := core.Optimize(q, core.Options{Algorithm: cfg.alg})
+						res, err := core.Optimize(q, core.Options{Algorithm: cfg.alg, Workers: 1})
 						if err != nil {
 							b.Fatal(err)
 						}
@@ -308,7 +416,7 @@ func BenchmarkExecution(b *testing.B) {
 		{"lazy-DPhyp", core.AlgDPhyp},
 		{"eager-EA-Prune", core.AlgEAPrune},
 	} {
-		res, err := core.Optimize(q, core.Options{Algorithm: cfg.alg})
+		res, err := core.Optimize(q, core.Options{Algorithm: cfg.alg, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -331,7 +439,7 @@ func BenchmarkBeamWidths(b *testing.B) {
 	qs := workload(n, 6)
 	opt := make([]float64, len(qs))
 	for i, q := range qs {
-		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -342,7 +450,7 @@ func BenchmarkBeamWidths(b *testing.B) {
 			ratioSum, samples := 0.0, 0
 			for i := 0; i < b.N; i++ {
 				for qi, q := range qs {
-					res, err := core.Optimize(q, core.Options{Algorithm: core.AlgBeam, BeamWidth: k})
+					res, err := core.Optimize(q, core.Options{Algorithm: core.AlgBeam, BeamWidth: k, Workers: 1})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -373,11 +481,11 @@ func BenchmarkAblationFDReduce(b *testing.B) {
 			q := qs["Q10"]
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				d, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp, FDReduceGroups: mode.reduce})
+				d, err := core.Optimize(q, core.Options{Algorithm: core.AlgDPhyp, FDReduceGroups: mode.reduce, Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				p, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, FDReduceGroups: mode.reduce})
+				p, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, FDReduceGroups: mode.reduce, Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}

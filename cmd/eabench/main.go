@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"eagg/internal/experiments"
 )
@@ -28,7 +29,11 @@ func main() {
 	maxN := flag.Int("maxn", 14, "largest relation count for the fast algorithms (paper: 20)")
 	maxNPrune := flag.Int("maxn-prune", 10, "largest relation count for EA-Prune (paper: ~13)")
 	maxNExh := flag.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
+	workers := flag.Int("workers", 1, "optimizer workers per query (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans are identical for every value")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	cfg := experiments.Config{
 		Queries:        *queries,
@@ -36,6 +41,7 @@ func main() {
 		MaxN:           *maxN,
 		MaxNPrune:      *maxNPrune,
 		MaxNExhaustive: *maxNExh,
+		Workers:        *workers,
 	}
 
 	selectedFig := func(n int) bool { return *fig == 0 && *table == 0 || *fig == n }

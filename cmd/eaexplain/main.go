@@ -28,6 +28,8 @@ func main() {
 	demo := flag.String("demo", "", "built-in query: ex, q3, q5, q10")
 	spec := flag.String("spec", "", "JSON query specification file ('-' for stdin)")
 	factor := flag.Float64("f", 1.03, "H2 tolerance factor")
+	workers := flag.Int("workers", 1, "optimizer workers (0 = GOMAXPROCS); the plans are identical for every value")
+	levels := flag.Bool("levels", false, "print per-level DP timing (pairs, subsets, duration)")
 	flag.Parse()
 
 	var q *query.Query
@@ -74,7 +76,7 @@ func main() {
 	}
 	var base float64
 	for i, r := range runs {
-		res, err := core.Optimize(q, core.Options{Algorithm: r.alg, F: r.f})
+		res, err := core.Optimize(q, core.Options{Algorithm: r.alg, F: r.f, Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eaexplain: %s: %v\n", r.name, err)
 			os.Exit(1)
@@ -85,6 +87,16 @@ func main() {
 		fmt.Printf("=== %s ===\n", r.name)
 		fmt.Printf("cost %.6g (%.4g× DPhyp), %d csg-cmp-pairs, %d trees built\n",
 			res.Plan.Cost, res.Plan.Cost/base, res.Stats.CsgCmpPairs, res.Stats.PlansBuilt)
+		if res.Stats.Workers > 1 {
+			fmt.Printf("workers %d, %d levels, shard contention %d\n",
+				res.Stats.Workers, len(res.Stats.Levels), res.Stats.ShardContention)
+		}
+		if *levels {
+			for _, l := range res.Stats.Levels {
+				fmt.Printf("  level %2d: %6d pairs over %6d subsets in %v\n",
+					l.Level, l.Pairs, l.Subsets, l.Duration)
+			}
+		}
 		fmt.Print(res.Plan.StringWithQuery(q))
 		fmt.Println()
 	}

@@ -53,7 +53,10 @@ type Predicate = query.Predicate
 // Plan is an optimized operator tree with logical properties.
 type Plan = plan.Plan
 
-// Options select the algorithm and its parameters.
+// Options select the algorithm and its parameters, including Workers: the
+// DP driver parallelizes across result-set levels (0 = GOMAXPROCS, 1 =
+// sequential reference) and returns bit-identical plans for every worker
+// count. See the README's "Parallel optimization" section.
 type Options = core.Options
 
 // Result carries the optimized plan and search statistics.

@@ -1,0 +1,3 @@
+module eagg
+
+go 1.24

@@ -8,10 +8,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"time"
 
 	"eagg/internal/bitset"
 	"eagg/internal/conflict"
 	"eagg/internal/cost"
+	"eagg/internal/hypergraph"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 )
@@ -69,6 +72,12 @@ type Options struct {
 	// sets in the cardinality estimator (sharper estimates; departs from
 	// the paper's evaluation conditions — see internal/cost).
 	FDReduceGroups bool
+	// Workers is the number of goroutines the DP driver uses. 0 selects
+	// GOMAXPROCS; 1 runs the sequential reference path. The parallel
+	// driver buckets csg-cmp-pairs by result-set cardinality and seals
+	// one level at a time, so any worker count produces plans
+	// bit-identical to the sequential run (see parallel.go).
+	Workers int
 }
 
 // Stats reports search effort.
@@ -76,6 +85,21 @@ type Stats struct {
 	CsgCmpPairs int // pairs enumerated
 	PlansBuilt  int // operator trees constructed (incl. discarded)
 	TablePlans  int // plans retained across all DP-table entries
+	Workers     int // goroutines the DP driver used (1 = sequential)
+	// Levels holds one entry per sealed DP level, in processing order.
+	Levels []LevelStat
+	// ShardContention counts contended shard-lock acquisitions in the
+	// parallel driver's staging table (always 0 for the sequential path).
+	ShardContention int64
+}
+
+// LevelStat records the work done for one DP level: all csg-cmp-pairs
+// whose result set |S1 ∪ S2| has the same cardinality.
+type LevelStat struct {
+	Level    int           // result-set cardinality
+	Pairs    int           // csg-cmp-pairs processed
+	Subsets  int           // distinct subproblem keys (the parallel task granularity)
+	Duration time.Duration // wall-clock time to seal the level
 }
 
 // Result is an optimization outcome.
@@ -160,30 +184,25 @@ func (g *generator) run() (*Result, error) {
 		g.table[bitset.Single64(r)] = []*plan.Plan{g.est.Scan(r)}
 	}
 	if len(g.q.Relations) == 1 {
+		g.stats.Workers = 1 // no pairs to enumerate; trivially sequential
 		best := g.table[bitset.Single64(0)][0]
-		return &Result{Plan: g.finalize(best), Stats: g.stats}, nil
+		return &Result{Plan: g.finalize(g.est, best), Stats: g.stats}, nil
 	}
 
-	// Component 2: enumerate csg-cmp-pairs (Fig. 5, line 3).
+	// Component 2: enumerate csg-cmp-pairs (Fig. 5, line 3). They come
+	// back ordered by |S1 ∪ S2|, so the DP levels are contiguous runs.
 	pairs := g.det.Graph.CsgCmpPairs()
 	g.stats.CsgCmpPairs = len(pairs)
 
-	for _, pr := range pairs {
-		// Component 3: the applicability test per operator whose edge
-		// connects the pair (Fig. 5, lines 4-5).
-		for _, ei := range g.det.Graph.ConnectingEdges(pr.S1, pr.S2) {
-			op := g.det.OpForEdge(g.det.Graph.Edges[ei].Payload)
-			if op.Applicable(pr.S1, pr.S2) {
-				g.buildPlans(pr.S1, pr.S2, op)
-			}
-			// Commutative operators (B, K) could also be applied with
-			// swapped arguments (Fig. 5, lines 7-8). Under the symmetric
-			// C_out cost function the mirrored trees of Fig. 8 (e)-(h)
-			// have identical cost and properties, so we skip them.
-			if op.Node.Kind.Commutative() && op.Applicable(pr.S2, pr.S1) && !op.Applicable(pr.S1, pr.S2) {
-				g.buildPlans(pr.S2, pr.S1, op)
-			}
-		}
+	workers := g.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g.stats.Workers = workers
+	if workers > 1 {
+		g.runLevelsParallel(pairs, workers)
+	} else {
+		g.runLevelsSequential(pairs)
 	}
 
 	best := g.table[g.all]
@@ -199,6 +218,74 @@ func (g *generator) run() (*Result, error) {
 	return &Result{Plan: best[0], Stats: g.stats}, nil
 }
 
+// forEachLevel calls fn once per DP level with the contiguous slice of
+// pairs whose result set has that cardinality.
+func forEachLevel(pairs []hypergraph.CsgCmpPair, fn func(level int, chunk []hypergraph.CsgCmpPair)) {
+	for start := 0; start < len(pairs); {
+		level := pairs[start].S1.Union(pairs[start].S2).Len()
+		end := start + 1
+		for end < len(pairs) && pairs[end].S1.Union(pairs[end].S2).Len() == level {
+			end++
+		}
+		fn(level, pairs[start:end])
+		start = end
+	}
+}
+
+// runLevelsSequential is the reference driver: it consumes the pairs in
+// enumeration order, exactly like the paper's Fig. 5 loop, recording
+// per-level timing along the way.
+func (g *generator) runLevelsSequential(pairs []hypergraph.CsgCmpPair) {
+	forEachLevel(pairs, func(level int, chunk []hypergraph.CsgCmpPair) {
+		start := time.Now()
+		subsets := make(map[bitset.Set64]struct{}, len(chunk))
+		for _, pr := range chunk {
+			s := pr.S1.Union(pr.S2)
+			subsets[s] = struct{}{}
+			g.processPair(pr, s)
+		}
+		g.stats.Levels = append(g.stats.Levels, LevelStat{
+			Level: level, Pairs: len(chunk), Subsets: len(subsets), Duration: time.Since(start),
+		})
+	})
+}
+
+// forEachApplicable runs component 3 for one pair: the applicability test
+// per operator whose edge connects it (Fig. 5, lines 4-5), invoking apply
+// for every admissible orientation. Shared by the sequential and parallel
+// drivers so the commutativity guard cannot diverge between them.
+func (g *generator) forEachApplicable(pr hypergraph.CsgCmpPair, apply func(s1, s2 bitset.Set64, op *conflict.Op)) {
+	for _, ei := range g.det.Graph.ConnectingEdges(pr.S1, pr.S2) {
+		op := g.det.OpForEdge(g.det.Graph.Edges[ei].Payload)
+		if op.Applicable(pr.S1, pr.S2) {
+			apply(pr.S1, pr.S2, op)
+		}
+		// Commutative operators (B, K) could also be applied with
+		// swapped arguments (Fig. 5, lines 7-8). Under the symmetric
+		// C_out cost function the mirrored trees of Fig. 8 (e)-(h)
+		// have identical cost and properties, so we skip them.
+		if op.Node.Kind.Commutative() && op.Applicable(pr.S2, pr.S1) && !op.Applicable(pr.S1, pr.S2) {
+			apply(pr.S2, pr.S1, op)
+		}
+	}
+}
+
+// processPair is the sequential per-pair step.
+func (g *generator) processPair(pr hypergraph.CsgCmpPair, s bitset.Set64) {
+	topLevel := s == g.all
+	g.forEachApplicable(pr, func(s1, s2 bitset.Set64, op *conflict.Op) {
+		g.applySequential(s, s1, s2, op, topLevel)
+	})
+}
+
+func (g *generator) applySequential(s, s1, s2 bitset.Set64, op *conflict.Op, topLevel bool) {
+	entry, built := g.buildInto(g.est, g.table[s], s, s1, s2, op, topLevel)
+	g.stats.PlansBuilt += built
+	if built > 0 {
+		g.table[s] = entry
+	}
+}
+
 // preds collects the predicates of every edge connecting S1 and S2, so
 // cyclic query graphs apply all cross predicates at once.
 func (g *generator) preds(s1, s2 bitset.Set64) []*query.Predicate {
@@ -209,50 +296,63 @@ func (g *generator) preds(s1, s2 bitset.Set64) []*query.Predicate {
 	return out
 }
 
-// buildPlans dispatches to the per-algorithm BuildPlans variant.
-func (g *generator) buildPlans(s1, s2 bitset.Set64, op *conflict.Op) {
+// buildInto constructs every operator tree for (s1, s2, op) — reading the
+// component subplans from sealed table levels — and folds each tree
+// through the algorithm's retention policy into entry, the caller-owned
+// plan list for the result set s. It returns the updated entry and the
+// number of trees built. The table is only ever read here, which is what
+// lets the parallel driver's level workers share it lock-free.
+func (g *generator) buildInto(est *cost.Estimator, entry []*plan.Plan, s, s1, s2 bitset.Set64, op *conflict.Op, topLevel bool) ([]*plan.Plan, int) {
 	t1s, ok1 := g.table[s1]
 	t2s, ok2 := g.table[s2]
 	if !ok1 || !ok2 {
 		// The enumeration may emit pairs whose components are not
 		// buildable (or were blocked by applicability); skip them.
-		return
+		return entry, 0
 	}
 	preds := g.preds(s1, s2)
-	s := s1.Union(s2)
+	built := 0
 	for _, t1 := range t1s {
 		for _, t2 := range t2s {
-			for _, tree := range g.opTrees(t1, t2, op, preds) {
-				g.stats.PlansBuilt++
-				if s == g.all {
-					g.insertTopLevelPlan(s, tree)
+			for _, tree := range g.opTrees(est, t1, t2, op, preds) {
+				built++
+				if topLevel {
+					entry = insertTopLevelPlan(entry, tree)
 				} else {
-					g.insert(s, tree)
+					entry = g.insert(est, s, entry, tree)
 				}
 			}
 		}
 	}
+	return entry, built
 }
 
-// insert applies the algorithm's retention policy for non-top entries.
-func (g *generator) insert(s bitset.Set64, t *plan.Plan) {
+// insert applies the algorithm's retention policy for non-top entries and
+// returns the updated plan list.
+func (g *generator) insert(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	switch g.opts.Algorithm {
 	case AlgEAAll:
-		g.table[s] = append(g.table[s], t)
+		return append(entry, t)
 	case AlgEAPrune:
-		g.pruneDominatedPlans(s, t)
+		return g.pruneDominatedPlans(est, s, entry, t)
 	case AlgBeam:
-		g.insertBeam(s, t)
+		return g.insertBeam(entry, t)
 	case AlgH2:
-		cur := g.table[s]
-		if len(cur) == 0 || g.compareAdjustedCosts(t, cur[0], false) {
-			g.table[s] = []*plan.Plan{t}
+		if len(entry) == 0 {
+			return []*plan.Plan{t}
 		}
+		if g.compareAdjustedCosts(t, entry[0], false) {
+			entry[0] = t
+		}
+		return entry
 	default: // DPhyp, H1: single cheapest plan
-		cur := g.table[s]
-		if len(cur) == 0 || t.Cost < cur[0].Cost {
-			g.table[s] = []*plan.Plan{t}
+		if len(entry) == 0 {
+			return []*plan.Plan{t}
 		}
+		if t.Cost < entry[0].Cost {
+			entry[0] = t
+		}
+		return entry
 	}
 }
 
@@ -260,11 +360,14 @@ func (g *generator) insert(s bitset.Set64, t *plan.Plan) {
 // plans are always compared by plain cost and only the best one is kept.
 // The final grouping (or its elimination) has already been attached by
 // opTrees.
-func (g *generator) insertTopLevelPlan(s bitset.Set64, t *plan.Plan) {
-	cur := g.table[s]
-	if len(cur) == 0 || t.Cost < cur[0].Cost {
-		g.table[s] = []*plan.Plan{t}
+func insertTopLevelPlan(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+	if len(entry) == 0 {
+		return []*plan.Plan{t}
 	}
+	if t.Cost < entry[0].Cost {
+		entry[0] = t
+	}
+	return entry
 }
 
 // pruneDominatedPlans implements Fig. 13. Dominance (Def. 4) weakens the
@@ -273,21 +376,20 @@ func (g *generator) insertTopLevelPlan(s bitset.Set64, t *plan.Plan) {
 // are plan-dependent — additionally compares the distinct profile of the
 // grouping-relevant attributes (the quantitative counterpart of the FD
 // condition: it is what determines future grouping cardinalities).
-func (g *generator) pruneDominatedPlans(s bitset.Set64, t *plan.Plan) {
-	g.fillProfile(s, t)
-	cur := g.table[s]
-	for _, old := range cur {
+func (g *generator) pruneDominatedPlans(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+	g.fillProfileWith(est, s, t)
+	for _, old := range entry {
 		if dominates(old, t) {
-			return
+			return entry
 		}
 	}
-	kept := cur[:0]
-	for _, old := range cur {
+	kept := entry[:0]
+	for _, old := range entry {
 		if !dominates(t, old) {
 			kept = append(kept, old)
 		}
 	}
-	g.table[s] = append(kept, t)
+	return append(kept, t)
 }
 
 // profileAttrs returns the attributes whose distinct counts can influence
@@ -303,18 +405,26 @@ func (g *generator) profileAttrs(s bitset.Set64) bitset.Set64 {
 }
 
 func (g *generator) fillProfile(s bitset.Set64, t *plan.Plan) {
+	g.fillProfileWith(g.est, s, t)
+}
+
+// fillProfileWith computes the profile against the given estimator so
+// parallel workers can fill profiles through their own clone. Profiles are
+// pure functions of the plan and the query, so every clone produces the
+// same values.
+func (g *generator) fillProfileWith(est *cost.Estimator, s bitset.Set64, t *plan.Plan) {
 	if t.Profile != nil {
 		return
 	}
 	attrs := g.profileAttrs(s)
 	prof := make([]float64, 0, attrs.Len()+s.Len())
 	attrs.ForEach(func(a int) {
-		prof = append(prof, g.est.Distinct(a, t))
+		prof = append(prof, est.Distinct(a, t))
 	})
 	// Per-relation path cardinalities are a further hidden dimension:
 	// they cap future per-relation grouping contributions.
 	s.ForEach(func(rel int) {
-		prof = append(prof, g.est.RelPathCard(rel, t))
+		prof = append(prof, est.RelPathCard(rel, t))
 	})
 	t.Profile = prof
 }
@@ -370,25 +480,24 @@ func (g *generator) compareAdjustedCosts(t, cur *plan.Plan, topLevel bool) bool 
 // diversity: a candidate costing the same as a retained plan but with a
 // strictly smaller cardinality replaces it (small results are what future
 // groupings and joins profit from).
-func (g *generator) insertBeam(s bitset.Set64, t *plan.Plan) {
+func (g *generator) insertBeam(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	k := g.opts.BeamWidth
-	cur := g.table[s]
 	// Insert in cost order.
-	pos := len(cur)
-	for i, old := range cur {
+	pos := len(entry)
+	for i, old := range entry {
 		if t.Cost < old.Cost || (t.Cost == old.Cost && t.Card < old.Card) {
 			pos = i
 			break
 		}
 	}
 	if pos >= k {
-		return
+		return entry
 	}
-	cur = append(cur, nil)
-	copy(cur[pos+1:], cur[pos:])
-	cur[pos] = t
-	if len(cur) > k {
-		cur = cur[:k]
+	entry = append(entry, nil)
+	copy(entry[pos+1:], entry[pos:])
+	entry[pos] = t
+	if len(entry) > k {
+		entry = entry[:k]
 	}
-	g.table[s] = cur
+	return entry
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"eagg/internal/bitset"
 	"eagg/internal/conflict"
+	"eagg/internal/cost"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 )
@@ -13,12 +14,12 @@ import (
 // elimination) when the tree completes the query.
 //
 // DPhyp mode and grouping-free queries produce only the base tree.
-func (g *generator) opTrees(t1, t2 *plan.Plan, op *conflict.Op, preds []*query.Predicate) []*plan.Plan {
+func (g *generator) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict.Op, preds []*query.Predicate) []*plan.Plan {
 	kind := op.Node.Kind
 	out := make([]*plan.Plan, 0, 4)
 	add := func(l, r *plan.Plan) {
-		tree := g.est.Op(kind, preds, l, r)
-		out = append(out, g.maybeFinalize(tree))
+		tree := est.Op(kind, preds, l, r)
+		out = append(out, g.maybeFinalize(est, tree))
 	}
 
 	add(t1, t2)
@@ -30,13 +31,13 @@ func (g *generator) opTrees(t1, t2 *plan.Plan, op *conflict.Op, preds []*query.P
 	if g.validPush(t1.Rels, true, kind) {
 		gp := g.gPlus(t1.Rels)
 		if g.needsGrouping(gp, t1) {
-			gl = g.est.Group(t1, gp)
+			gl = est.Group(t1, gp)
 		}
 	}
 	if g.validPush(t2.Rels, false, kind) {
 		gp := g.gPlus(t2.Rels)
 		if g.needsGrouping(gp, t2) {
-			gr = g.est.Group(t2, gp)
+			gr = est.Group(t2, gp)
 		}
 	}
 	if gl != nil {
@@ -54,14 +55,14 @@ func (g *generator) opTrees(t1, t2 *plan.Plan, op *conflict.Op, preds []*query.P
 // maybeFinalize attaches the final grouping to complete plans (Fig. 6,
 // lines 6-8 etc.): a grouping on G, or — when G contains a key of a
 // duplicate-free result — the free projection of Sec. 3.2.
-func (g *generator) maybeFinalize(tree *plan.Plan) *plan.Plan {
+func (g *generator) maybeFinalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
 	if tree.Rels != g.all {
 		return tree
 	}
-	return g.finalize(tree)
+	return g.finalize(est, tree)
 }
 
-func (g *generator) finalize(tree *plan.Plan) *plan.Plan {
+func (g *generator) finalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
 	if !g.q.HasGrouping {
 		return tree
 	}
@@ -69,10 +70,10 @@ func (g *generator) finalize(tree *plan.Plan) *plan.Plan {
 	// closure of G is valid: a key *implied* by the grouping attributes
 	// eliminates the final grouping just like one contained in them
 	// (Sec. 3.2 with FD+ instead of the syntactic test).
-	if tree.DupFree && tree.HasKeySubsetOf(g.est.FDClosure(g.q.GroupBy)) {
-		return g.est.Project(tree)
+	if tree.DupFree && tree.HasKeySubsetOf(est.FDClosure(g.q.GroupBy)) {
+		return est.Project(tree)
 	}
-	return g.est.FinalGroup(tree)
+	return est.FinalGroup(tree)
 }
 
 // needsGrouping implements Fig. 7: grouping on attrs is unnecessary iff

@@ -1,0 +1,197 @@
+// Parallel DP driver. Csg-cmp-pairs are bucketed by result-set cardinality
+// (the DP "levels"); within a level every pair writes only entries of that
+// level and reads only strictly smaller, already-sealed levels, so a
+// barrier between levels preserves the dynamic-programming dependency
+// order. Within a level the pairs are grouped by their result set (the
+// subproblem key |S1 ∪ S2| identifies the DP-table entry) and each group is
+// claimed by exactly one worker, which folds the group's operator trees
+// through the retention policy in the exact order the sequential driver
+// would and publishes the finished entry once into a sharded staging
+// table. At the barrier the staged entries are sealed into the main table
+// single-threaded. Because per-entry insertion order is preserved and all
+// estimates are pure functions of the query, any worker count produces
+// plans bit-identical to the sequential reference path (Workers: 1).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eagg/internal/bitset"
+	"eagg/internal/conflict"
+	"eagg/internal/cost"
+	"eagg/internal/hypergraph"
+	"eagg/internal/plan"
+)
+
+// tableShards is the number of staging shards (a power of two). Entries
+// are spread by hash of the subproblem key, so with 64 shards even dozens
+// of workers rarely collide on a shard lock.
+const tableShards = 64
+
+type tableShard struct {
+	mu      sync.Mutex
+	entries map[bitset.Set64][]*plan.Plan
+	// Pad the 8-byte mutex + 8-byte map header to a full 64-byte cache
+	// line so adjacent shard locks don't false-share.
+	_ [48]byte
+}
+
+// stagingTable buffers the entries of the level currently being processed.
+// Workers write finished entries under the shard mutex; the sealed main
+// table is never written during a level, so workers read it lock-free.
+type stagingTable struct {
+	shards     [tableShards]tableShard
+	contention atomic.Int64
+}
+
+func newStagingTable() *stagingTable {
+	st := &stagingTable{}
+	for i := range st.shards {
+		st.shards[i].entries = make(map[bitset.Set64][]*plan.Plan)
+	}
+	return st
+}
+
+// shardOf hashes the subproblem key to a shard index. The raw bit pattern
+// is heavily clustered (all keys of a level share a popcount), so it is
+// run through a splitmix64-style finalizer first.
+func shardOf(s bitset.Set64) int {
+	x := uint64(s)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x & (tableShards - 1))
+}
+
+func (st *stagingTable) put(s bitset.Set64, entry []*plan.Plan) {
+	sh := &st.shards[shardOf(s)]
+	if !sh.mu.TryLock() {
+		st.contention.Add(1)
+		sh.mu.Lock()
+	}
+	sh.entries[s] = entry
+	sh.mu.Unlock()
+}
+
+// sealInto moves every staged entry into the main table and resets the
+// shards for the next level. Runs single-threaded at the level barrier.
+func (st *stagingTable) sealInto(table map[bitset.Set64][]*plan.Plan) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		for s, e := range sh.entries {
+			table[s] = e
+			delete(sh.entries, s)
+		}
+	}
+}
+
+// subsetTask is the parallel work unit: every csg-cmp-pair of one level
+// sharing the same result set, in enumeration order. Single ownership per
+// subproblem key is what keeps the retention-policy insertion order — and
+// hence the retained plans — identical to the sequential driver.
+type subsetTask struct {
+	s     bitset.Set64
+	pairs []hypergraph.CsgCmpPair
+}
+
+// groupBySubset splits a level's pairs into per-result-set tasks,
+// preserving both first-appearance order of the keys and pair order within
+// each key.
+func groupBySubset(chunk []hypergraph.CsgCmpPair) []subsetTask {
+	idx := make(map[bitset.Set64]int, len(chunk))
+	tasks := make([]subsetTask, 0, len(chunk))
+	for _, pr := range chunk {
+		s := pr.S1.Union(pr.S2)
+		i, ok := idx[s]
+		if !ok {
+			i = len(tasks)
+			idx[s] = i
+			tasks = append(tasks, subsetTask{s: s})
+		}
+		tasks[i].pairs = append(tasks[i].pairs, pr)
+	}
+	return tasks
+}
+
+// processSubset builds the complete DP-table entry for one subproblem key:
+// the edge loop of Fig. 5 over every pair of the task, folded through the
+// retention policy into a locally owned plan list.
+func (g *generator) processSubset(est *cost.Estimator, task subsetTask) ([]*plan.Plan, int) {
+	topLevel := task.s == g.all
+	var entry []*plan.Plan
+	built := 0
+	apply := func(s1, s2 bitset.Set64, op *conflict.Op) {
+		var n int
+		entry, n = g.buildInto(est, entry, task.s, s1, s2, op, topLevel)
+		built += n
+	}
+	for _, pr := range task.pairs {
+		g.forEachApplicable(pr, apply)
+	}
+	return entry, built
+}
+
+// runLevelsParallel processes the DP levels with a worker pool. Workers
+// claim subset tasks off a shared atomic cursor; each worker estimates
+// through its own estimator clone (the clones share the immutable query
+// analysis but own their cardinality caches, so no estimator lock exists
+// on the hot path).
+func (g *generator) runLevelsParallel(pairs []hypergraph.CsgCmpPair, workers int) {
+	staging := newStagingTable()
+	ests := make([]*cost.Estimator, workers)
+	ests[0] = g.est
+	for i := 1; i < workers; i++ {
+		ests[i] = g.est.Clone()
+	}
+	forEachLevel(pairs, func(level int, chunk []hypergraph.CsgCmpPair) {
+		start := time.Now()
+		tasks := groupBySubset(chunk)
+		nw := workers
+		if nw > len(tasks) {
+			nw = len(tasks)
+		}
+		if nw <= 1 {
+			// A single subproblem key cannot fan out; skip the pool.
+			for _, task := range tasks {
+				entry, built := g.processSubset(g.est, task)
+				g.stats.PlansBuilt += built
+				if len(entry) > 0 {
+					g.table[task.s] = entry
+				}
+			}
+		} else {
+			var cursor, built atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(est *cost.Estimator) {
+					defer wg.Done()
+					local := 0
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(tasks) {
+							break
+						}
+						entry, n := g.processSubset(est, tasks[i])
+						local += n
+						if len(entry) > 0 {
+							staging.put(tasks[i].s, entry)
+						}
+					}
+					built.Add(int64(local))
+				}(ests[w])
+			}
+			wg.Wait()
+			staging.sealInto(g.table)
+			g.stats.PlansBuilt += int(built.Load())
+		}
+		g.stats.Levels = append(g.stats.Levels, LevelStat{
+			Level: level, Pairs: len(chunk), Subsets: len(tasks), Duration: time.Since(start),
+		})
+	})
+	g.stats.ShardContention = staging.contention.Load()
+}

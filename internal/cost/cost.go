@@ -78,6 +78,22 @@ func NewEstimator(q *query.Query) *Estimator {
 	return e
 }
 
+// Clone returns an estimator sharing the immutable query analysis (the
+// predicate list and the FD set never change after NewEstimator) but
+// owning a private canonical-cardinality cache. Concurrent optimizer
+// workers each estimate through their own clone, so the hot path needs no
+// synchronization; cached values are pure functions of the query, so every
+// clone stays numerically identical to the original.
+func (e *Estimator) Clone() *Estimator {
+	return &Estimator{
+		Q:              e.Q,
+		preds:          e.preds,
+		canon:          make(map[bitset.Set64]float64, len(e.canon)),
+		fds:            e.fds,
+		FDReduceGroups: e.FDReduceGroups,
+	}
+}
+
 // FDClosure returns the attribute closure under the query-level functional
 // dependencies. Being query-level (not plan-level), it is identical for
 // every plan of the same query, so using it in pruning-relevant decisions

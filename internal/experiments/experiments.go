@@ -31,6 +31,13 @@ type Config struct {
 	MaxNPrune int
 	// MaxN bounds the fast algorithms (paper: 20).
 	MaxN int
+	// Workers is the optimizer worker count passed to
+	// core.Options.Workers. Unlike core, 0 here selects the sequential
+	// default (1) so the runtime experiments keep reproducing the
+	// paper's single-threaded conditions unless parallelism is
+	// explicitly requested. Results are bit-identical for every value;
+	// only the runtime figures change.
+	Workers int
 }
 
 // Defaults fills unset fields.
@@ -50,6 +57,9 @@ func (c Config) Defaults() Config {
 	if c.MaxN == 0 {
 		c.MaxN = 16
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
 	return c
 }
 
@@ -64,8 +74,8 @@ func queriesFor(cfg Config, n int) []*query.Query {
 	return out
 }
 
-func mustOptimize(q *query.Query, alg core.Algorithm, f float64) *core.Result {
-	res, err := core.Optimize(q, core.Options{Algorithm: alg, F: f})
+func mustOptimize(q *query.Query, alg core.Algorithm, f float64, workers int) *core.Result {
+	res, err := core.Optimize(q, core.Options{Algorithm: alg, F: f, Workers: workers})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v failed: %v", alg, err))
 	}
@@ -121,8 +131,8 @@ func Fig15(cfg Config) *Figure {
 		sum, logSum, maxRatio := 0.0, 0.0, 0.0
 		qs := queriesFor(cfg, n)
 		for _, q := range qs {
-			d := mustOptimize(q, core.AlgDPhyp, 0)
-			p := mustOptimize(q, core.AlgEAPrune, 0)
+			d := mustOptimize(q, core.AlgDPhyp, 0, cfg.Workers)
+			p := mustOptimize(q, core.AlgEAPrune, 0, cfg.Workers)
 			r := d.Plan.Cost / p.Plan.Cost
 			sum += r
 			logSum += math.Log(r)
@@ -154,7 +164,7 @@ func Fig16(cfg Config) *Figure {
 		run := func(name string, alg core.Algorithm) {
 			start := time.Now()
 			for _, q := range qs {
-				mustOptimize(q, alg, 0)
+				mustOptimize(q, alg, 0, cfg.Workers)
 			}
 			vals[name] = time.Since(start).Seconds() / float64(len(qs))
 		}
@@ -187,11 +197,11 @@ func Fig17(cfg Config) *Figure {
 		qs := queriesFor(cfg, n)
 		sums := map[string]float64{}
 		for _, q := range qs {
-			opt := mustOptimize(q, core.AlgEAPrune, 0).Plan.Cost
-			sums["H1"] += mustOptimize(q, core.AlgH1, 0).Plan.Cost / opt
+			opt := mustOptimize(q, core.AlgEAPrune, 0, cfg.Workers).Plan.Cost
+			sums["H1"] += mustOptimize(q, core.AlgH1, 0, cfg.Workers).Plan.Cost / opt
 			for _, f := range factors {
 				key := fmt.Sprintf("H2 F=%.2f", f)
-				sums[key] += mustOptimize(q, core.AlgH2, f).Plan.Cost / opt
+				sums[key] += mustOptimize(q, core.AlgH2, f, cfg.Workers).Plan.Cost / opt
 			}
 		}
 		vals := map[string]float64{}
@@ -217,12 +227,12 @@ func Fig18(cfg Config) *Figure {
 		qs := queriesFor(cfg, n)
 		startH1 := time.Now()
 		for _, q := range qs {
-			mustOptimize(q, core.AlgH1, 0)
+			mustOptimize(q, core.AlgH1, 0, cfg.Workers)
 		}
 		h1 := time.Since(startH1).Seconds()
 		startH2 := time.Now()
 		for _, q := range qs {
-			mustOptimize(q, core.AlgH2, 1.03)
+			mustOptimize(q, core.AlgH2, 1.03, cfg.Workers)
 		}
 		h2 := time.Since(startH2).Seconds()
 		fig.Points = append(fig.Points, Point{N: n, Values: map[string]float64{"H2/H1": h2 / h1}})

@@ -160,6 +160,36 @@ func (p *Plan) render(b *strings.Builder, depth int, q *query.Query) {
 	}
 }
 
+// Equal reports whether two plans are structurally identical with
+// bit-identical estimates — the determinism contract between the
+// sequential and parallel plan generators. Profiles are excluded: they are
+// lazily filled caches, not plan properties. Predicates are compared by
+// identity, which is exact when both plans optimize the same Query.
+func Equal(a, b *Plan) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Rels != b.Rels || a.Rel != b.Rel || a.Op != b.Op ||
+		a.GroupBy != b.GroupBy || a.Final != b.Final ||
+		a.Card != b.Card || a.Cost != b.Cost || a.DupFree != b.DupFree {
+		return false
+	}
+	if len(a.Keys) != len(b.Keys) || len(a.Preds) != len(b.Preds) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	for i := range a.Preds {
+		if a.Preds[i] != b.Preds[i] {
+			return false
+		}
+	}
+	return Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+}
+
 // Signature returns a canonical string identifying the plan's structure
 // (used by tests to compare plans irrespective of pointer identity).
 func (p *Plan) Signature() string {
