@@ -7,9 +7,19 @@
 //	eabench -fig 15 -queries 100     # one figure, bigger sample
 //	eabench -table 2                 # the TPC-H table
 //	eabench -queries 10000 -maxn 20  # the paper's full scale (slow!)
+//	eabench -exec -sf 50             # execute plans on generated data
+//	eabench -exec -query Q3 -sf 100  # one query, bigger instance
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
+//
+// The -exec mode leaves the optimizer benchmarks behind and measures the
+// execution runtime: each TPC-H query is optimized lazily (DPhyp) and
+// eagerly (EA-Prune), both plans plus the canonical initial tree run on
+// synthetic data scaled by -sf, results are verified to be identical, and
+// the report shows wall time, throughput (intermediate + final rows per
+// second) and the q-error between the C_out cost estimate and the
+// measured intermediate-result volume.
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"eagg/internal/experiments"
 )
@@ -30,6 +41,9 @@ func main() {
 	maxNPrune := flag.Int("maxn-prune", 10, "largest relation count for EA-Prune (paper: ~13)")
 	maxNExh := flag.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
 	workers := flag.Int("workers", 1, "optimizer workers per query (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans are identical for every value")
+	execMode := flag.Bool("exec", false, "execute optimized vs canonical plans on generated data instead of running optimizer benchmarks")
+	sf := flag.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes")
+	execQuery := flag.String("query", "", "-exec: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -42,6 +56,22 @@ func main() {
 		MaxNPrune:      *maxNPrune,
 		MaxNExhaustive: *maxNExh,
 		Workers:        *workers,
+	}
+
+	if *execMode {
+		var names []string
+		if *execQuery != "" {
+			for _, n := range strings.Split(*execQuery, ",") {
+				names = append(names, strings.TrimSpace(n))
+			}
+		}
+		rep := experiments.ExecEval(cfg, *sf, names)
+		fmt.Print(rep.Format())
+		if !rep.AllMatch() {
+			fmt.Fprintln(os.Stderr, "eabench: some optimized plans did not reproduce the canonical result")
+			os.Exit(1)
+		}
+		return
 	}
 
 	selectedFig := func(n int) bool { return *fig == 0 && *table == 0 || *fig == n }

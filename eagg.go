@@ -71,11 +71,25 @@ type Agg = aggfn.Agg
 // Vector is an ordered aggregation vector F.
 type Vector = aggfn.Vector
 
-// Rel is a bag-semantics relation used by Execute.
+// Rel is a bag-semantics relation: the map-tuple boundary representation
+// used to construct inputs and compare results.
 type Rel = algebra.Rel
+
+// Table is a slot-based relation: the flat-row representation the
+// execution runtime works on. Convert with algebra.TableOf / Table.Rel,
+// or build tables directly.
+type Table = algebra.Table
 
 // Data maps relation ids to contents for Execute.
 type Data = engine.Data
+
+// TableData maps relation ids to slot-based tables for ExecuteTables;
+// obtain it from Data.Tables() or a columnar generator.
+type TableData = engine.TableData
+
+// ExecStats profiles one execution: the measured intermediate-result
+// volume (actual C_out) against the plan's estimate.
+type ExecStats = engine.ExecStats
 
 // The plan generators: the paper's five (Sec. 4) plus the beam extension.
 const (
@@ -146,15 +160,35 @@ func Optimize(q *Query, opts Options) (*Result, error) {
 }
 
 // Execute runs an optimized plan on concrete data, returning the result
-// relation over G ∪ A(F).
+// relation over G ∪ A(F). Execution is slot-based: equi-joins run as
+// build/probe hash joins and groupings as typed hash aggregation (see
+// DESIGN.md).
 func Execute(q *Query, p *Plan, data Data) (*Rel, error) {
 	return engine.Exec(q, p, data)
+}
+
+// ExecuteTables is Execute on slot-based tables, avoiding the boundary
+// conversion for callers that already hold columnar data.
+func ExecuteTables(q *Query, p *Plan, data TableData) (*Table, error) {
+	return engine.ExecTables(q, p, data)
+}
+
+// ExecuteProfiled is ExecuteTables plus execution statistics: the actual
+// intermediate-result volume to compare against the plan's C_out
+// estimate.
+func ExecuteProfiled(q *Query, p *Plan, data TableData) (*Table, *ExecStats, error) {
+	return engine.ExecProfiled(q, p, data)
 }
 
 // Canonical evaluates the query as written (initial tree + top grouping):
 // the reference result for Execute.
 func Canonical(q *Query, data Data) (*Rel, error) {
 	return engine.Canonical(q, data)
+}
+
+// CanonicalTables is Canonical on slot-based tables.
+func CanonicalTables(q *Query, data TableData) (*Table, error) {
+	return engine.CanonicalTables(q, data)
 }
 
 // OutputAttrs returns the result schema of the query.

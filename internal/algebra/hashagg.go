@@ -1,0 +1,253 @@
+package algebra
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+)
+
+// Typed hash aggregation: the slot-based counterpart of Group and
+// GroupJoin. An aggregation vector is bound against a schema once
+// (attribute names → slots), groups are keyed by the collision-proof
+// typed encoding of hashkey.go with grouping equality (NULL = NULL,
+// kind-sensitive otherwise), and every aggregate folds its group
+// incrementally through a small accumulator instead of re-scanning
+// collected tuple slices. Rows are folded in input order, so even
+// order-sensitive float summation matches the reference operators bit for
+// bit.
+
+// BoundAgg is one aggregate of a vector with its inputs resolved to
+// slots. Slot -1 means "attribute absent", which reads as NULL exactly
+// like the map runtime.
+type BoundAgg struct {
+	Kind           aggfn.Kind
+	Arg, Arg2, Wgt int
+}
+
+// BindVector resolves an aggregation vector against a schema.
+func BindVector(f aggfn.Vector, s *Schema) []BoundAgg {
+	out := make([]BoundAgg, len(f))
+	slot := func(name string) int {
+		if name == "" {
+			return -1
+		}
+		if i, ok := s.Slot(name); ok {
+			return i
+		}
+		return -1
+	}
+	for i, a := range f {
+		out[i] = BoundAgg{
+			Kind: a.Kind,
+			Arg:  slot(a.Arg),
+			Arg2: slot(a.Arg2),
+			Wgt:  slot(a.Weight),
+		}
+	}
+	return out
+}
+
+// aggCell is the accumulator state of one aggregate in one group.
+type aggCell struct {
+	count int64 // CountStar / Count / Avg denominator
+	sum   Value // running sum, min/max best, or numerator
+	sum2  Value // second running sum (denominators of the merge forms)
+	seen  map[string]struct{}
+	vals  []Value // distinct non-NULL values in first-seen order
+}
+
+// addTo folds one term into a running SQL sum: NULL terms are skipped and
+// the sum of no terms is NULL.
+func addTo(s Value, term Value) Value {
+	if term.IsNull() {
+		return s
+	}
+	if s.IsNull() {
+		return term
+	}
+	return Add(s, term)
+}
+
+// update folds one input row into the accumulator.
+func (c *aggCell) update(a *BoundAgg, row Row) {
+	switch a.Kind {
+	case aggfn.CountStar:
+		c.count++
+	case aggfn.Count:
+		if !row.get(a.Arg).IsNull() {
+			c.count++
+		}
+	case aggfn.Sum:
+		c.sum = addTo(c.sum, row.get(a.Arg))
+	case aggfn.SumTimes:
+		c.sum = addTo(c.sum, Mul(row.get(a.Arg), row.get(a.Arg2)))
+	case aggfn.SumIfNotNull:
+		if row.get(a.Arg).IsNull() {
+			c.sum = addTo(c.sum, Int(0))
+		} else {
+			c.sum = addTo(c.sum, row.get(a.Arg2))
+		}
+	case aggfn.Min, aggfn.Max:
+		v := row.get(a.Arg)
+		if v.IsNull() {
+			return
+		}
+		if c.sum.IsNull() {
+			c.sum = v
+			return
+		}
+		r, _ := CompareStrict(v, c.sum)
+		if (a.Kind == aggfn.Min && r < 0) || (a.Kind == aggfn.Max && r > 0) {
+			c.sum = v
+		}
+	case aggfn.Avg:
+		v := row.get(a.Arg)
+		c.sum = addTo(c.sum, v)
+		if !v.IsNull() {
+			c.count++
+		}
+	case aggfn.AvgMerge:
+		num, den := row.get(a.Arg), row.get(a.Arg2)
+		if a.Wgt >= 0 {
+			w := row.get(a.Wgt)
+			num, den = Mul(num, w), Mul(den, w)
+		}
+		c.sum = addTo(c.sum, num)
+		c.sum2 = addTo(c.sum2, den)
+	case aggfn.AvgWeighted:
+		v, w := row.get(a.Arg), row.get(a.Arg2)
+		c.sum = addTo(c.sum, Mul(v, w))
+		if v.IsNull() {
+			c.sum2 = addTo(c.sum2, Int(0))
+		} else {
+			c.sum2 = addTo(c.sum2, w)
+		}
+	case aggfn.SumDistinct, aggfn.CountDistinct, aggfn.AvgDistinct:
+		v := row.get(a.Arg)
+		if v.IsNull() {
+			return
+		}
+		if c.seen == nil {
+			c.seen = map[string]struct{}{}
+		}
+		k := string(appendKeyValue(nil, v))
+		if _, dup := c.seen[k]; !dup {
+			c.seen[k] = struct{}{}
+			c.vals = append(c.vals, v)
+		}
+	default:
+		panic(fmt.Sprintf("algebra: unknown aggregate kind %v", a.Kind))
+	}
+}
+
+// final produces the aggregate's result value.
+func (c *aggCell) final(a *BoundAgg) Value {
+	switch a.Kind {
+	case aggfn.CountStar, aggfn.Count:
+		return Int(c.count)
+	case aggfn.Sum, aggfn.SumTimes, aggfn.SumIfNotNull, aggfn.Min, aggfn.Max:
+		return c.sum
+	case aggfn.Avg:
+		return Div(c.sum, Int(c.count))
+	case aggfn.AvgMerge, aggfn.AvgWeighted:
+		return Div(c.sum, c.sum2)
+	case aggfn.CountDistinct:
+		return Int(int64(len(c.vals)))
+	case aggfn.SumDistinct:
+		var s Value = Null
+		for _, v := range c.vals {
+			s = addTo(s, v)
+		}
+		return s
+	case aggfn.AvgDistinct:
+		if len(c.vals) == 0 {
+			return Null
+		}
+		var s Value = Null
+		for _, v := range c.vals {
+			s = addTo(s, v)
+		}
+		return Div(s, Int(int64(len(c.vals))))
+	}
+	panic(fmt.Sprintf("algebra: unknown aggregate kind %v", a.Kind))
+}
+
+// groupAcc is the per-group state of a hash aggregation.
+type groupAcc struct {
+	rep   Row // representative grouping values
+	cells []aggCell
+}
+
+// HashGroup is the typed hash-aggregation form of Group: one output row
+// per distinct grouping key (grouping equality: NULLs form their own
+// group), in first-encounter order. The grouping attributes are resolved
+// against t's schema once; attributes absent from the schema read as a
+// NULL column, like in the map runtime. The output schema is the grouping
+// attributes followed by the vector's output attributes.
+func HashGroup(t *Table, groupBy []string, f aggfn.Vector) *Table {
+	bound := BindVector(f, t.Schema)
+	groupSlots := t.Schema.Slots(groupBy)
+	names := make([]string, 0, len(groupBy)+len(f))
+	names = append(names, groupBy...)
+	names = append(names, f.Outs()...)
+	out := &Table{Schema: NewSchema(names)}
+
+	groups := map[string]*groupAcc{}
+	var order []*groupAcc
+	var buf []byte
+	for _, row := range t.Rows {
+		buf = appendRowKey(buf[:0], row, groupSlots)
+		g := groups[string(buf)]
+		if g == nil {
+			rep := make(Row, len(groupSlots))
+			for i, s := range groupSlots {
+				rep[i] = row.get(s)
+			}
+			g = &groupAcc{rep: rep, cells: make([]aggCell, len(bound))}
+			groups[string(buf)] = g
+			order = append(order, g)
+		}
+		for i := range bound {
+			g.cells[i].update(&bound[i], row)
+		}
+	}
+	for _, g := range order {
+		row := make(Row, 0, len(groupSlots)+len(bound))
+		row = append(row, g.rep...)
+		for i := range bound {
+			row = append(row, g.cells[i].final(&bound[i]))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// HashGroupJoin is the typed build/probe form of GroupJoin: the right
+// side is hashed on its key slots, and every left row is extended by the
+// vector's aggregates over its (possibly empty) partner bucket. Strict
+// join equality applies to the keys.
+func HashGroupJoin(l, r *Table, lk, rk []int, f aggfn.Vector) *Table {
+	bound := BindVector(f, r.Schema)
+	names := append(append([]string(nil), l.Schema.Names()...), f.Outs()...)
+	out := &Table{Schema: NewSchema(names)}
+	ht := buildSide(r, rk)
+	var buf []byte
+	for _, lrow := range l.Rows {
+		cells := make([]aggCell, len(bound))
+		if !rowHasNullKey(lrow, lk) {
+			buf = appendJoinKey(buf[:0], lrow, lk)
+			for _, ri := range ht[string(buf)] {
+				for i := range bound {
+					cells[i].update(&bound[i], r.Rows[ri])
+				}
+			}
+		}
+		row := make(Row, 0, len(lrow)+len(bound))
+		row = append(row, lrow...)
+		for i := range bound {
+			row = append(row, cells[i].final(&bound[i]))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package algebra
+
+// Hash-based equi-join operators over slot-based tables. Each operator
+// takes paired key slot lists (lk[i] on the left schema matches rk[i] on
+// the right schema), builds a hash table over the right input keyed by the
+// collision-proof typed encoding of hashkey.go, and probes with the left
+// input. Join equality is strict: rows with a NULL key component match
+// nothing (they are never inserted and never probe successfully), exactly
+// like the nested-loop reference operators with EqStrict predicates.
+//
+// A slot of -1 stands for an attribute absent from the schema; it reads
+// as NULL and therefore matches nothing — the same behavior the map
+// runtime exhibits for unresolvable predicate attributes.
+//
+// With empty key lists every row shares the empty key and the operators
+// degenerate to their cross-product forms, again matching the reference
+// with an always-true predicate.
+//
+// Output row order equals the nested-loop order (probe rows in input
+// order, matches in build-input order), so results are identical as
+// sequences, not just as bags.
+
+// buildSide hashes the right input: key → indices of its rows, in input
+// order.
+func buildSide(r *Table, rk []int) map[string][]int32 {
+	m := make(map[string][]int32, len(r.Rows))
+	var buf []byte
+	for i, row := range r.Rows {
+		if rowHasNullKey(row, rk) {
+			continue
+		}
+		buf = appendJoinKey(buf[:0], row, rk)
+		m[string(buf)] = append(m[string(buf)], int32(i))
+	}
+	return m
+}
+
+// HashJoin returns the inner equi-join l ⋈ r.
+func HashJoin(l, r *Table, lk, rk []int) *Table {
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	ht := buildSide(r, rk)
+	var buf []byte
+	for _, lrow := range l.Rows {
+		if rowHasNullKey(lrow, lk) {
+			continue
+		}
+		buf = appendJoinKey(buf[:0], lrow, lk)
+		for _, ri := range ht[string(buf)] {
+			out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+		}
+	}
+	return out
+}
+
+// HashSemiJoin returns the left semijoin l ⋉ r.
+func HashSemiJoin(l, r *Table, lk, rk []int) *Table {
+	out := &Table{Schema: l.Schema}
+	ht := buildSide(r, rk)
+	var buf []byte
+	for _, lrow := range l.Rows {
+		if rowHasNullKey(lrow, lk) {
+			continue
+		}
+		buf = appendJoinKey(buf[:0], lrow, lk)
+		if len(ht[string(buf)]) > 0 {
+			out.Rows = append(out.Rows, lrow)
+		}
+	}
+	return out
+}
+
+// HashAntiJoin returns the left antijoin l ▷ r. Left rows with NULL key
+// components are kept: strict equality makes them match nothing.
+func HashAntiJoin(l, r *Table, lk, rk []int) *Table {
+	out := &Table{Schema: l.Schema}
+	ht := buildSide(r, rk)
+	var buf []byte
+	for _, lrow := range l.Rows {
+		if !rowHasNullKey(lrow, lk) {
+			buf = appendJoinKey(buf[:0], lrow, lk)
+			if len(ht[string(buf)]) > 0 {
+				continue
+			}
+		}
+		out.Rows = append(out.Rows, lrow)
+	}
+	return out
+}
+
+// HashLeftOuter returns the left outerjoin with a default padding row for
+// the right side (NULLs, overridden by engine default vectors). pad must
+// be a full row over r's schema.
+func HashLeftOuter(l, r *Table, lk, rk []int, pad Row) *Table {
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	ht := buildSide(r, rk)
+	var buf []byte
+	for _, lrow := range l.Rows {
+		matched := false
+		if !rowHasNullKey(lrow, lk) {
+			buf = appendJoinKey(buf[:0], lrow, lk)
+			for _, ri := range ht[string(buf)] {
+				matched = true
+				out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+			}
+		}
+		if !matched {
+			out.Rows = append(out.Rows, concatRow(lrow, pad))
+		}
+	}
+	return out
+}
+
+// HashFullOuter returns the full outerjoin with default padding rows for
+// either side.
+func HashFullOuter(l, r *Table, lk, rk []int, lpad, rpad Row) *Table {
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	ht := buildSide(r, rk)
+	matchedRight := make([]bool, len(r.Rows))
+	var buf []byte
+	for _, lrow := range l.Rows {
+		matched := false
+		if !rowHasNullKey(lrow, lk) {
+			buf = appendJoinKey(buf[:0], lrow, lk)
+			for _, ri := range ht[string(buf)] {
+				matched = true
+				matchedRight[ri] = true
+				out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+			}
+		}
+		if !matched {
+			out.Rows = append(out.Rows, concatRow(lrow, rpad))
+		}
+	}
+	for ri, rrow := range r.Rows {
+		if !matchedRight[ri] {
+			out.Rows = append(out.Rows, concatRow(lpad, rrow))
+		}
+	}
+	return out
+}
+
+// NullRow returns a row of NULLs over the schema.
+func NullRow(s *Schema) Row {
+	return make(Row, s.Len())
+}

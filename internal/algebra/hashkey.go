@@ -1,0 +1,97 @@
+package algebra
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Typed hash keys. The map runtime built grouping and duplicate-elimination
+// keys by concatenating human-readable value renderings with a separator,
+// which is ambiguous: a string value containing the separator and a type
+// tag could make two distinct tuples encode identically (see
+// TestGroupingKeyCollision). The slot runtime instead uses an unambiguous
+// binary encoding: every value is tagged with its kind, numeric payloads
+// are fixed-width, and string payloads are length-prefixed. No two
+// distinct value sequences share an encoding.
+//
+// Equality semantics follow the runtime's comparison rules for keys:
+// values are equal iff they agree in kind and payload. (Grouping equality
+// additionally makes NULL equal to NULL, which the encoding realizes by
+// giving NULL its own tag; join code never encodes NULL keys because
+// strict equality makes them match nothing.)
+
+const (
+	keyNull   = 0x00
+	keyInt    = 0x01
+	keyFloat  = 0x02
+	keyString = 0x03
+)
+
+// appendKeyValue appends the unambiguous binary encoding of v to b.
+func appendKeyValue(b []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(b, keyNull)
+	case KindInt:
+		b = append(b, keyInt)
+		return binary.BigEndian.AppendUint64(b, uint64(v.I))
+	case KindFloat:
+		b = append(b, keyFloat)
+		f := v.F
+		if math.IsNaN(f) {
+			// Canonicalize NaN payloads: the reference encoding renders
+			// every NaN as the same "NaN" token, so grouping treats all
+			// NaNs as one group.
+			f = math.NaN()
+		}
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+	case KindString:
+		b = append(b, keyString)
+		b = binary.AppendUvarint(b, uint64(len(v.S)))
+		return append(b, v.S...)
+	}
+	panic("algebra: unknown value kind in key encoding")
+}
+
+// appendRowKey appends the grouping key of row over the given slots:
+// kind-sensitive, exactly the equality that the reference runtime's
+// canonical tuple encoding implements. Slot -1 reads as NULL.
+func appendRowKey(b []byte, row Row, slots []int) []byte {
+	for _, s := range slots {
+		b = appendKeyValue(b, row.get(s))
+	}
+	return b
+}
+
+// appendJoinKey appends the join key of row over the given slots. Join
+// equality is numeric across kinds (Int(2) = Float(2.0), see eqNonNull),
+// so integral floats are normalized to the integer encoding. The
+// normalization is exact for |values| ≤ 2^53, the range where float64
+// represents integers exactly; the runtime's data domains stay far below
+// that.
+func appendJoinKey(b []byte, row Row, slots []int) []byte {
+	for _, s := range slots {
+		v := row.get(s)
+		if v.Kind == KindFloat {
+			if i := int64(v.F); float64(i) == v.F {
+				v = Int(i)
+			}
+		}
+		b = appendKeyValue(b, v)
+	}
+	return b
+}
+
+// rowHasNullKey reports whether any key slot of the row is NULL or NaN —
+// such rows match nothing under strict (join) equality: NULL by SQL
+// semantics, NaN because NaN ≠ NaN, exactly as the reference operators'
+// EqStrict comparison behaves.
+func rowHasNullKey(row Row, slots []int) bool {
+	for _, s := range slots {
+		v := row.get(s)
+		if v.IsNull() || (v.Kind == KindFloat && math.IsNaN(v.F)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package algebra
+
+import "fmt"
+
+// Schema is an ordered list of attribute names with O(1) name→slot
+// resolution. It is the slot-based runtime's replacement for per-tuple
+// name lookups: an operator resolves every attribute it touches to an
+// integer slot once, at compile time, and row access becomes an index
+// expression.
+//
+// Schemas are immutable after construction and may be shared freely
+// between tables.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema over the given attribute names. Names must be
+// unique; duplicates panic (schemas come from query compilation, not from
+// runtime input).
+func NewSchema(names []string) *Schema {
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range s.names {
+		if _, dup := s.index[n]; dup {
+			panic(fmt.Sprintf("algebra: duplicate attribute %q in schema", n))
+		}
+		s.index[n] = i
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Names returns the attribute names in slot order. The caller must not
+// mutate the returned slice.
+func (s *Schema) Names() []string { return s.names }
+
+// Name returns the attribute name of a slot.
+func (s *Schema) Name(slot int) string { return s.names[slot] }
+
+// Slot resolves an attribute name to its slot.
+func (s *Schema) Slot(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustSlot resolves an attribute name, panicking on unknown names (a
+// compilation bug, not runtime input).
+func (s *Schema) MustSlot(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("algebra: unknown attribute %q in schema %v", name, s.names))
+	}
+	return i
+}
+
+// Has reports whether the schema contains the attribute.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// Concat returns the concatenated schema s ◦ t. Attribute sets must be
+// disjoint in well-formed plans (operator outputs never alias).
+func (s *Schema) Concat(t *Schema) *Schema {
+	out := make([]string, 0, len(s.names)+len(t.names))
+	out = append(out, s.names...)
+	out = append(out, t.names...)
+	return NewSchema(out)
+}
+
+// Extend returns a schema with one extra attribute appended.
+func (s *Schema) Extend(name string) *Schema {
+	out := make([]string, 0, len(s.names)+1)
+	out = append(out, s.names...)
+	out = append(out, name)
+	return NewSchema(out)
+}
+
+// Slots resolves a list of attribute names at once. Unknown names resolve
+// to slot -1, which readers treat as a NULL column — mirroring the map
+// runtime, where absent attributes read as NULL.
+func (s *Schema) Slots(names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		if slot, ok := s.index[n]; ok {
+			out[i] = slot
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}

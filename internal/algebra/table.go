@@ -1,0 +1,98 @@
+package algebra
+
+// Row is a flat tuple: one Value per schema slot. The zero-length row is
+// valid for the empty schema.
+type Row []Value
+
+// get reads a resolved slot; slot -1 (unknown attribute) reads as NULL,
+// mirroring Tuple.Get on the map runtime.
+func (r Row) get(slot int) Value {
+	if slot < 0 {
+		return Null
+	}
+	return r[slot]
+}
+
+// Table is the slot-based counterpart of Rel: a bag of flat rows over a
+// shared Schema. It is the representation the execution engine runs on;
+// Rel remains the map-based construction and reference surface.
+type Table struct {
+	Schema *Schema
+	Rows   []Row
+}
+
+// NewTable returns an empty table over the schema.
+func NewTable(s *Schema) *Table { return &Table{Schema: s} }
+
+// Card returns the number of rows.
+func (t *Table) Card() int { return len(t.Rows) }
+
+// TableOf converts a map-tuple relation into a slot-based table. Absent
+// attributes become explicit NULLs.
+func TableOf(r *Rel) *Table {
+	s := NewSchema(r.Attrs)
+	t := &Table{Schema: s, Rows: make([]Row, len(r.Tuples))}
+	for i, tu := range r.Tuples {
+		row := make(Row, len(r.Attrs))
+		for j, a := range r.Attrs {
+			row[j] = tu.Get(a)
+		}
+		t.Rows[i] = row
+	}
+	return t
+}
+
+// Rel converts the table back into a map-tuple relation (the boundary
+// representation used by tests and result comparison).
+func (t *Table) Rel() *Rel {
+	out := &Rel{Attrs: append([]string(nil), t.Schema.Names()...)}
+	out.Tuples = make([]Tuple, len(t.Rows))
+	for i, row := range t.Rows {
+		tu := make(Tuple, len(row))
+		for j, v := range row {
+			tu[t.Schema.Name(j)] = v
+		}
+		out.Tuples[i] = tu
+	}
+	return out
+}
+
+// concatRow builds l ◦ r into a fresh row sized for the concatenated
+// schema.
+func concatRow(l, r Row) Row {
+	out := make(Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// ExtendTable appends one computed column: every row is extended by
+// fn(row). Rows are copied; the input table is not mutated.
+func ExtendTable(t *Table, name string, fn func(Row) Value) *Table {
+	out := &Table{Schema: t.Schema.Extend(name), Rows: make([]Row, len(t.Rows))}
+	for i, row := range t.Rows {
+		nr := make(Row, 0, len(row)+1)
+		nr = append(nr, row...)
+		nr = append(nr, fn(row))
+		out.Rows[i] = nr
+	}
+	return out
+}
+
+// ProjectTable returns the duplicate-preserving projection onto the given
+// slots under a new schema built from their names.
+func ProjectTable(t *Table, slots []int) *Table {
+	names := make([]string, len(slots))
+	for i, s := range slots {
+		names[i] = t.Schema.Name(s)
+	}
+	out := &Table{Schema: NewSchema(names), Rows: make([]Row, len(t.Rows))}
+	for i, row := range t.Rows {
+		nr := make(Row, len(slots))
+		for j, s := range slots {
+			nr[j] = row[s]
+		}
+		out.Rows[i] = nr
+	}
+	return out
+}

@@ -82,6 +82,12 @@ func (v Value) String() string {
 }
 
 // encode produces an unambiguous string used for hashing/sorting tuples.
+// String payloads are length-prefixed: the bare "s" + payload form used
+// previously was ambiguous once a string value contained the tuple
+// separator and a type tag, so two distinct tuples could encode
+// identically and be merged by grouping or duplicate elimination (see
+// TestGroupingKeyCollision). The slot runtime's binary keys (hashkey.go)
+// are collision-proof by the same construction.
 func (v Value) encode() string {
 	switch v.Kind {
 	case KindNull:
@@ -91,7 +97,7 @@ func (v Value) encode() string {
 	case KindFloat:
 		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
 	case KindString:
-		return "s" + v.S
+		return "s" + strconv.Itoa(len(v.S)) + ":" + v.S
 	}
 	return "?"
 }

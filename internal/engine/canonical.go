@@ -10,57 +10,64 @@ import (
 
 // Canonical evaluates the query exactly as written: the initial operator
 // tree followed by the top grouping. It is the reference result against
-// which optimized plans are checked.
+// which optimized plans are checked. Like Exec it runs on the slot-based
+// hash runtime; the frozen nested-loop evaluator (CanonicalRef) provides
+// an independent second opinion for the differential tests.
 func Canonical(q *query.Query, data Data) (*algebra.Rel, error) {
+	tab, err := CanonicalTables(q, data.Tables())
+	if err != nil {
+		return nil, err
+	}
+	return tab.Rel(), nil
+}
+
+// CanonicalTables evaluates the query as written on slot-based tables.
+func CanonicalTables(q *query.Query, data TableData) (*algebra.Table, error) {
 	if q.Root == nil {
 		return nil, fmt.Errorf("engine: query has no operator tree")
 	}
-	rel, err := evalTree(q, q.Root, data)
+	tab, err := evalTreeTables(q, q.Root, data)
 	if err != nil {
 		return nil, err
 	}
 	if !q.HasGrouping {
-		return rel, nil
+		return tab, nil
 	}
 	var g []string
 	q.GroupBy.ForEach(func(a int) { g = append(g, q.AttrNames[a]) })
-	return algebra.Group(rel, g, q.Aggregates), nil
+	return algebra.HashGroup(tab, g, q.Aggregates), nil
 }
 
-func evalTree(q *query.Query, n *query.OpNode, data Data) (*algebra.Rel, error) {
+func evalTreeTables(q *query.Query, n *query.OpNode, data TableData) (*algebra.Table, error) {
 	if n.Kind == query.KindScan {
-		rel, ok := data[n.Rel]
+		tab, ok := data[n.Rel]
 		if !ok {
 			return nil, fmt.Errorf("engine: no data for relation %d", n.Rel)
 		}
-		return rel, nil
+		return tab, nil
 	}
-	l, err := evalTree(q, n.Left, data)
+	l, err := evalTreeTables(q, n.Left, data)
 	if err != nil {
 		return nil, err
 	}
-	r, err := evalTree(q, n.Right, data)
+	r, err := evalTreeTables(q, n.Right, data)
 	if err != nil {
 		return nil, err
 	}
-	var ps []algebra.Pred
-	for i := range n.Pred.Left {
-		ps = append(ps, algebra.EqAttr(q.AttrNames[n.Pred.Left[i]], q.AttrNames[n.Pred.Right[i]]))
-	}
-	pred := algebra.AndPred(ps...)
+	lk, rk := joinKeys(q, []*query.Predicate{n.Pred}, l.Schema, r.Schema)
 	switch n.Kind {
 	case query.KindJoin:
-		return algebra.Join(l, r, pred), nil
+		return algebra.HashJoin(l, r, lk, rk), nil
 	case query.KindSemiJoin:
-		return algebra.SemiJoin(l, r, pred), nil
+		return algebra.HashSemiJoin(l, r, lk, rk), nil
 	case query.KindAntiJoin:
-		return algebra.AntiJoin(l, r, pred), nil
+		return algebra.HashAntiJoin(l, r, lk, rk), nil
 	case query.KindLeftOuter:
-		return algebra.LeftOuter(l, r, pred, nil), nil
+		return algebra.HashLeftOuter(l, r, lk, rk, algebra.NullRow(r.Schema)), nil
 	case query.KindFullOuter:
-		return algebra.FullOuter(l, r, pred, nil, nil), nil
+		return algebra.HashFullOuter(l, r, lk, rk, algebra.NullRow(l.Schema), algebra.NullRow(r.Schema)), nil
 	case query.KindGroupJoin:
-		return algebra.GroupJoin(l, r, pred, n.GroupJoinAggs), nil
+		return algebra.HashGroupJoin(l, r, lk, rk, n.GroupJoinAggs), nil
 	}
 	return nil, fmt.Errorf("engine: unsupported node kind %v", n.Kind)
 }

@@ -1,20 +1,31 @@
-// Package engine executes optimized plans on concrete data through the
-// algebra runtime, so that plans using eager aggregation can be verified to
-// produce exactly the same results as the canonical (lazy) plan.
+// Package engine executes optimized plans on concrete data, so that plans
+// using eager aggregation can be verified to produce exactly the same
+// results as the canonical (lazy) plan — and timed against it.
 //
-// The compilation realizes the mechanics behind the paper's equivalences in
-// composed form. Every pushed-down grouping Γ_{G⁺} computes
+// The execution runtime is slot-based and columnar-friendly: every
+// operator resolves the attribute names it touches against its input
+// Schema once, at plan-compilation time, and then works on flat
+// []Value rows. Equi-joins (the only join form the optimizer emits) run
+// as build/probe hash joins over collision-proof typed keys, and every
+// grouping runs as typed hash aggregation (internal/algebra's slot
+// runtime). A frozen map-tuple/nested-loop implementation of the same
+// compilation is kept in reference.go (ExecRef, CanonicalRef) as the
+// differential-testing oracle and benchmark baseline.
+//
+// The compilation realizes the mechanics behind the paper's equivalences
+// in composed form. Every pushed-down grouping Γ_{G⁺} computes
 //
 //   - partial states for the aggregates whose sources lie inside the
 //     grouped subtree (F¹ of the decompositions of Sec. 2.1.2), and
 //   - one weight attribute: the count(*)-style multiplicity each grouped
 //     row stands for (the c of the Groupby-Count equivalences).
 //
-// Joins concatenate weights; re-grouping re-aggregates partials weighted by
-// the weights of *other* collapsed sides (the ⊗ operator), and the final
-// grouping combines everything into the original aggregation vector F.
-// Left and full outerjoins pad grouped sides with the default vectors
-// F¹({⊥}) and c:1 exactly as the generalized operators of Sec. 2.2 demand.
+// Joins concatenate weights; re-grouping re-aggregates partials weighted
+// by the weights of *other* collapsed sides (the ⊗ operator), and the
+// final grouping combines everything into the original aggregation
+// vector F. Left and full outerjoins pad grouped sides with the default
+// vectors F¹({⊥}) and c:1 exactly as the generalized operators of
+// Sec. 2.2 demand.
 package engine
 
 import (
@@ -27,8 +38,49 @@ import (
 	"eagg/internal/query"
 )
 
-// Data maps relation ids to their contents.
+// Data maps relation ids to their contents in the map-tuple boundary
+// representation.
 type Data map[int]*algebra.Rel
+
+// TableData maps relation ids to slot-based tables — the representation
+// the runtime actually executes on. Convert once with Data.Tables, or
+// generate tables directly (internal/tpch does).
+type TableData map[int]*algebra.Table
+
+// Tables converts boundary relations into slot-based tables.
+func (d Data) Tables() TableData {
+	out := make(TableData, len(d))
+	for id, rel := range d {
+		out[id] = algebra.TableOf(rel)
+	}
+	return out
+}
+
+// ExecStats profiles one execution: per-operator actual output
+// cardinalities summed into the executed counterpart of the C_out cost
+// function (scans and the free projection excluded, matching the
+// estimator), plus the total rows every operator produced.
+type ExecStats struct {
+	// ActualCout is Σ |output| over join and grouping operators — the
+	// measured value of the quantity C_out estimates.
+	ActualCout float64
+	// EstimatedCout is the plan's C_out estimate (root cost).
+	EstimatedCout float64
+	// ResultRows is the cardinality of the final result.
+	ResultRows int
+}
+
+// CoutQError returns the q-error of the C_out estimate:
+// max(est, actual)/min(est, actual), ≥ 1, or 0 when undefined.
+func (s *ExecStats) CoutQError() float64 {
+	if s.ActualCout <= 0 || s.EstimatedCout <= 0 {
+		return 0
+	}
+	if s.EstimatedCout > s.ActualCout {
+		return s.EstimatedCout / s.ActualCout
+	}
+	return s.ActualCout / s.EstimatedCout
+}
 
 // aggState tracks one original aggregate through the plan.
 type aggState struct {
@@ -51,50 +103,88 @@ type weight struct {
 	cover bitset.Set64
 }
 
-// compiled is an executed subplan plus its aggregate bookkeeping.
-type compiled struct {
-	rel     *algebra.Rel
-	weights []weight
-	aggs    []aggState // indexed like the query's aggregation vector
+// binder is the representation-independent part of plan compilation: the
+// query, fresh-name generation and the aggregate bookkeeping rewrites
+// shared by the slot executor and the reference executor.
+type binder struct {
+	q   *query.Query
+	seq int
 }
 
-// Exec executes an optimized plan against the data and returns the result
-// relation over G ∪ A(F) (or the plain operator result for grouping-free
-// queries).
-func Exec(q *query.Query, p *plan.Plan, data Data) (*algebra.Rel, error) {
-	e := &executor{q: q, data: data}
-	c, err := e.compile(p)
-	if err != nil {
-		return nil, err
-	}
-	return c.rel, nil
-}
-
-type executor struct {
-	q    *query.Query
-	data Data
-	seq  int
-}
-
-func (e *executor) fresh(prefix string) string {
+func (e *binder) fresh(prefix string) string {
 	e.seq++
 	return fmt.Sprintf("§%s%d", prefix, e.seq)
 }
 
-func (e *executor) attrNames(set bitset.Set64) []string {
+func (e *binder) attrNames(set bitset.Set64) []string {
 	var out []string
 	set.ForEach(func(a int) { out = append(out, e.q.AttrNames[a]) })
 	return out
 }
 
+// compiled is an executed subplan plus its aggregate bookkeeping.
+type compiled struct {
+	tab     *algebra.Table
+	weights []weight
+	aggs    []aggState // indexed like the query's aggregation vector
+}
+
+// Exec executes an optimized plan against boundary data and returns the
+// result relation over G ∪ A(F) (or the plain operator result for
+// grouping-free queries).
+func Exec(q *query.Query, p *plan.Plan, data Data) (*algebra.Rel, error) {
+	tab, err := ExecTables(q, p, data.Tables())
+	if err != nil {
+		return nil, err
+	}
+	return tab.Rel(), nil
+}
+
+// ExecTables executes an optimized plan on slot-based tables.
+func ExecTables(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, error) {
+	e := &executor{binder: binder{q: q}, data: data}
+	c, err := e.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.tab, nil
+}
+
+// ExecProfiled executes an optimized plan and reports execution
+// statistics, including the measured counterpart of the plan's C_out
+// estimate.
+func ExecProfiled(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, *ExecStats, error) {
+	stats := &ExecStats{EstimatedCout: p.Cost}
+	e := &executor{binder: binder{q: q}, data: data, stats: stats}
+	c, err := e.compile(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.ResultRows = c.tab.Card()
+	return c.tab, stats, nil
+}
+
+type executor struct {
+	binder
+	data  TableData
+	stats *ExecStats
+}
+
+// record accumulates one operator's actual output cardinality.
+func (e *executor) record(t *algebra.Table) {
+	if e.stats != nil {
+		e.stats.ActualCout += float64(t.Card())
+	}
+}
+
 func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 	switch p.Kind {
 	case plan.NodeScan:
-		rel, ok := e.data[p.Rel]
+		tab, ok := e.data[p.Rel]
 		if !ok {
 			return nil, fmt.Errorf("engine: no data for relation %d", p.Rel)
 		}
-		return &compiled{rel: rel, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+		return &compiled{tab: tab, aggs: make([]aggState, len(e.q.Aggregates))}, nil
 	case plan.NodeOp:
 		return e.compileOp(p)
 	case plan.NodeGroup:
@@ -102,10 +192,17 @@ func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 		if err != nil {
 			return nil, err
 		}
+		var c *compiled
 		if p.Final {
-			return e.finalGroup(child, p.GroupBy, false)
+			c, err = e.finalGroup(child, p.GroupBy)
+		} else {
+			c, err = e.group(child, p)
 		}
-		return e.group(child, p)
+		if err != nil {
+			return nil, err
+		}
+		e.record(c.tab)
+		return c, nil
 	case plan.NodeProject:
 		child, err := e.compile(p.Left)
 		if err != nil {
@@ -113,44 +210,63 @@ func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 		}
 		// The projection replaces the final grouping when every group is
 		// a single tuple; evaluating the final vector per group yields
-		// identical results (Eqv. 42).
-		return e.finalGroup(child, e.q.GroupBy, true)
+		// identical results (Eqv. 42). It is free under C_out, so its
+		// output is not recorded into ActualCout — matching the
+		// estimator, which prices NodeProject at its child's cost.
+		return e.finalGroup(child, e.q.GroupBy)
 	}
 	return nil, fmt.Errorf("engine: unknown node kind %d", p.Kind)
 }
 
-// pred compiles the plan node's predicates.
-func (e *executor) pred(preds []*query.Predicate) algebra.Pred {
-	var ps []algebra.Pred
+// joinKeys resolves the plan node's equi-predicates into paired key
+// slots. Predicates may arrive in commuted orientation (the DP driver
+// applies commutative operators both ways), so each attribute pair is
+// oriented by schema membership. Attributes absent from both sides
+// resolve to slot -1, which reads as NULL and — under strict join
+// equality — matches nothing, mirroring the map runtime.
+func joinKeys(q *query.Query, preds []*query.Predicate, ls, rs *algebra.Schema) (lk, rk []int) {
+	slotIn := func(s *algebra.Schema, name string) int {
+		if i, ok := s.Slot(name); ok {
+			return i
+		}
+		return -1
+	}
 	for _, p := range preds {
 		for i := range p.Left {
-			ps = append(ps, algebra.EqAttr(e.q.AttrNames[p.Left[i]], e.q.AttrNames[p.Right[i]]))
+			ln, rn := q.AttrNames[p.Left[i]], q.AttrNames[p.Right[i]]
+			if !ls.Has(ln) && ls.Has(rn) {
+				ln, rn = rn, ln
+			}
+			lk = append(lk, slotIn(ls, ln))
+			rk = append(rk, slotIn(rs, rn))
 		}
 	}
-	return algebra.AndPred(ps...)
+	return lk, rk
 }
 
-// sideDefaults builds the outerjoin default vector for a padded side: every
-// weight defaults to 1 and every partial attribute to its {⊥} value.
-func sideDefaults(c *compiled) algebra.Defaults {
-	d := algebra.Defaults{}
+// padRow builds the outerjoin default row for a padded side: NULL
+// everywhere except weights (1) and partial attributes ({⊥} defaults).
+func padRow(c *compiled) algebra.Row {
+	pad := algebra.NullRow(c.tab.Schema)
+	set := func(attr string, v algebra.Value) {
+		if slot, ok := c.tab.Schema.Slot(attr); ok {
+			pad[slot] = v
+		}
+	}
 	for _, w := range c.weights {
-		d[w.attr] = algebra.Int(1)
+		set(w.attr, algebra.Int(1))
 	}
 	for _, st := range c.aggs {
 		for i, attr := range st.partial {
 			switch st.defaults[i] {
 			case aggfn.DefaultOne:
-				d[attr] = algebra.Int(1)
+				set(attr, algebra.Int(1))
 			case aggfn.DefaultZero:
-				d[attr] = algebra.Int(0)
+				set(attr, algebra.Int(0))
 			}
 		}
 	}
-	if len(d) == 0 {
-		return nil
-	}
-	return d
+	return pad
 }
 
 func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
@@ -162,7 +278,7 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	pred := e.pred(p.Preds)
+	lk, rk := joinKeys(e.q, p.Preds, l.tab.Schema, r.tab.Schema)
 
 	out := &compiled{aggs: make([]aggState, len(e.q.Aggregates))}
 	dropRight := p.Op.LeftOnly()
@@ -181,15 +297,15 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 
 	switch p.Op {
 	case query.KindJoin:
-		out.rel = algebra.Join(l.rel, r.rel, pred)
+		out.tab = algebra.HashJoin(l.tab, r.tab, lk, rk)
 	case query.KindSemiJoin:
-		out.rel = algebra.SemiJoin(l.rel, r.rel, pred)
+		out.tab = algebra.HashSemiJoin(l.tab, r.tab, lk, rk)
 	case query.KindAntiJoin:
-		out.rel = algebra.AntiJoin(l.rel, r.rel, pred)
+		out.tab = algebra.HashAntiJoin(l.tab, r.tab, lk, rk)
 	case query.KindLeftOuter:
-		out.rel = algebra.LeftOuter(l.rel, r.rel, pred, sideDefaults(r))
+		out.tab = algebra.HashLeftOuter(l.tab, r.tab, lk, rk, padRow(r))
 	case query.KindFullOuter:
-		out.rel = algebra.FullOuter(l.rel, r.rel, pred, sideDefaults(l), sideDefaults(r))
+		out.tab = algebra.HashFullOuter(l.tab, r.tab, lk, rk, padRow(l), padRow(r))
 	case query.KindGroupJoin:
 		if len(r.weights) != 0 {
 			return nil, fmt.Errorf("engine: groupjoin over a pre-aggregated right side is not supported")
@@ -199,10 +315,11 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 		if gj == nil {
 			return nil, fmt.Errorf("engine: groupjoin node not found in the query tree")
 		}
-		out.rel = algebra.GroupJoin(l.rel, r.rel, pred, gj.GroupJoinAggs)
+		out.tab = algebra.HashGroupJoin(l.tab, r.tab, lk, rk, gj.GroupJoinAggs)
 	default:
 		return nil, fmt.Errorf("engine: unsupported operator %v", p.Op)
 	}
+	e.record(out.tab)
 	return out, nil
 }
 

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/randquery"
+)
+
+// FuzzExecEquivalence fuzzes the end-to-end correctness property of the
+// execution stack: for a random query (derived deterministically from the
+// fuzz inputs) and random data, the optimized plan executed on the slot
+// runtime must equal the canonical result, and both slot-runtime
+// evaluators must equal their frozen nested-loop references. Run the
+// smoke locally with
+//
+//	go test -run '^$' -fuzz FuzzExecEquivalence -fuzztime 20s ./internal/engine
+//
+// CI runs a short -fuzztime on every push; crashers land in
+// testdata/fuzz as usual and replay with plain go test.
+func FuzzExecEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint8(0))
+	f.Add(int64(42), uint8(2), uint8(1), uint8(1))
+	f.Add(int64(7), uint8(5), uint8(6), uint8(2))
+	f.Add(int64(-12345), uint8(4), uint8(3), uint8(3))
+	f.Add(int64(987654321), uint8(6), uint8(5), uint8(4))
+
+	algs := []core.Options{
+		{Algorithm: core.AlgDPhyp},
+		{Algorithm: core.AlgEAPrune},
+		{Algorithm: core.AlgH1},
+		{Algorithm: core.AlgH2, F: 1.03},
+		{Algorithm: core.AlgBeam, BeamWidth: 4},
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, nRel, maxRows, algPick uint8) {
+		n := 2 + int(nRel)%5       // 2..6 relations
+		rows := 1 + int(maxRows)%6 // data size knob
+		opts := algs[int(algPick)%len(algs)]
+
+		rng := rand.New(rand.NewSource(seed))
+		q := randquery.Generate(rng, randquery.Params{Relations: n})
+		data := RandomData(rng, q, rows)
+		attrs := OutputAttrs(q)
+
+		want, err := Canonical(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRef, err := CanonicalRef(q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !algebra.EqualBags(wantRef, want, attrs) {
+			t.Fatalf("seed=%d n=%d: Canonical (slot) differs from CanonicalRef\nref:\n%v\nslot:\n%v",
+				seed, n, wantRef, want)
+		}
+
+		res, err := core.Optimize(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Exec(q, res.Plan, data)
+		if err != nil {
+			t.Fatalf("exec: %v\nplan:\n%v", err, res.Plan.StringWithQuery(q))
+		}
+		if !algebra.EqualBags(want, got, attrs) {
+			t.Fatalf("seed=%d n=%d %v: Execute ≢ Canonical\nplan:\n%v\nwant:\n%v\ngot:\n%v",
+				seed, n, opts.Algorithm, res.Plan.StringWithQuery(q), want, got)
+		}
+		gotRef, err := ExecRef(q, res.Plan, data)
+		if err != nil {
+			t.Fatalf("ref exec: %v", err)
+		}
+		if !algebra.EqualBags(gotRef, got, attrs) {
+			t.Fatalf("seed=%d n=%d %v: Execute (slot) ≢ ExecRef\nplan:\n%v\nref:\n%v\nslot:\n%v",
+				seed, n, opts.Algorithm, res.Plan.StringWithQuery(q), gotRef, got)
+		}
+	})
+}

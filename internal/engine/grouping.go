@@ -10,27 +10,27 @@ import (
 )
 
 // product materializes the product of the given weight attributes as a
-// fresh column and returns its name ("" when there are none, the attribute
-// itself when there is exactly one).
-func (e *executor) product(rel *algebra.Rel, attrs []string) (string, *algebra.Rel) {
+// fresh column and returns its name ("" when there are none, the
+// attribute itself when there is exactly one). The column is computed
+// slot-wise: the weight attributes are resolved against the table schema
+// once, and each row multiplies plain slot reads.
+func (e *executor) product(tab *algebra.Table, attrs []string) (string, *algebra.Table) {
 	switch len(attrs) {
 	case 0:
-		return "", rel
+		return "", tab
 	case 1:
-		return attrs[0], rel
+		return attrs[0], tab
 	}
 	name := e.fresh("prod")
-	cols := append([]string(nil), attrs...)
-	rel = algebra.Map(rel, map[string]func(algebra.Tuple) algebra.Value{
-		name: func(t algebra.Tuple) algebra.Value {
-			v := algebra.Int(1)
-			for _, a := range cols {
-				v = algebra.Mul(v, t.Get(a))
-			}
-			return v
-		},
+	slots := tab.Schema.Slots(attrs)
+	tab = algebra.ExtendTable(tab, name, func(row algebra.Row) algebra.Value {
+		v := algebra.Int(1)
+		for _, s := range slots {
+			v = algebra.Mul(v, row[s])
+		}
+		return v
 	})
-	return name, rel
+	return name, tab
 }
 
 func weightAttrs(ws []weight, excludeCover bitset.Set64) []string {
@@ -44,18 +44,19 @@ func weightAttrs(ws []weight, excludeCover bitset.Set64) []string {
 }
 
 // group executes a pushed-down grouping node: collapse the subtree to one
-// row per G⁺ value, computing a fresh weight and partial aggregate states.
+// row per G⁺ value, computing a fresh weight and partial aggregate
+// states, via typed hash aggregation.
 func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 	s := p.Rels
 	gNames := e.attrNames(p.GroupBy)
-	rel := child.rel
+	tab := child.tab
 	out := &compiled{aggs: make([]aggState, len(e.q.Aggregates))}
 
 	// Fresh weight: the number of original tuple combinations each
 	// grouped row stands for — Σ over the group of the product of the
 	// existing weights (count(*) when none exist yet).
-	wAll, rel2 := e.product(rel, weightAttrs(child.weights, bitset.Empty64))
-	rel = rel2
+	wAll, tab2 := e.product(tab, weightAttrs(child.weights, bitset.Empty64))
+	tab = tab2
 	wNew := e.fresh("w")
 	inner := aggfn.Vector{}
 	if wAll == "" {
@@ -71,8 +72,8 @@ func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 		case st.partial != nil:
 			// Re-aggregate the partial, weighted by the multiplicities
 			// of the other collapsed sides (the ⊗ adjustment).
-			wOther, rel3 := e.product(rel, weightAttrs(child.weights, st.cover))
-			rel = rel3
+			wOther, tab3 := e.product(tab, weightAttrs(child.weights, st.cover))
+			tab = tab3
 			ns, err := e.reaggregate(agg.Kind, st, wOther, &inner, s)
 			if err != nil {
 				return nil, err
@@ -95,14 +96,14 @@ func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 		}
 	}
 
-	out.rel = algebra.Group(rel, gNames, inner)
+	out.tab = algebra.HashGroup(tab, gNames, inner)
 	out.weights = []weight{{attr: wNew, cover: s}}
 	return out, nil
 }
 
 // collapse turns a raw aggregate into a partial state, appending the
 // needed inner aggregates.
-func (e *executor) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
+func (e *binder) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
 	switch agg.Kind {
 	case aggfn.Sum:
 		p := e.fresh("p")
@@ -145,7 +146,7 @@ func (e *executor) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover 
 }
 
 // reaggregate merges an existing partial at a higher grouping.
-func (e *executor) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
+func (e *binder) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
 	sumLike := func(src string, def aggfn.Default) (string, aggfn.Default) {
 		p := e.fresh("p")
 		if wOther == "" {
@@ -179,16 +180,15 @@ func (e *executor) reaggregate(kind aggfn.Kind, st aggState, wOther string, inne
 // replacement — results are identical when G holds a key of a
 // duplicate-free input, which is exactly when the optimizer chooses the
 // projection).
-func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64, viaProjection bool) (*compiled, error) {
-	_ = viaProjection
-	rel := child.rel
+func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64) (*compiled, error) {
+	tab := child.tab
 	final := aggfn.Vector{}
 	srcs := e.q.AggSourceRels()
 	for i, agg := range e.q.Aggregates {
 		st := child.aggs[i]
 		if st.partial != nil {
-			wOther, rel2 := e.product(rel, weightAttrs(child.weights, st.cover))
-			rel = rel2
+			wOther, tab2 := e.product(tab, weightAttrs(child.weights, st.cover))
+			tab = tab2
 			fa, err := finalOfPartial(agg, st, wOther)
 			if err != nil {
 				return nil, err
@@ -197,8 +197,8 @@ func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64, viaProjecti
 			continue
 		}
 		// Raw aggregate (or count(*)): weight by every collapsed side.
-		wAll, rel2 := e.product(rel, weightAttrs(child.weights, srcs[i]))
-		rel = rel2
+		wAll, tab2 := e.product(tab, weightAttrs(child.weights, srcs[i]))
+		tab = tab2
 		fa, err := finalOfRaw(agg, wAll)
 		if err != nil {
 			return nil, err
@@ -206,8 +206,8 @@ func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64, viaProjecti
 		final = append(final, fa)
 	}
 	gNames := e.attrNames(groupBy)
-	res := algebra.Group(rel, gNames, final)
-	return &compiled{rel: res, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+	res := algebra.HashGroup(tab, gNames, final)
+	return &compiled{tab: res, aggs: make([]aggState, len(e.q.Aggregates))}, nil
 }
 
 func finalOfPartial(agg aggfn.Agg, st aggState, w string) (aggfn.Agg, error) {

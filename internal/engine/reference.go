@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/bitset"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// This file freezes the original map-tuple/nested-loop executor as a
+// reference implementation. It shares the aggregate bookkeeping (binder,
+// collapse, reaggregate, finalOfPartial, finalOfRaw) with the slot
+// executor but runs every operator through internal/algebra's
+// predicate-driven nested-loop operators on map tuples. It exists for two
+// reasons:
+//
+//   - differential testing: the equivalence suites and FuzzExecEquivalence
+//     check Exec ≡ Canonical ≡ ExecRef ≡ CanonicalRef, so a bug in the
+//     shared hash runtime cannot cancel out of the comparison, and
+//   - benchmarking: BenchmarkExecute measures the slot runtime's speedup
+//     against exactly this baseline.
+//
+// Do not optimize this code; it is deliberately the O(n·m) seed executor.
+
+// refCompiled is an executed subplan plus its aggregate bookkeeping.
+type refCompiled struct {
+	rel     *algebra.Rel
+	weights []weight
+	aggs    []aggState
+}
+
+// ExecRef executes an optimized plan with the reference executor.
+func ExecRef(q *query.Query, p *plan.Plan, data Data) (*algebra.Rel, error) {
+	e := &refExecutor{binder: binder{q: q}, data: data}
+	c, err := e.compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.rel, nil
+}
+
+type refExecutor struct {
+	binder
+	data Data
+}
+
+func (e *refExecutor) compile(p *plan.Plan) (*refCompiled, error) {
+	switch p.Kind {
+	case plan.NodeScan:
+		rel, ok := e.data[p.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: no data for relation %d", p.Rel)
+		}
+		return &refCompiled{rel: rel, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+	case plan.NodeOp:
+		return e.compileOp(p)
+	case plan.NodeGroup:
+		child, err := e.compile(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		if p.Final {
+			return e.finalGroup(child, p.GroupBy)
+		}
+		return e.group(child, p)
+	case plan.NodeProject:
+		child, err := e.compile(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		return e.finalGroup(child, e.q.GroupBy)
+	}
+	return nil, fmt.Errorf("engine: unknown node kind %d", p.Kind)
+}
+
+// pred compiles the plan node's predicates into a tuple predicate.
+func (e *refExecutor) pred(preds []*query.Predicate) algebra.Pred {
+	var ps []algebra.Pred
+	for _, p := range preds {
+		for i := range p.Left {
+			ps = append(ps, algebra.EqAttr(e.q.AttrNames[p.Left[i]], e.q.AttrNames[p.Right[i]]))
+		}
+	}
+	return algebra.AndPred(ps...)
+}
+
+// sideDefaults builds the outerjoin default vector for a padded side:
+// every weight defaults to 1 and every partial attribute to its {⊥}
+// value.
+func sideDefaults(c *refCompiled) algebra.Defaults {
+	d := algebra.Defaults{}
+	for _, w := range c.weights {
+		d[w.attr] = algebra.Int(1)
+	}
+	for _, st := range c.aggs {
+		for i, attr := range st.partial {
+			switch st.defaults[i] {
+			case aggfn.DefaultOne:
+				d[attr] = algebra.Int(1)
+			case aggfn.DefaultZero:
+				d[attr] = algebra.Int(0)
+			}
+		}
+	}
+	if len(d) == 0 {
+		return nil
+	}
+	return d
+}
+
+func (e *refExecutor) compileOp(p *plan.Plan) (*refCompiled, error) {
+	l, err := e.compile(p.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.compile(p.Right)
+	if err != nil {
+		return nil, err
+	}
+	pred := e.pred(p.Preds)
+
+	out := &refCompiled{aggs: make([]aggState, len(e.q.Aggregates))}
+	dropRight := p.Op.LeftOnly()
+	for i := range out.aggs {
+		switch {
+		case l.aggs[i].partial != nil:
+			out.aggs[i] = l.aggs[i]
+		case !dropRight && r.aggs[i].partial != nil:
+			out.aggs[i] = r.aggs[i]
+		}
+	}
+	out.weights = append(out.weights, l.weights...)
+	if !dropRight {
+		out.weights = append(out.weights, r.weights...)
+	}
+
+	switch p.Op {
+	case query.KindJoin:
+		out.rel = algebra.Join(l.rel, r.rel, pred)
+	case query.KindSemiJoin:
+		out.rel = algebra.SemiJoin(l.rel, r.rel, pred)
+	case query.KindAntiJoin:
+		out.rel = algebra.AntiJoin(l.rel, r.rel, pred)
+	case query.KindLeftOuter:
+		out.rel = algebra.LeftOuter(l.rel, r.rel, pred, sideDefaults(r))
+	case query.KindFullOuter:
+		out.rel = algebra.FullOuter(l.rel, r.rel, pred, sideDefaults(l), sideDefaults(r))
+	case query.KindGroupJoin:
+		if len(r.weights) != 0 {
+			return nil, fmt.Errorf("engine: groupjoin over a pre-aggregated right side is not supported")
+		}
+		gj := findGroupJoin(e.q.Root, p.Rels)
+		if gj == nil {
+			return nil, fmt.Errorf("engine: groupjoin node not found in the query tree")
+		}
+		out.rel = algebra.GroupJoin(l.rel, r.rel, pred, gj.GroupJoinAggs)
+	default:
+		return nil, fmt.Errorf("engine: unsupported operator %v", p.Op)
+	}
+	return out, nil
+}
+
+// refProduct is product on the map runtime.
+func (e *refExecutor) refProduct(rel *algebra.Rel, attrs []string) (string, *algebra.Rel) {
+	switch len(attrs) {
+	case 0:
+		return "", rel
+	case 1:
+		return attrs[0], rel
+	}
+	name := e.fresh("prod")
+	cols := append([]string(nil), attrs...)
+	rel = algebra.Map(rel, map[string]func(algebra.Tuple) algebra.Value{
+		name: func(t algebra.Tuple) algebra.Value {
+			v := algebra.Int(1)
+			for _, a := range cols {
+				v = algebra.Mul(v, t.Get(a))
+			}
+			return v
+		},
+	})
+	return name, rel
+}
+
+func (e *refExecutor) group(child *refCompiled, p *plan.Plan) (*refCompiled, error) {
+	s := p.Rels
+	gNames := e.attrNames(p.GroupBy)
+	rel := child.rel
+	out := &refCompiled{aggs: make([]aggState, len(e.q.Aggregates))}
+
+	wAll, rel2 := e.refProduct(rel, weightAttrs(child.weights, bitset.Empty64))
+	rel = rel2
+	wNew := e.fresh("w")
+	inner := aggfn.Vector{}
+	if wAll == "" {
+		inner = append(inner, aggfn.Agg{Out: wNew, Kind: aggfn.CountStar})
+	} else {
+		inner = append(inner, aggfn.Agg{Out: wNew, Kind: aggfn.Sum, Arg: wAll})
+	}
+
+	srcs := e.q.AggSourceRels()
+	for i, agg := range e.q.Aggregates {
+		st := child.aggs[i]
+		switch {
+		case st.partial != nil:
+			wOther, rel3 := e.refProduct(rel, weightAttrs(child.weights, st.cover))
+			rel = rel3
+			ns, err := e.reaggregate(agg.Kind, st, wOther, &inner, s)
+			if err != nil {
+				return nil, err
+			}
+			out.aggs[i] = ns
+		case srcs[i].IsEmpty():
+		case !srcs[i].Intersects(s):
+		case !srcs[i].SubsetOf(s):
+			return nil, fmt.Errorf("engine: aggregate %d spans the grouped subtree boundary — invalid plan", i)
+		default:
+			ns, err := e.collapse(agg, wAll, &inner, s)
+			if err != nil {
+				return nil, err
+			}
+			out.aggs[i] = ns
+		}
+	}
+
+	out.rel = algebra.Group(rel, gNames, inner)
+	out.weights = []weight{{attr: wNew, cover: s}}
+	return out, nil
+}
+
+func (e *refExecutor) finalGroup(child *refCompiled, groupBy bitset.Set64) (*refCompiled, error) {
+	rel := child.rel
+	final := aggfn.Vector{}
+	srcs := e.q.AggSourceRels()
+	for i, agg := range e.q.Aggregates {
+		st := child.aggs[i]
+		if st.partial != nil {
+			wOther, rel2 := e.refProduct(rel, weightAttrs(child.weights, st.cover))
+			rel = rel2
+			fa, err := finalOfPartial(agg, st, wOther)
+			if err != nil {
+				return nil, err
+			}
+			final = append(final, fa)
+			continue
+		}
+		wAll, rel2 := e.refProduct(rel, weightAttrs(child.weights, srcs[i]))
+		rel = rel2
+		fa, err := finalOfRaw(agg, wAll)
+		if err != nil {
+			return nil, err
+		}
+		final = append(final, fa)
+	}
+	gNames := e.attrNames(groupBy)
+	res := algebra.Group(rel, gNames, final)
+	return &refCompiled{rel: res, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+}
+
+// CanonicalRef evaluates the query as written with the nested-loop
+// reference operators.
+func CanonicalRef(q *query.Query, data Data) (*algebra.Rel, error) {
+	if q.Root == nil {
+		return nil, fmt.Errorf("engine: query has no operator tree")
+	}
+	rel, err := refEvalTree(q, q.Root, data)
+	if err != nil {
+		return nil, err
+	}
+	if !q.HasGrouping {
+		return rel, nil
+	}
+	var g []string
+	q.GroupBy.ForEach(func(a int) { g = append(g, q.AttrNames[a]) })
+	return algebra.Group(rel, g, q.Aggregates), nil
+}
+
+func refEvalTree(q *query.Query, n *query.OpNode, data Data) (*algebra.Rel, error) {
+	if n.Kind == query.KindScan {
+		rel, ok := data[n.Rel]
+		if !ok {
+			return nil, fmt.Errorf("engine: no data for relation %d", n.Rel)
+		}
+		return rel, nil
+	}
+	l, err := refEvalTree(q, n.Left, data)
+	if err != nil {
+		return nil, err
+	}
+	r, err := refEvalTree(q, n.Right, data)
+	if err != nil {
+		return nil, err
+	}
+	var ps []algebra.Pred
+	for i := range n.Pred.Left {
+		ps = append(ps, algebra.EqAttr(q.AttrNames[n.Pred.Left[i]], q.AttrNames[n.Pred.Right[i]]))
+	}
+	pred := algebra.AndPred(ps...)
+	switch n.Kind {
+	case query.KindJoin:
+		return algebra.Join(l, r, pred), nil
+	case query.KindSemiJoin:
+		return algebra.SemiJoin(l, r, pred), nil
+	case query.KindAntiJoin:
+		return algebra.AntiJoin(l, r, pred), nil
+	case query.KindLeftOuter:
+		return algebra.LeftOuter(l, r, pred, nil), nil
+	case query.KindFullOuter:
+		return algebra.FullOuter(l, r, pred, nil, nil), nil
+	case query.KindGroupJoin:
+		return algebra.GroupJoin(l, r, pred, n.GroupJoinAggs), nil
+	}
+	return nil, fmt.Errorf("engine: unsupported node kind %v", n.Kind)
+}

@@ -10,29 +10,30 @@ import (
 
 func TestProductHelper(t *testing.T) {
 	e := &executor{}
-	rel := algebra.NewRel([]string{"w1", "w2", "w3"},
+	tab := algebra.TableOf(algebra.NewRel([]string{"w1", "w2", "w3"},
 		[]any{2, 3, 5},
 		[]any{1, nil, 4},
-	)
+	))
 	// No attributes: no column, empty name.
-	name, out := e.product(rel, nil)
-	if name != "" || out != rel {
+	name, out := e.product(tab, nil)
+	if name != "" || out != tab {
 		t.Error("empty product must be a no-op")
 	}
 	// Single attribute: passthrough.
-	name, out = e.product(rel, []string{"w1"})
-	if name != "w1" || out != rel {
+	name, out = e.product(tab, []string{"w1"})
+	if name != "w1" || out != tab {
 		t.Error("single product must pass through")
 	}
 	// Multiple: materialized column with NULL propagation.
-	name, out = e.product(rel, []string{"w1", "w2", "w3"})
-	if name == "" || !out.HasAttr(name) {
+	name, out = e.product(tab, []string{"w1", "w2", "w3"})
+	if name == "" || !out.Schema.Has(name) {
 		t.Fatal("product column missing")
 	}
-	if v := out.Tuples[0].Get(name); v.I != 30 {
+	rel := out.Rel()
+	if v := rel.Tuples[0].Get(name); v.I != 30 {
 		t.Errorf("product = %v, want 30", v)
 	}
-	if !out.Tuples[1].Get(name).IsNull() {
+	if !rel.Tuples[1].Get(name).IsNull() {
 		t.Error("NULL weight must poison the product")
 	}
 }
@@ -54,7 +55,7 @@ func TestWeightAttrsExclusion(t *testing.T) {
 }
 
 func TestSideDefaults(t *testing.T) {
-	c := &compiled{
+	c := &refCompiled{
 		weights: []weight{{attr: "w", cover: bitset.New64(0)}},
 		aggs: []aggState{
 			{}, // raw aggregate: no defaults
@@ -76,8 +77,33 @@ func TestSideDefaults(t *testing.T) {
 		t.Error("NULL default must coincide with plain padding (absent)")
 	}
 	// No weights, no zero/one partials → nil defaults.
-	if got := sideDefaults(&compiled{aggs: []aggState{{}}}); got != nil {
+	if got := sideDefaults(&refCompiled{aggs: []aggState{{}}}); got != nil {
 		t.Errorf("expected nil defaults, got %v", got)
+	}
+	// The slot executor's padRow realizes the same defaults as a full
+	// row: weights 1, zero-default partials 0, NULL-default partials NULL.
+	sc := &compiled{
+		tab:     algebra.NewTable(algebra.NewSchema([]string{"w", "p_sum", "p_cnt", "x"})),
+		weights: []weight{{attr: "w", cover: bitset.New64(0)}},
+		aggs: []aggState{
+			{},
+			{
+				partial:  []string{"p_sum", "p_cnt"},
+				defaults: []aggfn.Default{aggfn.DefaultNull, aggfn.DefaultZero},
+				cover:    bitset.New64(0),
+			},
+		},
+	}
+	pad := padRow(sc)
+	s := sc.tab.Schema
+	if pad[s.MustSlot("w")] != algebra.Int(1) {
+		t.Errorf("pad weight = %v, want 1", pad[s.MustSlot("w")])
+	}
+	if pad[s.MustSlot("p_cnt")] != algebra.Int(0) {
+		t.Errorf("pad count partial = %v, want 0", pad[s.MustSlot("p_cnt")])
+	}
+	if !pad[s.MustSlot("p_sum")].IsNull() || !pad[s.MustSlot("x")].IsNull() {
+		t.Error("NULL-default partials and plain attributes must pad to NULL")
 	}
 }
 

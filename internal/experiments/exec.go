@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/engine"
+	"eagg/internal/tpch"
+)
+
+// ExecRow is one executed plan of the execution experiment.
+type ExecRow struct {
+	Query      string
+	Plan       string // "lazy/DPhyp" or "eager/EA-Prune"
+	Groupings  int    // pushed-down groupings in the plan
+	Millis     float64
+	ResultRows int
+	// ActualCout and EstimatedCout compare the cost model against the
+	// measured intermediate-result volume; QError = max(e/a, a/e).
+	ActualCout    float64
+	EstimatedCout float64
+	QError        float64
+	// RowsPerSec is the runtime throughput: intermediate + final rows
+	// produced per second of execution.
+	RowsPerSec float64
+	// Match reports result equality against the canonical evaluation.
+	Match bool
+}
+
+// ExecReport is the output of the -exec mode: per TPC-H query, the
+// canonical evaluation time plus one row per optimized plan.
+type ExecReport struct {
+	Factor      float64
+	CanonMillis map[string]float64
+	Rows        []ExecRow
+}
+
+// ExecEval optimizes each named TPC-H query lazily (DPhyp) and eagerly
+// (EA-Prune), executes both plans and the canonical tree on synthetic
+// data scaled by factor, verifies result equality, and reports
+// throughput and the C_out-vs-actual cardinality error. A nil or empty
+// names list selects every query.
+func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
+	cfg = cfg.Defaults()
+	queries := tpch.Queries()
+	if len(names) == 0 {
+		for name := range queries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	rep := &ExecReport{Factor: factor, CanonMillis: map[string]float64{}}
+	for _, name := range names {
+		q, ok := queries[name]
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown TPC-H query %q", name))
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		data := tpch.GenerateTables(rng, q, tpch.ExecutionScaleAt(name, factor))
+
+		start := time.Now()
+		want, err := engine.CanonicalTables(q, data)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: canonical %s: %v", name, err))
+		}
+		rep.CanonMillis[name] = float64(time.Since(start).Microseconds()) / 1000
+		wantRel := want.Rel()
+		attrs := engine.OutputAttrs(q)
+
+		for _, alg := range []struct {
+			label string
+			alg   core.Algorithm
+		}{
+			{"lazy/DPhyp", core.AlgDPhyp},
+			{"eager/EA-Prune", core.AlgEAPrune},
+		} {
+			res := mustOptimize(q, alg.alg, 0, cfg.Workers)
+			start := time.Now()
+			tab, stats, err := engine.ExecProfiled(q, res.Plan, data)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: exec %s/%s: %v", name, alg.label, err))
+			}
+			elapsed := time.Since(start)
+			secs := elapsed.Seconds()
+			row := ExecRow{
+				Query:         name,
+				Plan:          alg.label,
+				Groupings:     res.Plan.CountGroupings(),
+				Millis:        float64(elapsed.Microseconds()) / 1000,
+				ResultRows:    stats.ResultRows,
+				ActualCout:    stats.ActualCout,
+				EstimatedCout: stats.EstimatedCout,
+				QError:        stats.CoutQError(),
+				Match:         algebra.EqualBags(wantRel, tab.Rel(), attrs),
+			}
+			if secs > 0 {
+				row.RowsPerSec = stats.ActualCout / secs
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep
+}
+
+// AllMatch reports whether every executed plan reproduced the canonical
+// result — the go/no-go signal for scripted use of the -exec mode.
+func (r *ExecReport) AllMatch() bool {
+	for _, row := range r.Rows {
+		if !row.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the report as an aligned table.
+func (r *ExecReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g)\n", r.Factor)
+	fmt.Fprintf(&b, "%-6s %-15s %4s %10s %10s %12s %12s %12s %8s %6s\n",
+		"query", "plan", "Γ", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "match")
+	var names []string
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		if !seen[row.Query] {
+			seen[row.Query] = true
+			names = append(names, row.Query)
+		}
+	}
+	for _, name := range names {
+		for _, row := range r.Rows {
+			if row.Query != name {
+				continue
+			}
+			match := "ok"
+			if !row.Match {
+				match = "FAIL"
+			}
+			fmt.Fprintf(&b, "%-6s %-15s %4d %10.2f %10d %12.0f %12.0f %12.0f %8.2f %6s\n",
+				row.Query, row.Plan, row.Groupings, row.Millis, row.ResultRows,
+				row.ActualCout, row.EstimatedCout, row.RowsPerSec, row.QError, match)
+		}
+		fmt.Fprintf(&b, "%-6s %-15s %4s %10.2f   (canonical evaluation of the initial tree)\n",
+			name, "canonical", "-", r.CanonMillis[name])
+	}
+	return b.String()
+}

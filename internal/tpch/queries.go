@@ -204,3 +204,27 @@ func ExecutionScale(name string) map[string]int {
 	}
 	return nil
 }
+
+// ExecutionScaleAt multiplies the base execution scale by a factor — the
+// scale-factor knob of the execution benchmarks and eabench's -exec mode.
+// Factor 1 is ExecutionScale; dimension tables with natural cardinality
+// caps (nation: 25, region: 5) do not grow beyond them.
+func ExecutionScaleAt(name string, factor float64) map[string]int {
+	base := ExecutionScale(name)
+	if base == nil || factor <= 0 {
+		return base
+	}
+	caps := map[string]int{"nation": CardNation, "nation_s": CardNation, "nation_c": CardNation, "region": CardRegion}
+	out := make(map[string]int, len(base))
+	for rel, n := range base {
+		scaled := int(float64(n) * factor)
+		if scaled < 1 {
+			scaled = 1
+		}
+		if limit, ok := caps[rel]; ok && scaled > limit {
+			scaled = limit
+		}
+		out[rel] = scaled
+	}
+	return out
+}

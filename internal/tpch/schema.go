@@ -50,48 +50,72 @@ func join(kind query.OpKind, l, r *query.OpNode, la, ra int, sel float64) *query
 	}
 }
 
-// GenerateData produces a scaled-down synthetic instance whose foreign-key
-// structure matches TPC-H (every FK hits an existing PK; nation keys are
-// shared across customer and supplier), sized so that executing both lazy
-// and eager plans stays fast while producing identical results.
-func GenerateData(rng *rand.Rand, q *query.Query, scale map[string]int) engine.Data {
-	data := engine.Data{}
+// GenerateTables produces a scaled-down synthetic instance whose
+// foreign-key structure matches TPC-H (every FK hits an existing PK;
+// nation keys are shared across customer and supplier), built directly in
+// the slot-based representation the execution runtime consumes: one flat
+// row per tuple, no per-tuple maps. Row counts come from the scale map
+// (relations absent from the map default to 20 rows).
+func GenerateTables(rng *rand.Rand, q *query.Query, scale map[string]int) engine.TableData {
+	data := engine.TableData{}
 	for ri := range q.Relations {
 		rel := &q.Relations[ri]
 		n := scale[rel.Name]
 		if n <= 0 {
 			n = 20
 		}
-		r := &algebra.Rel{}
-		rel.Attrs.ForEach(func(a int) { r.Attrs = append(r.Attrs, q.AttrNames[a]) })
+		var attrIDs []int
+		var names []string
+		rel.Attrs.ForEach(func(a int) {
+			attrIDs = append(attrIDs, a)
+			names = append(names, q.AttrNames[a])
+		})
 		keyed := map[int]bool{}
 		for _, k := range rel.Keys {
 			k.ForEach(func(a int) { keyed[a] = true })
 		}
-		for row := 0; row < n; row++ {
-			t := algebra.Tuple{}
-			rel.Attrs.ForEach(func(a int) {
-				name := q.AttrNames[a]
-				switch {
-				case keyed[a]:
-					t[name] = algebra.Int(int64(row))
-				default:
-					// Foreign keys and dimension columns: small domains
-					// derived from the attribute's distinct count, capped
-					// for the scaled instance.
-					d := int64(q.Distinct[a])
-					if d > int64(n) {
-						d = int64(n)
-					}
-					if d < 1 {
-						d = 1
-					}
-					t[name] = algebra.Int(rng.Int63n(d))
-				}
-			})
-			r.Tuples = append(r.Tuples, t)
+		// Per-column domains resolved once: keys count up, the rest draw
+		// from small domains derived from the attribute's distinct count,
+		// capped for the scaled instance.
+		domains := make([]int64, len(attrIDs))
+		for i, a := range attrIDs {
+			if keyed[a] {
+				domains[i] = 0 // marker: unique key column
+				continue
+			}
+			d := int64(q.Distinct[a])
+			if d > int64(n) {
+				d = int64(n)
+			}
+			if d < 1 {
+				d = 1
+			}
+			domains[i] = d
 		}
-		data[ri] = r
+		tab := algebra.NewTable(algebra.NewSchema(names))
+		tab.Rows = make([]algebra.Row, n)
+		for row := 0; row < n; row++ {
+			r := make(algebra.Row, len(attrIDs))
+			for i := range attrIDs {
+				if domains[i] == 0 {
+					r[i] = algebra.Int(int64(row))
+				} else {
+					r[i] = algebra.Int(rng.Int63n(domains[i]))
+				}
+			}
+			tab.Rows[row] = r
+		}
+		data[ri] = tab
+	}
+	return data
+}
+
+// GenerateData is GenerateTables in the map-tuple boundary
+// representation, kept for callers that feed the reference executor.
+func GenerateData(rng *rand.Rand, q *query.Query, scale map[string]int) engine.Data {
+	data := engine.Data{}
+	for ri, tab := range GenerateTables(rng, q, scale) {
+		data[ri] = tab.Rel()
 	}
 	return data
 }
