@@ -495,6 +495,48 @@ func BenchmarkExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkExecuteParallel measures morsel-driven parallel execution
+// (engine.ExecOptions.Workers) on the Q3 core at sf=10: lazy and eager
+// plans × workers 1/2/4/8. Results are bit-identical for every worker
+// count (the equivalence tests enforce it), so the ns/op ratio between
+// the sub-benchmarks is a pure speedup measurement; workers=1 is the
+// sequential reference path. Run on a multi-core machine to see the
+// scaling — the acceptance bar is ≥2x at 4 workers on a ≥4-core runner.
+func BenchmarkExecuteParallel(b *testing.B) {
+	q := tpch.Q3()
+	tables := tpch.GenerateTables(rand.New(rand.NewSource(1)), q, tpch.ExecutionScaleAt("Q3", 10))
+	for _, pl := range []struct {
+		name string
+		alg  core.Algorithm
+	}{
+		{"lazy", core.AlgDPhyp},
+		{"eager", core.AlgEAPrune},
+	} {
+		res, err := core.Optimize(q, core.Options{Algorithm: pl.alg, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("plan=%s/workers=%d", pl.name, w), func(b *testing.B) {
+				var rows float64
+				for i := 0; i < b.N; i++ {
+					tab, stats, err := engine.ExecProfiledOpts(q, res.Plan, tables, engine.ExecOptions{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tab.Card() == 0 {
+						b.Fatal("empty result")
+					}
+					rows += stats.ActualCout
+				}
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(rows/secs, "rows/s")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBeamWidths evaluates the beam-search extension (our
 // contribution in the paper's future-work direction): per width, the
 // runtime is the benchmark time and the reported metric is the average

@@ -9,6 +9,7 @@
 //	eabench -queries 10000 -maxn 20  # the paper's full scale (slow!)
 //	eabench -exec -sf 50             # execute plans on generated data
 //	eabench -exec -query Q3 -sf 100  # one query, bigger instance
+//	eabench -exec -sf 50 -workers 0  # parallel execution on all cores
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
@@ -19,7 +20,9 @@
 // synthetic data scaled by -sf, results are verified to be identical, and
 // the report shows wall time, throughput (intermediate + final rows per
 // second) and the q-error between the C_out cost estimate and the
-// measured intermediate-result volume.
+// measured intermediate-result volume. -workers applies to both the
+// optimizer and the morsel-driven execution runtime; every worker count
+// produces bit-identical plans and results, only the wall times change.
 package main
 
 import (
@@ -40,13 +43,21 @@ func main() {
 	maxN := flag.Int("maxn", 14, "largest relation count for the fast algorithms (paper: 20)")
 	maxNPrune := flag.Int("maxn-prune", 10, "largest relation count for EA-Prune (paper: ~13)")
 	maxNExh := flag.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
-	workers := flag.Int("workers", 1, "optimizer workers per query (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans are identical for every value")
+	workers := flag.Int("workers", 1, "workers per query for the optimizer and (with -exec) morsel-driven plan execution (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans and results are identical for every value")
 	execMode := flag.Bool("exec", false, "execute optimized vs canonical plans on generated data instead of running optimizer benchmarks")
-	sf := flag.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes")
+	sf := flag.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes (must be > 0)")
 	execQuery := flag.String("query", "", "-exec: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
 	flag.Parse()
-	if *workers <= 0 {
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "eabench: -workers must be ≥ 0 (0 = all cores), got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *execMode && !(*sf > 0) { // rejects NaN too, unlike *sf <= 0
+		fmt.Fprintf(os.Stderr, "eabench: -sf must be > 0, got %g\n", *sf)
+		os.Exit(2)
 	}
 
 	cfg := experiments.Config{

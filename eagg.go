@@ -91,6 +91,13 @@ type TableData = engine.TableData
 // volume (actual C_out) against the plan's estimate.
 type ExecStats = engine.ExecStats
 
+// ExecOptions configures plan execution. Workers selects the
+// morsel-driven runtime's per-operator worker count (0 = GOMAXPROCS,
+// 1 = the exact sequential reference path); results are bit-identical
+// for every value, mirroring how Options.Workers behaves for the
+// optimizer.
+type ExecOptions = engine.ExecOptions
+
 // The plan generators: the paper's five (Sec. 4) plus the beam extension.
 const (
 	// DPhyp is the baseline: optimal join ordering, grouping stays on top.
@@ -180,6 +187,18 @@ func ExecuteProfiled(q *Query, p *Plan, data TableData) (*Table, *ExecStats, err
 	return engine.ExecProfiled(q, p, data)
 }
 
+// ExecuteTablesOpts is ExecuteTables under explicit execution options —
+// the entry point for morsel-driven parallel execution.
+func ExecuteTablesOpts(q *Query, p *Plan, data TableData, opts ExecOptions) (*Table, error) {
+	return engine.ExecTablesOpts(q, p, data, opts)
+}
+
+// ExecuteProfiledOpts is ExecuteProfiled under explicit execution
+// options.
+func ExecuteProfiledOpts(q *Query, p *Plan, data TableData, opts ExecOptions) (*Table, *ExecStats, error) {
+	return engine.ExecProfiledOpts(q, p, data, opts)
+}
+
 // Canonical evaluates the query as written (initial tree + top grouping):
 // the reference result for Execute.
 func Canonical(q *Query, data Data) (*Rel, error) {
@@ -189,6 +208,12 @@ func Canonical(q *Query, data Data) (*Rel, error) {
 // CanonicalTables is Canonical on slot-based tables.
 func CanonicalTables(q *Query, data TableData) (*Table, error) {
 	return engine.CanonicalTables(q, data)
+}
+
+// CanonicalTablesOpts is CanonicalTables under explicit execution
+// options.
+func CanonicalTablesOpts(q *Query, data TableData, opts ExecOptions) (*Table, error) {
+	return engine.CanonicalTablesOpts(q, data, opts)
 }
 
 // OutputAttrs returns the result schema of the query.

@@ -1,0 +1,606 @@
+package algebra
+
+// Morsel-driven parallel execution (Leis et al., SIGMOD 2014 style) for
+// the slot-based hash operators. Inputs are split into fixed-size row
+// ranges (morsels) that a small worker pool processes concurrently:
+//
+//   - Hash-join builds run as parallel partitioned inserts: a
+//     morsel-parallel scatter pass buckets every build row by the FNV
+//     hash of its typed binary key into a fixed number of partitions,
+//     then each partition's hash map is built independently. Because the
+//     per-morsel buckets are merged in morsel order, every posting list
+//     holds its row indices in build-input order — the partitioned table
+//     is observationally identical to the sequential buildSide map, just
+//     split by key hash.
+//   - Probes run morsel-parallel over the probe input. Each morsel
+//     produces its own output chunk, and the chunks are concatenated in
+//     morsel order, so the output is exactly the sequential probe order
+//     (probe rows in input order, matches in build-input order).
+//   - Hash aggregation scatters input rows by grouping key into the same
+//     fixed partitions and aggregates each partition independently.
+//     Every group lives in exactly one partition (its key determines its
+//     hash), and walking the scatter output in morsel order feeds each
+//     group's accumulators in global input order — so even
+//     order-sensitive float sums come out bit-identical. The finished
+//     groups of all partitions are merged by ascending first-input-row
+//     index, which reproduces the sequential first-encounter output
+//     order exactly.
+//
+// The partition count is fixed and independent of the worker count, so
+// the work decomposition — and with it every intermediate structure —
+// does not depend on how many goroutines happen to execute it. Together
+// with the ordered assembly above this makes results bit-identical for
+// every worker count; Workers ≤ 1 short-circuits to the plain sequential
+// operators and is the exact reference path.
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"eagg/internal/aggfn"
+)
+
+// DefaultMorselSize caps the adaptive morsel sizing: rows per morsel
+// never exceed it, so skewed operators on large inputs still
+// load-balance.
+const DefaultMorselSize = 4096
+
+// minMorselSize floors the adaptive sizing: below this, per-morsel
+// bookkeeping stops vanishing against per-row work.
+const minMorselSize = 64
+
+// morselsPerWorker is the adaptive sizing target: enough morsels per
+// worker that the atomic hand-out evens out per-morsel skew.
+const morselsPerWorker = 4
+
+// partitions is the fixed fan-out of partitioned builds and
+// aggregations. Must be a power of two (the partition of a key is its
+// hash masked by partitions-1).
+const partitions = 64
+
+// Exec carries execution-wide settings for the slot operators: the
+// worker count of the morsel-driven parallel variants and the morsel
+// granularity. A nil *Exec runs every operator sequentially.
+type Exec struct {
+	workers int
+	// morsel is the explicit morsel size; 0 selects adaptive sizing
+	// (see sizeFor). Never read directly — operators size through
+	// sizeFor so that morsel counts and morsel iteration agree.
+	morsel int
+}
+
+// NewExec returns execution settings for the given worker count:
+// 0 (or negative) selects GOMAXPROCS, 1 is the exact sequential
+// reference path, larger counts enable the morsel-parallel operator
+// variants. Results are bit-identical for every value.
+func NewExec(workers int) *Exec {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Exec{workers: workers}
+}
+
+// Workers returns the resolved worker count (1 for a nil Exec).
+func (e *Exec) Workers() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+// WithMorselSize returns a copy of e with an exact morsel size
+// (0 restores the adaptive default). An explicit size also disables the
+// small-operator sequential cutoff (see parFor) — the tests rely on
+// that to force the parallel machinery onto tiny inputs. Results are
+// identical for every size.
+func (e *Exec) WithMorselSize(rows int) *Exec {
+	out := *e
+	if rows < 0 {
+		rows = 0
+	}
+	out.morsel = rows
+	return &out
+}
+
+// par reports whether the parallel operator variants are selected.
+func (e *Exec) par() bool { return e != nil && e.workers > 1 }
+
+// parallelCutoff is the smallest driving input (rows) for which the
+// parallel variants pay for their scatter/partition overhead under the
+// adaptive morsel sizing. Operators below it run sequentially — a
+// deterministic, size-only decision.
+const parallelCutoff = 512
+
+// parFor reports whether the parallel variant should run for an
+// operator driven by n input rows. An explicit morsel size disables the
+// cutoff so tests can force the parallel machinery onto tiny inputs.
+func (e *Exec) parFor(n int) bool {
+	return e.par() && (e.morsel > 0 || n >= parallelCutoff)
+}
+
+// sizeFor returns the morsel size for an n-row input: the explicitly
+// configured size, or — by default — a size aiming at morselsPerWorker
+// morsels per worker, clamped to [minMorselSize, DefaultMorselSize], so
+// small inputs still fan out while per-morsel bookkeeping stays
+// negligible on large ones. The size depends only on (n, workers,
+// configuration), never on scheduling — morsel boundaries are
+// deterministic.
+func (e *Exec) sizeFor(n int) int {
+	if e.morsel > 0 {
+		return e.morsel
+	}
+	target := e.workers * morselsPerWorker
+	size := (n + target - 1) / target
+	if size > DefaultMorselSize {
+		return DefaultMorselSize
+	}
+	if size < minMorselSize {
+		return minMorselSize
+	}
+	return size
+}
+
+// morselCount returns the number of morsels n rows split into.
+func (e *Exec) morselCount(n int) int {
+	size := e.sizeFor(n)
+	return (n + size - 1) / size
+}
+
+// forMorsels executes fn(m, lo, hi) for every morsel of n input rows,
+// fanning out over up to e.workers goroutines. Morsel indices are handed
+// out through an atomic counter, so workers stay busy under per-morsel
+// skew. fn must only write state owned by morsel m; the final WaitGroup
+// wait gives the caller a happens-before edge on everything fn wrote.
+func (e *Exec) forMorsels(n int, fn func(m, lo, hi int)) {
+	size := e.sizeFor(n)
+	morsels := e.morselCount(n)
+	w := e.workers
+	if w > morsels {
+		w = morsels
+	}
+	if w <= 1 {
+		for m := 0; m < morsels; m++ {
+			fn(m, m*size, min((m+1)*size, n))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				fn(m, m*size, min((m+1)*size, n))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forParts executes fn(p) for every partition id over the worker pool.
+func (e *Exec) forParts(fn func(p int)) {
+	w := e.workers
+	if w > partitions {
+		w = partitions
+	}
+	if w <= 1 {
+		for p := 0; p < partitions; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= partitions {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// hashKey is the deterministic partition hash (FNV-1a) over an encoded
+// key. Partitioning never affects results — only how work is split — but
+// a fixed hash keeps run-to-run behavior reproducible.
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// scatterEntry locates one row and its encoded key in the morsel arena.
+type scatterEntry struct {
+	row      int32
+	off, len int32
+}
+
+// morselScatter is one morsel's contribution to a partitioned pass: per
+// partition, the rows hashing into it in row order, with their encoded
+// keys in a shared arena.
+type morselScatter struct {
+	arena   []byte
+	buckets [partitions][]scatterEntry
+}
+
+// scatterRows buckets rows [lo,hi) of t by the hash of their key over
+// the given slots. With joinKeys true the key is the join encoding and
+// rows with NULL/NaN key components are dropped (strict equality matches
+// them to nothing); otherwise the grouping encoding is used and NULL
+// keys form their own groups.
+func scatterRows(t *Table, lo, hi int, slots []int, joinKeys bool) *morselScatter {
+	s := &morselScatter{}
+	for i := lo; i < hi; i++ {
+		row := t.Rows[i]
+		if joinKeys && rowHasNullKey(row, slots) {
+			continue
+		}
+		off := len(s.arena)
+		if joinKeys {
+			s.arena = appendJoinKey(s.arena, row, slots)
+		} else {
+			s.arena = appendRowKey(s.arena, row, slots)
+		}
+		key := s.arena[off:]
+		p := hashKey(key) & (partitions - 1)
+		s.buckets[p] = append(s.buckets[p], scatterEntry{row: int32(i), off: int32(off), len: int32(len(key))})
+	}
+	return s
+}
+
+// partTable is a partitioned hash table over a build input: partition p
+// maps keys hashing to p onto their build-row indices, in build-input
+// order — the sequential buildSide postings split by key hash.
+type partTable struct {
+	parts [partitions]map[string][]int32
+}
+
+// lookup returns the posting list of an encoded key.
+func (pt *partTable) lookup(key []byte) []int32 {
+	return pt.parts[hashKey(key)&(partitions-1)][string(key)]
+}
+
+// buildPartitioned builds the partitioned hash table over r's key slots:
+// a morsel-parallel scatter pass, then parallel partitioned inserts (one
+// independent map per partition, morsel contributions merged in morsel
+// order to keep build-input order within every posting list).
+func (e *Exec) buildPartitioned(r *Table, rk []int) *partTable {
+	scatters := make([]*morselScatter, e.morselCount(len(r.Rows)))
+	e.forMorsels(len(r.Rows), func(m, lo, hi int) {
+		scatters[m] = scatterRows(r, lo, hi, rk, true)
+	})
+	pt := &partTable{}
+	e.forParts(func(p int) {
+		mp := map[string][]int32{}
+		for _, sc := range scatters {
+			for _, en := range sc.buckets[p] {
+				key := sc.arena[en.off : en.off+en.len]
+				mp[string(key)] = append(mp[string(key)], en.row)
+			}
+		}
+		pt.parts[p] = mp
+	})
+	return pt
+}
+
+// probeMorsels runs fn over morsels of the probe input, each morsel
+// returning its output chunk, and assembles out.Rows by concatenating
+// the chunks in input-morsel order — exactly the sequential output
+// order.
+func (e *Exec) probeMorsels(probe *Table, out *Table, fn func(lo, hi int) []Row) {
+	chunks := make([][]Row, e.morselCount(len(probe.Rows)))
+	e.forMorsels(len(probe.Rows), func(m, lo, hi int) {
+		chunks[m] = fn(lo, hi)
+	})
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out.Rows = make([]Row, 0, total)
+	for _, c := range chunks {
+		out.Rows = append(out.Rows, c...)
+	}
+}
+
+// HashJoin is the inner equi-join l ⋈ r under e's settings: partitioned
+// parallel build, morsel-parallel probe. Workers ≤ 1 is the sequential
+// HashJoin.
+func (e *Exec) HashJoin(l, r *Table, lk, rk []int) *Table {
+	if !e.parFor(max(len(l.Rows), len(r.Rows))) {
+		return HashJoin(l, r, lk, rk)
+	}
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	pt := e.buildPartitioned(r, rk)
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		var buf []byte
+		for _, lrow := range l.Rows[lo:hi] {
+			if rowHasNullKey(lrow, lk) {
+				continue
+			}
+			buf = appendJoinKey(buf[:0], lrow, lk)
+			for _, ri := range pt.lookup(buf) {
+				chunk = append(chunk, concatRow(lrow, r.Rows[ri]))
+			}
+		}
+		return chunk
+	})
+	return out
+}
+
+// HashSemiJoin is the left semijoin l ⋉ r under e's settings.
+func (e *Exec) HashSemiJoin(l, r *Table, lk, rk []int) *Table {
+	if !e.parFor(max(len(l.Rows), len(r.Rows))) {
+		return HashSemiJoin(l, r, lk, rk)
+	}
+	out := &Table{Schema: l.Schema}
+	pt := e.buildPartitioned(r, rk)
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		var buf []byte
+		for _, lrow := range l.Rows[lo:hi] {
+			if rowHasNullKey(lrow, lk) {
+				continue
+			}
+			buf = appendJoinKey(buf[:0], lrow, lk)
+			if len(pt.lookup(buf)) > 0 {
+				chunk = append(chunk, lrow)
+			}
+		}
+		return chunk
+	})
+	return out
+}
+
+// HashAntiJoin is the left antijoin l ▷ r under e's settings.
+func (e *Exec) HashAntiJoin(l, r *Table, lk, rk []int) *Table {
+	if !e.parFor(max(len(l.Rows), len(r.Rows))) {
+		return HashAntiJoin(l, r, lk, rk)
+	}
+	out := &Table{Schema: l.Schema}
+	pt := e.buildPartitioned(r, rk)
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		var buf []byte
+		for _, lrow := range l.Rows[lo:hi] {
+			if !rowHasNullKey(lrow, lk) {
+				buf = appendJoinKey(buf[:0], lrow, lk)
+				if len(pt.lookup(buf)) > 0 {
+					continue
+				}
+			}
+			chunk = append(chunk, lrow)
+		}
+		return chunk
+	})
+	return out
+}
+
+// HashLeftOuter is the left outerjoin under e's settings. pad must be a
+// full row over r's schema.
+func (e *Exec) HashLeftOuter(l, r *Table, lk, rk []int, pad Row) *Table {
+	if !e.parFor(max(len(l.Rows), len(r.Rows))) {
+		return HashLeftOuter(l, r, lk, rk, pad)
+	}
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	pt := e.buildPartitioned(r, rk)
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		var buf []byte
+		for _, lrow := range l.Rows[lo:hi] {
+			matched := false
+			if !rowHasNullKey(lrow, lk) {
+				buf = appendJoinKey(buf[:0], lrow, lk)
+				for _, ri := range pt.lookup(buf) {
+					matched = true
+					chunk = append(chunk, concatRow(lrow, r.Rows[ri]))
+				}
+			}
+			if !matched {
+				chunk = append(chunk, concatRow(lrow, pad))
+			}
+		}
+		return chunk
+	})
+	return out
+}
+
+// HashFullOuter is the full outerjoin under e's settings. Matched build
+// rows are marked through atomics (the mark only ever moves false→true,
+// so concurrent marking is order-independent); the unmatched right rows
+// are appended after the probe barrier in build-input order, exactly
+// like the sequential operator.
+func (e *Exec) HashFullOuter(l, r *Table, lk, rk []int, lpad, rpad Row) *Table {
+	if !e.parFor(max(len(l.Rows), len(r.Rows))) {
+		return HashFullOuter(l, r, lk, rk, lpad, rpad)
+	}
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	pt := e.buildPartitioned(r, rk)
+	matched := make([]atomic.Bool, len(r.Rows))
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		var buf []byte
+		for _, lrow := range l.Rows[lo:hi] {
+			found := false
+			if !rowHasNullKey(lrow, lk) {
+				buf = appendJoinKey(buf[:0], lrow, lk)
+				for _, ri := range pt.lookup(buf) {
+					found = true
+					matched[ri].Store(true)
+					chunk = append(chunk, concatRow(lrow, r.Rows[ri]))
+				}
+			}
+			if !found {
+				chunk = append(chunk, concatRow(lrow, rpad))
+			}
+		}
+		return chunk
+	})
+	for ri, rrow := range r.Rows {
+		if !matched[ri].Load() {
+			out.Rows = append(out.Rows, concatRow(lpad, rrow))
+		}
+	}
+	return out
+}
+
+// HashGroupJoin is the groupjoin under e's settings: partitioned build,
+// morsel-parallel probe; every left row folds its partner bucket in
+// build-input order, like the sequential operator.
+func (e *Exec) HashGroupJoin(l, r *Table, lk, rk []int, f aggfn.Vector) *Table {
+	if !e.parFor(max(len(l.Rows), len(r.Rows))) {
+		return HashGroupJoin(l, r, lk, rk, f)
+	}
+	bound := BindVector(f, r.Schema)
+	names := append(append([]string(nil), l.Schema.Names()...), f.Outs()...)
+	out := &Table{Schema: NewSchema(names)}
+	pt := e.buildPartitioned(r, rk)
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		chunk := make([]Row, 0, hi-lo)
+		var buf []byte
+		for _, lrow := range l.Rows[lo:hi] {
+			cells := make([]aggCell, len(bound))
+			if !rowHasNullKey(lrow, lk) {
+				buf = appendJoinKey(buf[:0], lrow, lk)
+				for _, ri := range pt.lookup(buf) {
+					for i := range bound {
+						cells[i].update(&bound[i], r.Rows[ri])
+					}
+				}
+			}
+			row := make(Row, 0, len(lrow)+len(bound))
+			row = append(row, lrow...)
+			for i := range bound {
+				row = append(row, cells[i].final(&bound[i]))
+			}
+			chunk = append(chunk, row)
+		}
+		return chunk
+	})
+	return out
+}
+
+// partGroup is one group being accumulated in a partition, tagged with
+// the global index of its first input row.
+type partGroup struct {
+	acc   groupAcc
+	first int32
+}
+
+// groupOut is one finished group: its output row plus the first-row tag
+// that orders the deterministic merge.
+type groupOut struct {
+	first int32
+	row   Row
+}
+
+// HashGroup is typed hash aggregation under e's settings: morsel-parallel
+// scatter by grouping key, one independent accumulator table per
+// partition, partitions merged by ascending first-input-row index. Every
+// group's rows are folded in global input order by exactly one partition
+// task, and the merge order equals first-encounter order — so the result
+// is bit-identical to the sequential HashGroup, float sums included.
+func (e *Exec) HashGroup(t *Table, groupBy []string, f aggfn.Vector) *Table {
+	if !e.parFor(len(t.Rows)) {
+		return HashGroup(t, groupBy, f)
+	}
+	bound := BindVector(f, t.Schema)
+	groupSlots := t.Schema.Slots(groupBy)
+	names := make([]string, 0, len(groupBy)+len(f))
+	names = append(names, groupBy...)
+	names = append(names, f.Outs()...)
+	out := &Table{Schema: NewSchema(names)}
+
+	scatters := make([]*morselScatter, e.morselCount(len(t.Rows)))
+	e.forMorsels(len(t.Rows), func(m, lo, hi int) {
+		scatters[m] = scatterRows(t, lo, hi, groupSlots, false)
+	})
+
+	partOuts := make([][]groupOut, partitions)
+	e.forParts(func(p int) {
+		groups := map[string]*partGroup{}
+		var order []*partGroup
+		for _, sc := range scatters {
+			for _, en := range sc.buckets[p] {
+				key := sc.arena[en.off : en.off+en.len]
+				g := groups[string(key)]
+				row := t.Rows[en.row]
+				if g == nil {
+					rep := make(Row, len(groupSlots))
+					for i, s := range groupSlots {
+						rep[i] = row.get(s)
+					}
+					g = &partGroup{
+						acc:   groupAcc{rep: rep, cells: make([]aggCell, len(bound))},
+						first: en.row,
+					}
+					groups[string(key)] = g
+					order = append(order, g)
+				}
+				for i := range bound {
+					g.acc.cells[i].update(&bound[i], row)
+				}
+			}
+		}
+		outs := make([]groupOut, len(order))
+		for i, g := range order {
+			row := make(Row, 0, len(groupSlots)+len(bound))
+			row = append(row, g.acc.rep...)
+			for ci := range bound {
+				row = append(row, g.acc.cells[ci].final(&bound[ci]))
+			}
+			outs[i] = groupOut{first: g.first, row: row}
+		}
+		partOuts[p] = outs
+	})
+
+	var all []groupOut
+	for _, outs := range partOuts {
+		all = append(all, outs...)
+	}
+	// First-row indices are unique across groups, so the order is total
+	// and the sort deterministic.
+	sort.Slice(all, func(i, j int) bool { return all[i].first < all[j].first })
+	out.Rows = make([]Row, len(all))
+	for i, g := range all {
+		out.Rows[i] = g.row
+	}
+	return out
+}
+
+// ExtendTable appends one computed column under e's settings. fn must be
+// pure; rows are written by index, so the output order is trivially the
+// input order.
+func (e *Exec) ExtendTable(t *Table, name string, fn func(Row) Value) *Table {
+	if !e.parFor(len(t.Rows)) {
+		return ExtendTable(t, name, fn)
+	}
+	out := &Table{Schema: t.Schema.Extend(name), Rows: make([]Row, len(t.Rows))}
+	e.forMorsels(len(t.Rows), func(m, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Rows[i]
+			nr := make(Row, 0, len(row)+1)
+			nr = append(nr, row...)
+			nr = append(nr, fn(row))
+			out.Rows[i] = nr
+		}
+	})
+	return out
+}

@@ -21,12 +21,21 @@ func Canonical(q *query.Query, data Data) (*algebra.Rel, error) {
 	return tab.Rel(), nil
 }
 
-// CanonicalTables evaluates the query as written on slot-based tables.
+// CanonicalTables evaluates the query as written on slot-based tables on
+// the sequential reference path; CanonicalTablesOpts adds morsel-driven
+// parallelism.
 func CanonicalTables(q *query.Query, data TableData) (*algebra.Table, error) {
+	return CanonicalTablesOpts(q, data, ExecOptions{Workers: 1})
+}
+
+// CanonicalTablesOpts evaluates the query as written under the given
+// execution options. Results are bit-identical for every worker count.
+func CanonicalTablesOpts(q *query.Query, data TableData, opts ExecOptions) (*algebra.Table, error) {
 	if q.Root == nil {
 		return nil, fmt.Errorf("engine: query has no operator tree")
 	}
-	tab, err := evalTreeTables(q, q.Root, data)
+	ex := opts.exec()
+	tab, err := evalTreeTables(q, q.Root, data, ex)
 	if err != nil {
 		return nil, err
 	}
@@ -35,10 +44,10 @@ func CanonicalTables(q *query.Query, data TableData) (*algebra.Table, error) {
 	}
 	var g []string
 	q.GroupBy.ForEach(func(a int) { g = append(g, q.AttrNames[a]) })
-	return algebra.HashGroup(tab, g, q.Aggregates), nil
+	return ex.HashGroup(tab, g, q.Aggregates), nil
 }
 
-func evalTreeTables(q *query.Query, n *query.OpNode, data TableData) (*algebra.Table, error) {
+func evalTreeTables(q *query.Query, n *query.OpNode, data TableData, ex *algebra.Exec) (*algebra.Table, error) {
 	if n.Kind == query.KindScan {
 		tab, ok := data[n.Rel]
 		if !ok {
@@ -46,28 +55,28 @@ func evalTreeTables(q *query.Query, n *query.OpNode, data TableData) (*algebra.T
 		}
 		return tab, nil
 	}
-	l, err := evalTreeTables(q, n.Left, data)
+	l, err := evalTreeTables(q, n.Left, data, ex)
 	if err != nil {
 		return nil, err
 	}
-	r, err := evalTreeTables(q, n.Right, data)
+	r, err := evalTreeTables(q, n.Right, data, ex)
 	if err != nil {
 		return nil, err
 	}
 	lk, rk := joinKeys(q, []*query.Predicate{n.Pred}, l.Schema, r.Schema)
 	switch n.Kind {
 	case query.KindJoin:
-		return algebra.HashJoin(l, r, lk, rk), nil
+		return ex.HashJoin(l, r, lk, rk), nil
 	case query.KindSemiJoin:
-		return algebra.HashSemiJoin(l, r, lk, rk), nil
+		return ex.HashSemiJoin(l, r, lk, rk), nil
 	case query.KindAntiJoin:
-		return algebra.HashAntiJoin(l, r, lk, rk), nil
+		return ex.HashAntiJoin(l, r, lk, rk), nil
 	case query.KindLeftOuter:
-		return algebra.HashLeftOuter(l, r, lk, rk, algebra.NullRow(r.Schema)), nil
+		return ex.HashLeftOuter(l, r, lk, rk, algebra.NullRow(r.Schema)), nil
 	case query.KindFullOuter:
-		return algebra.HashFullOuter(l, r, lk, rk, algebra.NullRow(l.Schema), algebra.NullRow(r.Schema)), nil
+		return ex.HashFullOuter(l, r, lk, rk, algebra.NullRow(l.Schema), algebra.NullRow(r.Schema)), nil
 	case query.KindGroupJoin:
-		return algebra.HashGroupJoin(l, r, lk, rk, n.GroupJoinAggs), nil
+		return ex.HashGroupJoin(l, r, lk, rk, n.GroupJoinAggs), nil
 	}
 	return nil, fmt.Errorf("engine: unsupported node kind %v", n.Kind)
 }

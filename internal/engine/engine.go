@@ -30,6 +30,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 
 	"eagg/internal/aggfn"
 	"eagg/internal/algebra"
@@ -56,6 +57,33 @@ func (d Data) Tables() TableData {
 	return out
 }
 
+// ExecOptions configures plan execution.
+type ExecOptions struct {
+	// Workers is the number of goroutines the morsel-driven runtime
+	// uses inside each operator: 0 (or negative) selects GOMAXPROCS,
+	// 1 is the exact sequential reference path, larger counts enable
+	// the parallel operator variants. Results are bit-identical for
+	// every value (see DESIGN.md's determinism argument).
+	Workers int
+	// MorselSize overrides the rows-per-morsel granularity (0 = the
+	// adaptive default: several morsels per worker, clamped to
+	// [64, algebra.DefaultMorselSize]). Setting it also disables the
+	// small-operator sequential cutoff, forcing the parallel machinery
+	// onto every operator — the tests rely on that to exercise
+	// parallelism on tiny inputs. Leave it 0 in production; results
+	// are identical for every size.
+	MorselSize int
+}
+
+// exec resolves the options into operator execution settings.
+func (o ExecOptions) exec() *algebra.Exec {
+	e := algebra.NewExec(o.Workers)
+	if o.MorselSize > 0 {
+		e = e.WithMorselSize(o.MorselSize)
+	}
+	return e
+}
+
 // ExecStats profiles one execution: per-operator actual output
 // cardinalities summed into the executed counterpart of the C_out cost
 // function (scans and the free projection excluded, matching the
@@ -68,18 +96,32 @@ type ExecStats struct {
 	EstimatedCout float64
 	// ResultRows is the cardinality of the final result.
 	ResultRows int
+	// Workers is the resolved per-operator worker count the execution
+	// used (1 = sequential reference path).
+	Workers int
 }
 
 // CoutQError returns the q-error of the C_out estimate:
-// max(est, actual)/min(est, actual), ≥ 1, or 0 when undefined.
+// max(est, actual)/min(est, actual) with both sides clamped to ≥ 1, the
+// standard guard that keeps the metric finite and monotone when either
+// cardinality is zero. A perfect estimate (including "both zero") is 1;
+// an estimate of n against a measured 0 — or vice versa — degrades as n
+// instead of collapsing to a sentinel indistinguishable from perfect.
+// Use CoutTrivial to tell the vacuous all-zero case apart.
 func (s *ExecStats) CoutQError() float64 {
-	if s.ActualCout <= 0 || s.EstimatedCout <= 0 {
-		return 0
+	est := math.Max(s.EstimatedCout, 1)
+	act := math.Max(s.ActualCout, 1)
+	if est > act {
+		return est / act
 	}
-	if s.EstimatedCout > s.ActualCout {
-		return s.EstimatedCout / s.ActualCout
-	}
-	return s.ActualCout / s.EstimatedCout
+	return act / est
+}
+
+// CoutTrivial reports whether the plan had no costed operators at all
+// (both the estimate and the measurement are zero), in which case the
+// q-error is vacuously 1 and reports should print it as undefined.
+func (s *ExecStats) CoutTrivial() bool {
+	return s.ActualCout == 0 && s.EstimatedCout == 0
 }
 
 // aggState tracks one original aggregate through the plan.
@@ -140,9 +182,18 @@ func Exec(q *query.Query, p *plan.Plan, data Data) (*algebra.Rel, error) {
 	return tab.Rel(), nil
 }
 
-// ExecTables executes an optimized plan on slot-based tables.
+// ExecTables executes an optimized plan on slot-based tables on the
+// sequential reference path; ExecTablesOpts adds morsel-driven
+// parallelism.
 func ExecTables(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, error) {
-	e := &executor{binder: binder{q: q}, data: data}
+	return ExecTablesOpts(q, p, data, ExecOptions{Workers: 1})
+}
+
+// ExecTablesOpts executes an optimized plan on slot-based tables under
+// the given execution options. Results are bit-identical for every
+// worker count.
+func ExecTablesOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOptions) (*algebra.Table, error) {
+	e := &executor{binder: binder{q: q}, data: data, ex: opts.exec()}
 	c, err := e.compile(p)
 	if err != nil {
 		return nil, err
@@ -152,10 +203,20 @@ func ExecTables(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, e
 
 // ExecProfiled executes an optimized plan and reports execution
 // statistics, including the measured counterpart of the plan's C_out
-// estimate.
+// estimate, on the sequential reference path.
 func ExecProfiled(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, *ExecStats, error) {
-	stats := &ExecStats{EstimatedCout: p.Cost}
-	e := &executor{binder: binder{q: q}, data: data, stats: stats}
+	return ExecProfiledOpts(q, p, data, ExecOptions{Workers: 1})
+}
+
+// ExecProfiledOpts is ExecProfiled under the given execution options.
+// Parallelism is intra-operator (morsels inside each hash operator), so
+// the per-operator cardinality profile is accumulated by the single
+// driver goroutine after each operator's barrier — no synchronization
+// on ExecStats is needed, and the profile itself is deterministic.
+func ExecProfiledOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOptions) (*algebra.Table, *ExecStats, error) {
+	ex := opts.exec()
+	stats := &ExecStats{EstimatedCout: p.Cost, Workers: ex.Workers()}
+	e := &executor{binder: binder{q: q}, data: data, stats: stats, ex: ex}
 	c, err := e.compile(p)
 	if err != nil {
 		return nil, nil, err
@@ -168,6 +229,7 @@ type executor struct {
 	binder
 	data  TableData
 	stats *ExecStats
+	ex    *algebra.Exec
 }
 
 // record accumulates one operator's actual output cardinality.
@@ -297,15 +359,15 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 
 	switch p.Op {
 	case query.KindJoin:
-		out.tab = algebra.HashJoin(l.tab, r.tab, lk, rk)
+		out.tab = e.ex.HashJoin(l.tab, r.tab, lk, rk)
 	case query.KindSemiJoin:
-		out.tab = algebra.HashSemiJoin(l.tab, r.tab, lk, rk)
+		out.tab = e.ex.HashSemiJoin(l.tab, r.tab, lk, rk)
 	case query.KindAntiJoin:
-		out.tab = algebra.HashAntiJoin(l.tab, r.tab, lk, rk)
+		out.tab = e.ex.HashAntiJoin(l.tab, r.tab, lk, rk)
 	case query.KindLeftOuter:
-		out.tab = algebra.HashLeftOuter(l.tab, r.tab, lk, rk, padRow(r))
+		out.tab = e.ex.HashLeftOuter(l.tab, r.tab, lk, rk, padRow(r))
 	case query.KindFullOuter:
-		out.tab = algebra.HashFullOuter(l.tab, r.tab, lk, rk, padRow(l), padRow(r))
+		out.tab = e.ex.HashFullOuter(l.tab, r.tab, lk, rk, padRow(l), padRow(r))
 	case query.KindGroupJoin:
 		if len(r.weights) != 0 {
 			return nil, fmt.Errorf("engine: groupjoin over a pre-aggregated right side is not supported")
@@ -315,7 +377,7 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 		if gj == nil {
 			return nil, fmt.Errorf("engine: groupjoin node not found in the query tree")
 		}
-		out.tab = algebra.HashGroupJoin(l.tab, r.tab, lk, rk, gj.GroupJoinAggs)
+		out.tab = e.ex.HashGroupJoin(l.tab, r.tab, lk, rk, gj.GroupJoinAggs)
 	default:
 		return nil, fmt.Errorf("engine: unsupported operator %v", p.Op)
 	}

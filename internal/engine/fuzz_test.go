@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -12,9 +13,11 @@ import (
 // FuzzExecEquivalence fuzzes the end-to-end correctness property of the
 // execution stack: for a random query (derived deterministically from the
 // fuzz inputs) and random data, the optimized plan executed on the slot
-// runtime must equal the canonical result, and both slot-runtime
-// evaluators must equal their frozen nested-loop references. Run the
-// smoke locally with
+// runtime must equal the canonical result, both slot-runtime evaluators
+// must equal their frozen nested-loop references, and morsel-driven
+// parallel execution (Workers>1, fuzz-chosen morsel size) must be
+// bit-identical to the sequential reference path — float sums and
+// output order included. Run the smoke locally with
 //
 //	go test -run '^$' -fuzz FuzzExecEquivalence -fuzztime 20s ./internal/engine
 //
@@ -78,5 +81,20 @@ func FuzzExecEquivalence(f *testing.F) {
 			t.Fatalf("seed=%d n=%d %v: Execute (slot) ≢ ExecRef\nplan:\n%v\nref:\n%v\nslot:\n%v",
 				seed, n, opts.Algorithm, res.Plan.StringWithQuery(q), gotRef, got)
 		}
+
+		// Workers>1 arm: parallel execution must be bit-identical to
+		// the sequential reference path (not merely bag-equal).
+		tables := data.Tables()
+		workers := 2 + int(algPick)%7
+		popts := ExecOptions{Workers: workers, MorselSize: 1 + int(maxRows)%5}
+		seqTab, err := ExecTablesOpts(q, res.Plan, tables, ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("sequential exec: %v", err)
+		}
+		parTab, err := ExecTablesOpts(q, res.Plan, tables, popts)
+		if err != nil {
+			t.Fatalf("parallel exec (workers=%d): %v", workers, err)
+		}
+		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v workers=%d", seed, n, opts.Algorithm, workers), seqTab, parTab)
 	})
 }

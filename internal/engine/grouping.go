@@ -23,7 +23,7 @@ func (e *executor) product(tab *algebra.Table, attrs []string) (string, *algebra
 	}
 	name := e.fresh("prod")
 	slots := tab.Schema.Slots(attrs)
-	tab = algebra.ExtendTable(tab, name, func(row algebra.Row) algebra.Value {
+	tab = e.ex.ExtendTable(tab, name, func(row algebra.Row) algebra.Value {
 		v := algebra.Int(1)
 		for _, s := range slots {
 			v = algebra.Mul(v, row[s])
@@ -96,7 +96,7 @@ func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 		}
 	}
 
-	out.tab = algebra.HashGroup(tab, gNames, inner)
+	out.tab = e.ex.HashGroup(tab, gNames, inner)
 	out.weights = []weight{{attr: wNew, cover: s}}
 	return out, nil
 }
@@ -206,7 +206,7 @@ func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64) (*compiled,
 		final = append(final, fa)
 	}
 	gNames := e.attrNames(groupBy)
-	res := algebra.HashGroup(tab, gNames, final)
+	res := e.ex.HashGroup(tab, gNames, final)
 	return &compiled{tab: res, aggs: make([]aggState, len(e.q.Aggregates))}, nil
 }
 

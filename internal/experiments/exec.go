@@ -21,10 +21,15 @@ type ExecRow struct {
 	Millis     float64
 	ResultRows int
 	// ActualCout and EstimatedCout compare the cost model against the
-	// measured intermediate-result volume; QError = max(e/a, a/e).
+	// measured intermediate-result volume; QError is the clamped
+	// q-error max(e,1)/max(a,1) folded over both directions (≥ 1, with
+	// a zero-vs-nonzero mismatch degrading by its magnitude instead of
+	// reading as perfect). QErrorTrivial marks the vacuous case — no
+	// costed operators at all — which the report prints as "-".
 	ActualCout    float64
 	EstimatedCout float64
 	QError        float64
+	QErrorTrivial bool
 	// RowsPerSec is the runtime throughput: intermediate + final rows
 	// produced per second of execution.
 	RowsPerSec float64
@@ -36,6 +41,7 @@ type ExecRow struct {
 // canonical evaluation time plus one row per optimized plan.
 type ExecReport struct {
 	Factor      float64
+	Workers     int // execution workers (1 = sequential reference)
 	CanonMillis map[string]float64
 	Rows        []ExecRow
 }
@@ -44,9 +50,12 @@ type ExecReport struct {
 // (EA-Prune), executes both plans and the canonical tree on synthetic
 // data scaled by factor, verifies result equality, and reports
 // throughput and the C_out-vs-actual cardinality error. A nil or empty
-// names list selects every query.
+// names list selects every query. cfg.Workers drives both the optimizer
+// and the morsel-driven execution runtime; results are bit-identical
+// for every worker count.
 func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 	cfg = cfg.Defaults()
+	execOpts := engine.ExecOptions{Workers: cfg.Workers}
 	queries := tpch.Queries()
 	if len(names) == 0 {
 		for name := range queries {
@@ -54,7 +63,7 @@ func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 		}
 		sort.Strings(names)
 	}
-	rep := &ExecReport{Factor: factor, CanonMillis: map[string]float64{}}
+	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, CanonMillis: map[string]float64{}}
 	for _, name := range names {
 		q, ok := queries[name]
 		if !ok {
@@ -64,7 +73,7 @@ func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 		data := tpch.GenerateTables(rng, q, tpch.ExecutionScaleAt(name, factor))
 
 		start := time.Now()
-		want, err := engine.CanonicalTables(q, data)
+		want, err := engine.CanonicalTablesOpts(q, data, execOpts)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: canonical %s: %v", name, err))
 		}
@@ -81,7 +90,7 @@ func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 		} {
 			res := mustOptimize(q, alg.alg, 0, cfg.Workers)
 			start := time.Now()
-			tab, stats, err := engine.ExecProfiled(q, res.Plan, data)
+			tab, stats, err := engine.ExecProfiledOpts(q, res.Plan, data, execOpts)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: exec %s/%s: %v", name, alg.label, err))
 			}
@@ -96,6 +105,7 @@ func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 				ActualCout:    stats.ActualCout,
 				EstimatedCout: stats.EstimatedCout,
 				QError:        stats.CoutQError(),
+				QErrorTrivial: stats.CoutTrivial(),
 				Match:         algebra.EqualBags(wantRel, tab.Rel(), attrs),
 			}
 			if secs > 0 {
@@ -121,7 +131,7 @@ func (r *ExecReport) AllMatch() bool {
 // Format renders the report as an aligned table.
 func (r *ExecReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g)\n", r.Factor)
+	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g, workers %d)\n", r.Factor, r.Workers)
 	fmt.Fprintf(&b, "%-6s %-15s %4s %10s %10s %12s %12s %12s %8s %6s\n",
 		"query", "plan", "Γ", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "match")
 	var names []string
@@ -141,9 +151,13 @@ func (r *ExecReport) Format() string {
 			if !row.Match {
 				match = "FAIL"
 			}
-			fmt.Fprintf(&b, "%-6s %-15s %4d %10.2f %10d %12.0f %12.0f %12.0f %8.2f %6s\n",
+			qerr := fmt.Sprintf("%8.2f", row.QError)
+			if row.QErrorTrivial {
+				qerr = fmt.Sprintf("%8s", "-") // no costed operators: nothing to estimate
+			}
+			fmt.Fprintf(&b, "%-6s %-15s %4d %10.2f %10d %12.0f %12.0f %12.0f %s %6s\n",
 				row.Query, row.Plan, row.Groupings, row.Millis, row.ResultRows,
-				row.ActualCout, row.EstimatedCout, row.RowsPerSec, row.QError, match)
+				row.ActualCout, row.EstimatedCout, row.RowsPerSec, qerr, match)
 		}
 		fmt.Fprintf(&b, "%-6s %-15s %4s %10.2f   (canonical evaluation of the initial tree)\n",
 			name, "canonical", "-", r.CanonMillis[name])

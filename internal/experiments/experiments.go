@@ -31,12 +31,13 @@ type Config struct {
 	MaxNPrune int
 	// MaxN bounds the fast algorithms (paper: 20).
 	MaxN int
-	// Workers is the optimizer worker count passed to
-	// core.Options.Workers. Unlike core, 0 here selects the sequential
-	// default (1) so the runtime experiments keep reproducing the
-	// paper's single-threaded conditions unless parallelism is
-	// explicitly requested. Results are bit-identical for every value;
-	// only the runtime figures change.
+	// Workers is the worker count passed to core.Options.Workers for
+	// optimization and — in the -exec mode — to engine.ExecOptions for
+	// morsel-driven plan execution. Unlike core, 0 here selects the
+	// sequential default (1) so the runtime experiments keep
+	// reproducing the paper's single-threaded conditions unless
+	// parallelism is explicitly requested. Results are bit-identical
+	// for every value; only the runtime figures change.
 	Workers int
 }
 
