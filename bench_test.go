@@ -602,3 +602,45 @@ func BenchmarkAblationFDReduce(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFeedback measures the cardinality feedback loop
+// (engine.Reoptimize) end to end on TPC-H Q5 — the query whose plan the
+// measured cardinalities actually flip — at two data scales × two worker
+// counts (workers drive both the optimizer and the morsel-driven
+// execution in every round). Reported metrics: rounds to convergence,
+// whether feedback changed the plan (1/0), and the plan-level C_out
+// q-error reduction of the final round versus the model-only baseline
+// (the acceptance bar is ≥10x with a changed plan at sf=1).
+func BenchmarkFeedback(b *testing.B) {
+	q := tpch.Queries()["Q5"]
+	for _, sf := range []float64{1, 4} {
+		tables := tpch.GenerateTables(rand.New(rand.NewSource(1)), q, tpch.ExecutionScaleAt("Q5", sf))
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("sf=%g/workers=%d", sf, w), func(b *testing.B) {
+				var rounds, changed int
+				var reduction float64
+				for i := 0; i < b.N; i++ {
+					res, err := engine.Reoptimize(q, tables, engine.FeedbackOptions{
+						Opt:  core.Options{Algorithm: core.AlgEAPrune, Workers: w},
+						Exec: engine.ExecOptions{Workers: w},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Converged {
+						b.Fatal("feedback loop did not converge")
+					}
+					rounds = len(res.Rounds)
+					changed = 0
+					if res.PlanChanged() {
+						changed = 1
+					}
+					reduction = res.First().Stats.CoutQError() / res.Final().Stats.CoutQError()
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(changed), "plan-changed")
+				b.ReportMetric(reduction, "qerr-reduction")
+			})
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	eabench -exec -sf 50             # execute plans on generated data
 //	eabench -exec -query Q3 -sf 100  # one query, bigger instance
 //	eabench -exec -sf 50 -workers 0  # parallel execution on all cores
+//	eabench -exec -feedback -sf 1    # cardinality feedback loop report
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
@@ -23,6 +24,13 @@
 // measured intermediate-result volume. -workers applies to both the
 // optimizer and the morsel-driven execution runtime; every worker count
 // produces bit-identical plans and results, only the wall times change.
+//
+// -feedback (requires -exec) closes the cardinality feedback loop: each
+// query is optimized, executed, the measured per-operator cardinalities
+// are overlaid on the estimator, and the query is re-optimized — until
+// the chosen plan is stable. The report compares the plan-level and
+// worst-operator q-errors of the first (pure model) and final rounds,
+// whether feedback changed the plan, and the measured C_out delta.
 package main
 
 import (
@@ -45,6 +53,7 @@ func main() {
 	maxNExh := flag.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
 	workers := flag.Int("workers", 1, "workers per query for the optimizer and (with -exec) morsel-driven plan execution (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans and results are identical for every value")
 	execMode := flag.Bool("exec", false, "execute optimized vs canonical plans on generated data instead of running optimizer benchmarks")
+	feedback := flag.Bool("feedback", false, "with -exec: close the cardinality feedback loop (optimize → execute → re-optimize with measured cardinalities until the plan is stable) and report q-error before/after")
 	sf := flag.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes (must be > 0)")
 	execQuery := flag.String("query", "", "-exec: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
 	flag.Parse()
@@ -54,6 +63,10 @@ func main() {
 	}
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *feedback && !*execMode {
+		fmt.Fprintln(os.Stderr, "eabench: -feedback requires -exec (the feedback loop harvests cardinalities from plan execution)")
+		os.Exit(2)
 	}
 	if *execMode && !(*sf > 0) { // rejects NaN too, unlike *sf <= 0
 		fmt.Fprintf(os.Stderr, "eabench: -sf must be > 0, got %g\n", *sf)
@@ -75,6 +88,15 @@ func main() {
 			for _, n := range strings.Split(*execQuery, ",") {
 				names = append(names, strings.TrimSpace(n))
 			}
+		}
+		if *feedback {
+			rep := experiments.FeedbackEval(cfg, *sf, names)
+			fmt.Print(rep.Format())
+			if !rep.AllMatch() {
+				fmt.Fprintln(os.Stderr, "eabench: some re-optimized plans did not reproduce the canonical result")
+				os.Exit(1)
+			}
+			return
 		}
 		rep := experiments.ExecEval(cfg, *sf, names)
 		fmt.Print(rep.Format())

@@ -10,7 +10,9 @@
 //   - Optimize it with one of the plan generators of the paper (DPhyp
 //     baseline, EA-All, EA-Prune, H1, H2) or the beam-search extension,
 //   - inspect the resulting Plan, and optionally
-//   - Execute it on concrete data to cross-check results.
+//   - Execute it on concrete data to cross-check results, or
+//   - Reoptimize it in the cardinality feedback loop: execute, harvest
+//     the measured per-operator cardinalities, re-optimize under them.
 //
 // A minimal end-to-end use:
 //
@@ -35,6 +37,7 @@ import (
 	"eagg/internal/aggfn"
 	"eagg/internal/algebra"
 	"eagg/internal/core"
+	"eagg/internal/cost"
 	"eagg/internal/engine"
 	"eagg/internal/plan"
 	"eagg/internal/query"
@@ -87,9 +90,43 @@ type Data = engine.Data
 // obtain it from Data.Tables() or a columnar generator.
 type TableData = engine.TableData
 
-// ExecStats profiles one execution: the measured intermediate-result
-// volume (actual C_out) against the plan's estimate.
+// ExecStats profiles one execution: the per-operator cardinality profile
+// and the measured intermediate-result volume (actual C_out) against the
+// plan's estimate.
 type ExecStats = engine.ExecStats
+
+// OpCard is one profiled operator: its canonical key, estimated and
+// measured output cardinality.
+type OpCard = engine.OpCard
+
+// CardKey canonically identifies a logical intermediate result — the
+// (relation-set, grouping-attrs) key measured cardinalities are recorded
+// and looked up under.
+type CardKey = cost.CardKey
+
+// CardSource is the estimator's pluggable cardinality provider; see
+// Options.Stats.
+type CardSource = cost.CardSource
+
+// FeedbackOverlay is a CardSource of measured cardinalities falling back
+// to the selectivity model; build one from ExecStats.Profile (or
+// NewFeedbackOverlay + ExecStats.HarvestInto) and pass it via
+// Options.Stats to re-optimize with corrected cardinalities.
+type FeedbackOverlay = cost.FeedbackOverlay
+
+// NewFeedbackOverlay returns an empty measured-cardinality overlay.
+func NewFeedbackOverlay() *FeedbackOverlay { return cost.NewFeedbackOverlay() }
+
+// FeedbackOptions configures a Reoptimize run (optimizer options,
+// execution options, round bound).
+type FeedbackOptions = engine.FeedbackOptions
+
+// FeedbackRound is one optimize→execute→harvest iteration of Reoptimize.
+type FeedbackRound = engine.FeedbackRound
+
+// FeedbackResult is the outcome of a Reoptimize run: every round, the
+// convergence flag, the final result table and the harvested profile.
+type FeedbackResult = engine.FeedbackResult
 
 // ExecOptions configures plan execution. Workers selects the
 // morsel-driven runtime's per-operator worker count (0 = GOMAXPROCS,
@@ -197,6 +234,15 @@ func ExecuteTablesOpts(q *Query, p *Plan, data TableData, opts ExecOptions) (*Ta
 // options.
 func ExecuteProfiledOpts(q *Query, p *Plan, data TableData, opts ExecOptions) (*Table, *ExecStats, error) {
 	return engine.ExecProfiledOpts(q, p, data, opts)
+}
+
+// Reoptimize closes the cardinality feedback loop: optimize, execute
+// with profiling, overlay the measured per-operator cardinalities on the
+// estimator, and re-optimize — until the chosen plan is stable or the
+// round bound is hit. Feedback may change the chosen plan, never the
+// result (the equivalence suites enforce it).
+func Reoptimize(q *Query, data TableData, opts FeedbackOptions) (*FeedbackResult, error) {
+	return engine.Reoptimize(q, data, opts)
 }
 
 // Canonical evaluates the query as written (initial tree + top grouping):

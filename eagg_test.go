@@ -109,3 +109,52 @@ func Example() {
 	// eager C_out = 2010
 	// eager groupings pushed: 1
 }
+
+// TestFacadeReoptimize drives the cardinality feedback loop through the
+// facade: the loop must converge to a plan whose estimate matches its
+// own execution, and the result must stay identical to the canonical
+// evaluation. It also exercises manual use of the seam: an overlay
+// harvested from one execution fed back via Options.Stats.
+func TestFacadeReoptimize(t *testing.T) {
+	q, _ := buildStarQuery()
+	data := engine.RandomData(rand.New(rand.NewSource(3)), q, 8).Tables()
+	res, err := eagg.Reoptimize(q, data, eagg.FeedbackOptions{
+		Opt: eagg.Options{Algorithm: eagg.EAPrune, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("feedback loop did not converge in %d rounds", len(res.Rounds))
+	}
+	if qe := res.Final().Stats.CoutQError(); qe > 1+1e-9 {
+		t.Fatalf("converged q-error %g > 1", qe)
+	}
+	want, err := eagg.CanonicalTables(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eagg.SameResult(q, want.Rel(), res.Result.Rel()) {
+		t.Fatal("feedback result differs from canonical")
+	}
+
+	// Manual seam use: harvest a profile, re-optimize under it.
+	first, err := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := eagg.ExecuteProfiled(q, first.Plan, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Ops) == 0 {
+		t.Fatal("execution profile is empty")
+	}
+	second, err := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune, Workers: 1, Stats: stats.Profile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Plan == nil {
+		t.Fatal("re-optimization under overlay failed")
+	}
+}

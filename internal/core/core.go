@@ -78,6 +78,13 @@ type Options struct {
 	// one level at a time, so any worker count produces plans
 	// bit-identical to the sequential run (see parallel.go).
 	Workers int
+	// Stats overrides the estimator's cardinality source (nil = the pure
+	// selectivity model). Pass a cost.FeedbackOverlay built from an
+	// execution profile to re-optimize with measured cardinalities
+	// (engine.Reoptimize drives that loop). The source must be safe for
+	// concurrent reads and must not change during the optimization:
+	// parallel workers share it across their estimator clones.
+	Stats cost.CardSource
 }
 
 // Stats reports search effort.
@@ -121,6 +128,9 @@ func Optimize(q *query.Query, opts Options) (*Result, error) {
 	}
 	est := cost.NewEstimator(q)
 	est.FDReduceGroups = opts.FDReduceGroups
+	if opts.Stats != nil {
+		est.Source = opts.Stats
+	}
 	g := &generator{
 		q:    q,
 		det:  conflict.Detect(q),

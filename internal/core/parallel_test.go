@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"eagg/internal/bitset"
+	"eagg/internal/cost"
 	"eagg/internal/hypergraph"
 	"eagg/internal/plan"
 	"eagg/internal/query"
@@ -221,4 +222,51 @@ func TestParallelExercisesPool(t *testing.T) {
 		t.Errorf("only %d levels recorded", got)
 	}
 	t.Log(fmt.Sprintf("levels=%d pairs=%d contention=%d", len(res.Stats.Levels), res.Stats.CsgCmpPairs, res.Stats.ShardContention))
+}
+
+// TestParallelDeterminismWithStats extends the determinism contract to
+// the stats-provider seam: optimizer workers share one read-only
+// FeedbackOverlay across their estimator clones, and any worker count
+// must return plans bit-identical to the sequential path under the same
+// overlay. The overlay is synthesized from a first (model-only) run by
+// perturbing every costed operator's estimate, so lookups actually fire
+// on hot paths.
+func TestParallelDeterminismWithStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8841))
+	for n := 3; n <= 9; n++ {
+		for trial := 0; trial < 4; trial++ {
+			q := randquery.Generate(rng, randquery.Params{Relations: n})
+			base, err := Optimize(q, Options{Algorithm: AlgEAPrune, Workers: 1})
+			if err != nil {
+				t.Fatalf("n=%d trial=%d base: %v", n, trial, err)
+			}
+			overlay := cost.NewFeedbackOverlay()
+			var harvest func(p *plan.Plan)
+			harvest = func(p *plan.Plan) {
+				if p == nil {
+					return
+				}
+				if key, ok := cost.KeyOf(p); ok {
+					overlay.Set(key, p.Card/3+1) // a "measurement" ≠ the model
+				}
+				harvest(p.Left)
+				harvest(p.Right)
+			}
+			harvest(base.Plan)
+			if overlay.Len() == 0 {
+				continue
+			}
+			seq, err := Optimize(q, Options{Algorithm: AlgEAPrune, Workers: 1, Stats: overlay})
+			if err != nil {
+				t.Fatalf("n=%d trial=%d seq overlay: %v", n, trial, err)
+			}
+			par, err := Optimize(q, Options{Algorithm: AlgEAPrune, Workers: 8, Stats: overlay})
+			if err != nil {
+				t.Fatalf("n=%d trial=%d par overlay: %v", n, trial, err)
+			}
+			if !plan.Equal(seq.Plan, par.Plan) {
+				t.Fatalf("n=%d trial=%d: overlay plans diverge\nseq:\n%v\npar:\n%v", n, trial, seq.Plan, par.Plan)
+			}
+		}
+	}
 }

@@ -40,6 +40,14 @@ type Estimator struct {
 	// sets in cardinality estimates (sharper, but departs from the
 	// paper's evaluation conditions — see groupCard).
 	FDReduceGroups bool
+
+	// Source supplies operator output cardinalities by canonical key
+	// (see CardKey). The default ModelSource passes the selectivity
+	// model through unchanged; a FeedbackOverlay overrides keys that
+	// were measured during an execution. The source is consulted for
+	// every operator and grouping estimate, so all plans in one DP run
+	// see a consistent view.
+	Source CardSource
 }
 
 type predInfo struct {
@@ -47,9 +55,10 @@ type predInfo struct {
 	sel  float64
 }
 
-// NewEstimator returns an estimator for the query.
+// NewEstimator returns an estimator for the query using the pure
+// selectivity model (ModelSource) as its cardinality source.
 func NewEstimator(q *query.Query) *Estimator {
-	e := &Estimator{Q: q, canon: map[bitset.Set64]float64{}}
+	e := &Estimator{Q: q, canon: map[bitset.Set64]float64{}, Source: ModelSource{}}
 	var walk func(n *query.OpNode)
 	walk = func(n *query.OpNode) {
 		if n == nil || n.Kind == query.KindScan {
@@ -79,7 +88,8 @@ func NewEstimator(q *query.Query) *Estimator {
 }
 
 // Clone returns an estimator sharing the immutable query analysis (the
-// predicate list and the FD set never change after NewEstimator) but
+// predicate list, the FD set and the cardinality source never change
+// during an optimization) but
 // owning a private canonical-cardinality cache. Concurrent optimizer
 // workers each estimate through their own clone, so the hot path needs no
 // synchronization; cached values are pure functions of the query, so every
@@ -91,6 +101,7 @@ func (e *Estimator) Clone() *Estimator {
 		canon:          make(map[bitset.Set64]float64, len(e.canon)),
 		fds:            e.fds,
 		FDReduceGroups: e.FDReduceGroups,
+		Source:         e.Source,
 	}
 }
 
@@ -241,15 +252,31 @@ func (e *Estimator) Op(kind query.OpKind, preds []*query.Predicate, left, right 
 	}
 	card = maxf(1, card)
 
+	// The collapse state below the operator: for left-only operators the
+	// right side contributes a value set, which grouping cannot change,
+	// so its groupings do not shape this output (and canonicalizing them
+	// away lets a measurement taken with an ungrouped right side correct
+	// plans that group it, and vice versa).
+	groupsBelow := left.GroupsBelow
+	if !kind.LeftOnly() {
+		groupsBelow = groupsBelow.Union(right.GroupsBelow)
+	}
+	rels := left.Rels.Union(right.Rels)
+	// Measured cardinalities (when the source carries feedback for this
+	// canonical operator) replace the model estimate, un-clamped: a
+	// measured empty intermediate is a real 0, not a 1.
+	card = e.sourceCard(CardKey{Rels: rels, Group: groupsBelow}, card)
+
 	p := &plan.Plan{
-		Kind:  plan.NodeOp,
-		Rels:  left.Rels.Union(right.Rels),
-		Op:    kind,
-		Preds: preds,
-		Left:  left,
-		Right: right,
-		Card:  card,
-		Cost:  card + left.Cost + right.Cost,
+		Kind:        plan.NodeOp,
+		Rels:        rels,
+		Op:          kind,
+		Preds:       preds,
+		Left:        left,
+		Right:       right,
+		Card:        card,
+		Cost:        card + left.Cost + right.Cost,
+		GroupsBelow: groupsBelow,
 	}
 	p.Keys = e.opKeys(kind, preds, left, right)
 	p.DupFree = opDupFree(kind, left, right)
@@ -307,17 +334,32 @@ func opDupFree(kind query.OpKind, left, right *plan.Plan) bool {
 // Group builds a pushed-down grouping Γ_{G⁺} on top of child.
 func (e *Estimator) Group(child *plan.Plan, groupBy bitset.Set64) *plan.Plan {
 	card := e.groupCard(child, groupBy)
+	// A grouping's output — the distinct G-combinations over the child's
+	// relation set — is invariant under join order and under groupings
+	// below, so its canonical key ignores the child's collapse state.
+	card = e.sourceCard(CardKey{Rels: child.Rels, Group: groupBy, IsGroup: true}, card)
 	p := &plan.Plan{
-		Kind:    plan.NodeGroup,
-		Rels:    child.Rels,
-		GroupBy: groupBy,
-		Left:    child,
-		Card:    card,
-		Cost:    card + child.Cost,
-		DupFree: true,
+		Kind:        plan.NodeGroup,
+		Rels:        child.Rels,
+		GroupBy:     groupBy,
+		Left:        child,
+		Card:        card,
+		Cost:        card + child.Cost,
+		DupFree:     true,
+		GroupsBelow: child.GroupsBelow.Union(groupBy),
 	}
 	p.Keys = groupKeys(child, groupBy)
 	return p
+}
+
+// sourceCard resolves one operator cardinality through the estimator's
+// CardSource; the default ModelSource returns the model estimate
+// unchanged.
+func (e *Estimator) sourceCard(key CardKey, model float64) float64 {
+	if e.Source == nil {
+		return model
+	}
+	return e.Source.Card(key, model)
 }
 
 // FinalGroup builds the query's top grouping Γ_G.
@@ -331,13 +373,14 @@ func (e *Estimator) FinalGroup(child *plan.Plan) *plan.Plan {
 // unnecessary final grouping (Sec. 3.2); it is free under C_out.
 func (e *Estimator) Project(child *plan.Plan) *plan.Plan {
 	return &plan.Plan{
-		Kind:    plan.NodeProject,
-		Rels:    child.Rels,
-		Left:    child,
-		Card:    child.Card,
-		Cost:    child.Cost,
-		Keys:    capKeys(child.Keys),
-		DupFree: child.DupFree,
+		Kind:        plan.NodeProject,
+		Rels:        child.Rels,
+		Left:        child,
+		Card:        child.Card,
+		Cost:        child.Cost,
+		Keys:        capKeys(child.Keys),
+		DupFree:     child.DupFree,
+		GroupsBelow: child.GroupsBelow,
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"eagg/internal/aggfn"
 	"eagg/internal/algebra"
 	"eagg/internal/bitset"
+	"eagg/internal/cost"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 )
@@ -84,10 +85,11 @@ func (o ExecOptions) exec() *algebra.Exec {
 	return e
 }
 
-// ExecStats profiles one execution: per-operator actual output
-// cardinalities summed into the executed counterpart of the C_out cost
-// function (scans and the free projection excluded, matching the
-// estimator), plus the total rows every operator produced.
+// ExecStats profiles one execution: a per-operator cardinality profile
+// (each join and grouping operator's measured output under its canonical
+// (relation-set, grouping-attrs) key — scans and the free projection
+// excluded, matching the estimator) plus the plan-level aggregates
+// derived from it.
 type ExecStats struct {
 	// ActualCout is Σ |output| over join and grouping operators — the
 	// measured value of the quantity C_out estimates.
@@ -99,6 +101,61 @@ type ExecStats struct {
 	// Workers is the resolved per-operator worker count the execution
 	// used (1 = sequential reference path).
 	Workers int
+	// Ops is the per-operator cardinality profile, one entry per costed
+	// operator in compile (bottom-up) order. Relation bitsets survive
+	// the binder, so keys are recorded at operator-completion time.
+	Ops []OpCard
+}
+
+// OpCard is one operator's measured output cardinality with its canonical
+// key and the plan's estimate for the same operator.
+type OpCard struct {
+	Key cost.CardKey
+	Est float64 // the plan node's estimated output cardinality
+	Act float64 // the measured output cardinality
+}
+
+// QError is the per-operator cardinality q-error, clamped like
+// ExecStats.CoutQError.
+func (c OpCard) QError() float64 {
+	est := math.Max(c.Est, 1)
+	act := math.Max(c.Act, 1)
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// WorstOp returns the operator with the largest cardinality q-error, or
+// ok=false for plans without costed operators. Ties keep the first
+// (deepest) operator, where the error originates.
+func (s *ExecStats) WorstOp() (OpCard, bool) {
+	if len(s.Ops) == 0 {
+		return OpCard{}, false
+	}
+	worst := s.Ops[0]
+	for _, op := range s.Ops[1:] {
+		if op.QError() > worst.QError() {
+			worst = op
+		}
+	}
+	return worst, true
+}
+
+// HarvestInto records every measured operator cardinality into the
+// overlay — the harvest half of the execute→harvest→re-optimize loop.
+func (s *ExecStats) HarvestInto(o *cost.FeedbackOverlay) {
+	for _, op := range s.Ops {
+		o.Set(op.Key, op.Act)
+	}
+}
+
+// Profile returns the measured cardinalities as a fresh FeedbackOverlay,
+// ready to be passed to a re-optimization via core.Options.Stats.
+func (s *ExecStats) Profile() *cost.FeedbackOverlay {
+	o := cost.NewFeedbackOverlay()
+	s.HarvestInto(o)
+	return o
 }
 
 // CoutQError returns the q-error of the C_out estimate:
@@ -232,10 +289,18 @@ type executor struct {
 	ex    *algebra.Exec
 }
 
-// record accumulates one operator's actual output cardinality.
-func (e *executor) record(t *algebra.Table) {
-	if e.stats != nil {
-		e.stats.ActualCout += float64(t.Card())
+// record accumulates one operator's actual output cardinality, both into
+// the summed actual C_out and — keyed by the operator's canonical
+// (relation-set, grouping-attrs) identity — into the per-operator profile
+// the feedback loop harvests.
+func (e *executor) record(p *plan.Plan, t *algebra.Table) {
+	if e.stats == nil {
+		return
+	}
+	act := float64(t.Card())
+	e.stats.ActualCout += act
+	if key, ok := cost.KeyOf(p); ok {
+		e.stats.Ops = append(e.stats.Ops, OpCard{Key: key, Est: p.Card, Act: act})
 	}
 }
 
@@ -263,7 +328,7 @@ func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.record(c.tab)
+		e.record(p, c.tab)
 		return c, nil
 	case plan.NodeProject:
 		child, err := e.compile(p.Left)
@@ -381,7 +446,7 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 	default:
 		return nil, fmt.Errorf("engine: unsupported operator %v", p.Op)
 	}
-	e.record(out.tab)
+	e.record(p, out.tab)
 	return out, nil
 }
 

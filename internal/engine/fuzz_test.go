@@ -17,7 +17,9 @@ import (
 // must equal their frozen nested-loop references, and morsel-driven
 // parallel execution (Workers>1, fuzz-chosen morsel size) must be
 // bit-identical to the sequential reference path — float sums and
-// output order included. Run the smoke locally with
+// output order included. The cardinality feedback loop (Reoptimize) may
+// change the chosen plan but must still reproduce the canonical result.
+// Run the smoke locally with
 //
 //	go test -run '^$' -fuzz FuzzExecEquivalence -fuzztime 20s ./internal/engine
 //
@@ -96,5 +98,19 @@ func FuzzExecEquivalence(f *testing.F) {
 			t.Fatalf("parallel exec (workers=%d): %v", workers, err)
 		}
 		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v workers=%d", seed, n, opts.Algorithm, workers), seqTab, parTab)
+
+		// Feedback arm: the cardinality feedback loop may change the
+		// chosen plan, never the answer — every re-optimized plan must
+		// execute to the canonical result.
+		fb, err := Reoptimize(q, tables, FeedbackOptions{Opt: opts, MaxRounds: 3})
+		if err != nil {
+			t.Fatalf("reoptimize: %v", err)
+		}
+		if !algebra.EqualBags(want, fb.Result.Rel(), attrs) {
+			final := fb.Final()
+			t.Fatalf("seed=%d n=%d %v: re-optimized plan ≢ Canonical (rounds=%d changed=%v)\nplan:\n%v\nwant:\n%v\ngot:\n%v",
+				seed, n, opts.Algorithm, len(fb.Rounds), fb.PlanChanged(),
+				final.Plan.StringWithQuery(q), want, fb.Result.Rel())
+		}
 	})
 }

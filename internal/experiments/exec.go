@@ -10,6 +10,7 @@ import (
 	"eagg/internal/algebra"
 	"eagg/internal/core"
 	"eagg/internal/engine"
+	"eagg/internal/query"
 	"eagg/internal/tpch"
 )
 
@@ -30,6 +31,14 @@ type ExecRow struct {
 	EstimatedCout float64
 	QError        float64
 	QErrorTrivial bool
+	// WorstOpQError and WorstOp drill the plan-level aggregate down to
+	// the per-operator cardinality profile: the largest single-operator
+	// q-error and a description of the operator it occurs at (canonical
+	// key rendered with relation/attribute names). The worst operator is
+	// where the estimate actually went wrong — a plan-level number close
+	// to 1 can hide large errors that cancel.
+	WorstOpQError float64
+	WorstOp       string
 	// RowsPerSec is the runtime throughput: intermediate + final rows
 	// produced per second of execution.
 	RowsPerSec float64
@@ -46,6 +55,50 @@ type ExecReport struct {
 	Rows        []ExecRow
 }
 
+// execAlgs is the plan-generator axis every execution experiment
+// compares: the lazy baseline against the eager optimum.
+var execAlgs = []struct {
+	label string
+	alg   core.Algorithm
+}{
+	{"lazy/DPhyp", core.AlgDPhyp},
+	{"eager/EA-Prune", core.AlgEAPrune},
+}
+
+// execQueryNames resolves the query selection of an execution
+// experiment: nil or empty selects every TPC-H query, sorted.
+func execQueryNames(names []string) []string {
+	if len(names) > 0 {
+		return names
+	}
+	for name := range tpch.Queries() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// execSetup prepares one named query for an execution experiment: the
+// scaled synthetic instance (deterministic per cfg.Seed), the canonical
+// reference result with its evaluation time, and the output schema. The
+// scaling, seeding and canonical-evaluation rules live only here so the
+// -exec and -feedback reports stay comparable.
+func execSetup(cfg Config, factor float64, name string) (q *query.Query, data engine.TableData, wantRel *algebra.Rel, attrs []string, canonMillis float64) {
+	q, ok := tpch.Queries()[name]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown TPC-H query %q", name))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data = tpch.GenerateTables(rng, q, tpch.ExecutionScaleAt(name, factor))
+	start := time.Now()
+	want, err := engine.CanonicalTablesOpts(q, data, engine.ExecOptions{Workers: cfg.Workers})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: canonical %s: %v", name, err))
+	}
+	canonMillis = float64(time.Since(start).Microseconds()) / 1000
+	return q, data, want.Rel(), engine.OutputAttrs(q), canonMillis
+}
+
 // ExecEval optimizes each named TPC-H query lazily (DPhyp) and eagerly
 // (EA-Prune), executes both plans and the canonical tree on synthetic
 // data scaled by factor, verifies result equality, and reports
@@ -56,38 +109,12 @@ type ExecReport struct {
 func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 	cfg = cfg.Defaults()
 	execOpts := engine.ExecOptions{Workers: cfg.Workers}
-	queries := tpch.Queries()
-	if len(names) == 0 {
-		for name := range queries {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-	}
 	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, CanonMillis: map[string]float64{}}
-	for _, name := range names {
-		q, ok := queries[name]
-		if !ok {
-			panic(fmt.Sprintf("experiments: unknown TPC-H query %q", name))
-		}
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		data := tpch.GenerateTables(rng, q, tpch.ExecutionScaleAt(name, factor))
+	for _, name := range execQueryNames(names) {
+		q, data, wantRel, attrs, canonMillis := execSetup(cfg, factor, name)
+		rep.CanonMillis[name] = canonMillis
 
-		start := time.Now()
-		want, err := engine.CanonicalTablesOpts(q, data, execOpts)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: canonical %s: %v", name, err))
-		}
-		rep.CanonMillis[name] = float64(time.Since(start).Microseconds()) / 1000
-		wantRel := want.Rel()
-		attrs := engine.OutputAttrs(q)
-
-		for _, alg := range []struct {
-			label string
-			alg   core.Algorithm
-		}{
-			{"lazy/DPhyp", core.AlgDPhyp},
-			{"eager/EA-Prune", core.AlgEAPrune},
-		} {
+		for _, alg := range execAlgs {
 			res := mustOptimize(q, alg.alg, 0, cfg.Workers)
 			start := time.Now()
 			tab, stats, err := engine.ExecProfiledOpts(q, res.Plan, data, execOpts)
@@ -107,6 +134,10 @@ func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 				QError:        stats.CoutQError(),
 				QErrorTrivial: stats.CoutTrivial(),
 				Match:         algebra.EqualBags(wantRel, tab.Rel(), attrs),
+			}
+			if w, ok := stats.WorstOp(); ok {
+				row.WorstOpQError = w.QError()
+				row.WorstOp = w.Key.Describe(q)
 			}
 			if secs > 0 {
 				row.RowsPerSec = stats.ActualCout / secs
@@ -128,12 +159,14 @@ func (r *ExecReport) AllMatch() bool {
 	return true
 }
 
-// Format renders the report as an aligned table.
+// Format renders the report as an aligned table. The q-error columns
+// expose the per-operator cardinality profile: the plan-level aggregate
+// plus the worst single operator (value and the operator it occurs at).
 func (r *ExecReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g, workers %d)\n", r.Factor, r.Workers)
-	fmt.Fprintf(&b, "%-6s %-15s %4s %10s %10s %12s %12s %12s %8s %6s\n",
-		"query", "plan", "Γ", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "match")
+	fmt.Fprintf(&b, "%-6s %-15s %4s %10s %10s %12s %12s %12s %8s %9s %6s  %s\n",
+		"query", "plan", "Γ", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "worst-op", "match", "worst operator")
 	var names []string
 	seen := map[string]bool{}
 	for _, row := range r.Rows {
@@ -152,12 +185,15 @@ func (r *ExecReport) Format() string {
 				match = "FAIL"
 			}
 			qerr := fmt.Sprintf("%8.2f", row.QError)
+			worst := fmt.Sprintf("%9.2f", row.WorstOpQError)
 			if row.QErrorTrivial {
-				qerr = fmt.Sprintf("%8s", "-") // no costed operators: nothing to estimate
+				// no costed operators: nothing to estimate
+				qerr = fmt.Sprintf("%8s", "-")
+				worst = fmt.Sprintf("%9s", "-")
 			}
-			fmt.Fprintf(&b, "%-6s %-15s %4d %10.2f %10d %12.0f %12.0f %12.0f %s %6s\n",
+			fmt.Fprintf(&b, "%-6s %-15s %4d %10.2f %10d %12.0f %12.0f %12.0f %s %s %6s  %s\n",
 				row.Query, row.Plan, row.Groupings, row.Millis, row.ResultRows,
-				row.ActualCout, row.EstimatedCout, row.RowsPerSec, qerr, match)
+				row.ActualCout, row.EstimatedCout, row.RowsPerSec, qerr, worst, match, row.WorstOp)
 		}
 		fmt.Fprintf(&b, "%-6s %-15s %4s %10.2f   (canonical evaluation of the initial tree)\n",
 			name, "canonical", "-", r.CanonMillis[name])

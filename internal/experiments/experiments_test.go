@@ -139,3 +139,50 @@ func TestTable2Shape(t *testing.T) {
 		}
 	}
 }
+
+// TestFeedbackEval smokes the -exec -feedback experiment: every loop
+// converges with final plan-level q-error 1 (the fixed point), every
+// final result matches the canonical evaluation, and at small scale
+// factors feedback demonstrably changes at least one chosen plan with a
+// ≥10x plan-level q-error reduction on it.
+func TestFeedbackEval(t *testing.T) {
+	rep := FeedbackEval(Config{}, 1, nil)
+	if !rep.AllMatch() {
+		t.Fatalf("re-optimized plans must reproduce the canonical results:\n%s", rep.Format())
+	}
+	if len(rep.Rows) != 8 { // 4 queries × {lazy, eager}
+		t.Fatalf("expected 8 rows, got %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if !row.Converged {
+			t.Errorf("%s/%s: did not converge in %d rounds", row.Query, row.Plan, row.Rounds)
+		}
+		if row.QErrAfter > 1+1e-9 {
+			t.Errorf("%s/%s: final q-error %g > 1", row.Query, row.Plan, row.QErrAfter)
+		}
+	}
+	if !rep.AnyPlanChanged() {
+		t.Fatalf("at sf 1 feedback should change at least one plan:\n%s", rep.Format())
+	}
+	for _, row := range rep.Rows {
+		if row.PlanChanged && row.QErrBefore >= 10*row.QErrAfter {
+			return // the acceptance property: plan changed and q-error fell ≥10x
+		}
+	}
+	t.Fatalf("no changed plan with a ≥10x q-error reduction:\n%s", rep.Format())
+}
+
+// TestExecEvalWorstOp checks the per-operator drill-down of the -exec
+// report: every non-trivial row carries a labeled worst-operator
+// q-error ≥ 1.
+func TestExecEvalWorstOp(t *testing.T) {
+	rep := ExecEval(Config{}, 1, []string{"Q3"})
+	for _, row := range rep.Rows {
+		if row.QErrorTrivial {
+			continue
+		}
+		if row.WorstOpQError < 1 || row.WorstOp == "" {
+			t.Errorf("%s/%s: missing worst-op profile: %g %q", row.Query, row.Plan, row.WorstOpQError, row.WorstOp)
+		}
+	}
+}

@@ -56,6 +56,18 @@ type Plan struct {
 	Keys    []bitset.Set64
 	DupFree bool
 
+	// GroupsBelow is the union of the grouping-attribute sets of the
+	// eager groupings that shape this node's output: the node's own
+	// GroupBy plus the groupings below it, except across boundaries
+	// where grouping cannot matter (the right side of semijoin, antijoin
+	// and groupjoin contributes only a value set, which grouping leaves
+	// unchanged). It is a pure function of the plan structure, filled at
+	// construction by the estimator, and forms the grouping-attrs half of
+	// the canonical (relation-set, grouping-attrs) keys the cardinality
+	// feedback loop records and looks up measured cardinalities under
+	// (internal/cost.KeyOf).
+	GroupsBelow bitset.Set64
+
 	// Profile caches the distinct-count estimates of the
 	// grouping-relevant attributes for the dominance test of Sec. 4.6
 	// (lazily filled by the plan generator; nil until then). With a
@@ -171,7 +183,8 @@ func Equal(a, b *Plan) bool {
 	}
 	if a.Kind != b.Kind || a.Rels != b.Rels || a.Rel != b.Rel || a.Op != b.Op ||
 		a.GroupBy != b.GroupBy || a.Final != b.Final ||
-		a.Card != b.Card || a.Cost != b.Cost || a.DupFree != b.DupFree {
+		a.Card != b.Card || a.Cost != b.Cost || a.DupFree != b.DupFree ||
+		a.GroupsBelow != b.GroupsBelow {
 		return false
 	}
 	if len(a.Keys) != len(b.Keys) || len(a.Preds) != len(b.Preds) {
