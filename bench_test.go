@@ -644,3 +644,49 @@ func BenchmarkFeedback(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSortVsHash measures the sort-based physical layer against the
+// hash layer on Q3 and Q5 at two data scales. phys=hash is the baseline,
+// phys=sort forces sort-merge join / sort-group aggregation wherever
+// supported, phys=auto lets both compete per plan class. Results are
+// identical across all modes (the differential suites enforce it);
+// ns/op isolates the physical-layer effect and the reported metrics
+// show how many sorts the chosen plan performs versus eliminates by
+// reusing interesting orders (auto's win is eliminated sorts replacing
+// hash-table builds).
+func BenchmarkSortVsHash(b *testing.B) {
+	modes := []struct {
+		name string
+		mode core.PhysMode
+	}{
+		{"hash", core.PhysModeHash},
+		{"sort", core.PhysModeSort},
+		{"auto", core.PhysModeAuto},
+	}
+	for _, qn := range []string{"Q3", "Q5"} {
+		q := tpch.Queries()[qn]
+		for _, sf := range []float64{1, 4} {
+			tables := tpch.GenerateTables(rand.New(rand.NewSource(1)), q, tpch.ExecutionScaleAt(qn, sf))
+			for _, m := range modes {
+				res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Workers: 1, Phys: m.mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf, elim := res.Plan.SortStats()
+				b.Run(fmt.Sprintf("%s/sf=%g/phys=%s", qn, sf, m.name), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						tab, err := engine.ExecTables(q, res.Plan, tables)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if tab.Card() == 0 && qn == "Q3" {
+							b.Fatal("empty result")
+						}
+					}
+					b.ReportMetric(float64(perf), "sorts-performed")
+					b.ReportMetric(float64(elim), "sorts-eliminated")
+				})
+			}
+		}
+	}
+}

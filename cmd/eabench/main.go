@@ -11,6 +11,7 @@
 //	eabench -exec -query Q3 -sf 100  # one query, bigger instance
 //	eabench -exec -sf 50 -workers 0  # parallel execution on all cores
 //	eabench -exec -feedback -sf 1    # cardinality feedback loop report
+//	eabench -exec -phys auto -sf 10  # sort-based physical layer competing
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
@@ -25,6 +26,14 @@
 // optimizer and the morsel-driven execution runtime; every worker count
 // produces bit-identical plans and results, only the wall times change.
 //
+// -phys (requires -exec) selects the physical algebra: "hash" (default)
+// is the build/probe hash layer, "sort" prefers sort-merge joins and
+// sort-group aggregation, "auto" lets both layers compete — the DP table
+// keeps plan classes per (relation set, collapse state, order) and the
+// report's sorts column shows performed/eliminated sorts, the eliminated
+// ones being reused interesting orders. Results are identical across all
+// three modes.
+//
 // -feedback (requires -exec) closes the cardinality feedback loop: each
 // query is optimized, executed, the measured per-operator cardinalities
 // are overlaid on the estimator, and the query is re-optimized — until
@@ -34,43 +43,69 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
+	"eagg/internal/core"
 	"eagg/internal/experiments"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to reproduce (15, 16, 17, 18); 0 = all")
-	table := flag.Int("table", 0, "table to reproduce (1, 2); 0 = all")
-	queries := flag.Int("queries", 20, "random queries per relation count (paper: 10000)")
-	seed := flag.Int64("seed", 42, "workload seed")
-	maxN := flag.Int("maxn", 14, "largest relation count for the fast algorithms (paper: 20)")
-	maxNPrune := flag.Int("maxn-prune", 10, "largest relation count for EA-Prune (paper: ~13)")
-	maxNExh := flag.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
-	workers := flag.Int("workers", 1, "workers per query for the optimizer and (with -exec) morsel-driven plan execution (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans and results are identical for every value")
-	execMode := flag.Bool("exec", false, "execute optimized vs canonical plans on generated data instead of running optimizer benchmarks")
-	feedback := flag.Bool("feedback", false, "with -exec: close the cardinality feedback loop (optimize → execute → re-optimize with measured cardinalities until the plan is stable) and report q-error before/after")
-	sf := flag.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes (must be > 0)")
-	execQuery := flag.String("query", "", "-exec: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so the flag-hygiene rules
+// (exit 2 on misuse, exit 1 on verification failures) are testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to reproduce (15, 16, 17, 18); 0 = all")
+	table := fs.Int("table", 0, "table to reproduce (1, 2); 0 = all")
+	queries := fs.Int("queries", 20, "random queries per relation count (paper: 10000)")
+	seed := fs.Int64("seed", 42, "workload seed")
+	maxN := fs.Int("maxn", 14, "largest relation count for the fast algorithms (paper: 20)")
+	maxNPrune := fs.Int("maxn-prune", 10, "largest relation count for EA-Prune (paper: ~13)")
+	maxNExh := fs.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
+	workers := fs.Int("workers", 1, "workers per query for the optimizer and (with -exec) morsel-driven plan execution (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans and results are identical for every value")
+	execMode := fs.Bool("exec", false, "execute optimized vs canonical plans on generated data instead of running optimizer benchmarks")
+	feedback := fs.Bool("feedback", false, "with -exec: close the cardinality feedback loop (optimize → execute → re-optimize with measured cardinalities until the plan is stable) and report q-error before/after")
+	phys := fs.String("phys", "", "with -exec: physical algebra — hash (default), sort (sort-merge join/aggregation), or auto (both compete; the sorts column reports performed/eliminated)")
+	sf := fs.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes (must be > 0)")
+	execQuery := fs.String("query", "", "-exec: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h / --help is a request, not misuse
+		}
+		return 2
+	}
 	if *workers < 0 {
-		fmt.Fprintf(os.Stderr, "eabench: -workers must be ≥ 0 (0 = all cores), got %d\n", *workers)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "eabench: -workers must be ≥ 0 (0 = all cores), got %d\n", *workers)
+		return 2
 	}
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	if *feedback && !*execMode {
-		fmt.Fprintln(os.Stderr, "eabench: -feedback requires -exec (the feedback loop harvests cardinalities from plan execution)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "eabench: -feedback requires -exec (the feedback loop harvests cardinalities from plan execution)")
+		return 2
+	}
+	if *phys != "" && !*execMode {
+		fmt.Fprintln(stderr, "eabench: -phys requires -exec (the physical algebra only matters when plans are executed)")
+		return 2
+	}
+	physMode, err := core.ParsePhysMode(*phys)
+	if err != nil {
+		fmt.Fprintf(stderr, "eabench: -phys: %v\n", err)
+		return 2
 	}
 	if *execMode && !(*sf > 0) { // rejects NaN too, unlike *sf <= 0
-		fmt.Fprintf(os.Stderr, "eabench: -sf must be > 0, got %g\n", *sf)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "eabench: -sf must be > 0, got %g\n", *sf)
+		return 2
 	}
 
 	cfg := experiments.Config{
@@ -80,6 +115,7 @@ func main() {
 		MaxNPrune:      *maxNPrune,
 		MaxNExhaustive: *maxNExh,
 		Workers:        *workers,
+		Phys:           physMode,
 	}
 
 	if *execMode {
@@ -91,20 +127,20 @@ func main() {
 		}
 		if *feedback {
 			rep := experiments.FeedbackEval(cfg, *sf, names)
-			fmt.Print(rep.Format())
+			fmt.Fprint(stdout, rep.Format())
 			if !rep.AllMatch() {
-				fmt.Fprintln(os.Stderr, "eabench: some re-optimized plans did not reproduce the canonical result")
-				os.Exit(1)
+				fmt.Fprintln(stderr, "eabench: some re-optimized plans did not reproduce the canonical result")
+				return 1
 			}
-			return
+			return 0
 		}
 		rep := experiments.ExecEval(cfg, *sf, names)
-		fmt.Print(rep.Format())
+		fmt.Fprint(stdout, rep.Format())
 		if !rep.AllMatch() {
-			fmt.Fprintln(os.Stderr, "eabench: some optimized plans did not reproduce the canonical result")
-			os.Exit(1)
+			fmt.Fprintln(stderr, "eabench: some optimized plans did not reproduce the canonical result")
+			return 1
 		}
-		return
+		return 0
 	}
 
 	selectedFig := func(n int) bool { return *fig == 0 && *table == 0 || *fig == n }
@@ -112,36 +148,37 @@ func main() {
 
 	ran := false
 	if selectedTable(1) {
-		fmt.Print(experiments.Table1().Format())
-		fmt.Println()
+		fmt.Fprint(stdout, experiments.Table1().Format())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if selectedFig(15) {
-		fmt.Print(experiments.Fig15(cfg).Format())
-		fmt.Println()
+		fmt.Fprint(stdout, experiments.Fig15(cfg).Format())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if selectedFig(16) {
-		fmt.Print(experiments.Fig16(cfg).Format())
-		fmt.Println()
+		fmt.Fprint(stdout, experiments.Fig16(cfg).Format())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if selectedFig(17) {
-		fmt.Print(experiments.Fig17(cfg).Format())
-		fmt.Println()
+		fmt.Fprint(stdout, experiments.Fig17(cfg).Format())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if selectedFig(18) {
-		fmt.Print(experiments.Fig18(cfg).Format())
-		fmt.Println()
+		fmt.Fprint(stdout, experiments.Fig18(cfg).Format())
+		fmt.Fprintln(stdout)
 		ran = true
 	}
 	if selectedTable(2) {
-		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+		fmt.Fprint(stdout, experiments.FormatTable2(experiments.Table2()))
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "eabench: nothing selected (use -fig 15|16|17|18 or -table 1|2)\n")
-		os.Exit(2)
+		fmt.Fprintf(stderr, "eabench: nothing selected (use -fig 15|16|17|18 or -table 1|2)\n")
+		return 2
 	}
+	return 0
 }

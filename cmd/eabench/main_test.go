@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagHygiene pins the misuse conventions: unknown -phys values and
+// mode flags without -exec exit 2 with a pointed message, matching the
+// -feedback convention.
+func TestFlagHygiene(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"phys without exec", []string{"-phys", "sort"}, "-phys requires -exec"},
+		{"unknown phys value", []string{"-exec", "-phys", "bogus"}, "unknown physical mode"},
+		{"feedback without exec", []string{"-feedback"}, "-feedback requires -exec"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers must be"},
+		{"bad sf", []string{"-exec", "-sf", "0"}, "-sf must be > 0"},
+		{"nothing selected", []string{"-fig", "3"}, "nothing selected"},
+	}
+	for _, tc := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(tc.args, &out, &errOut); code != 2 {
+			t.Errorf("%s: want exit 2, got %d (stderr: %s)", tc.name, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), tc.wantErr) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, errOut.String(), tc.wantErr)
+		}
+	}
+}
+
+// TestExecPhysRuns drives the -exec mode end to end per physical mode on
+// the smallest instance: exit 0 (all plans reproduce the canonical
+// result) and, for the sort-based modes, a sorts column with eliminated
+// sorts somewhere in the report.
+func TestExecPhysRuns(t *testing.T) {
+	for _, mode := range []string{"hash", "sort", "auto"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-exec", "-phys", mode, "-sf", "0.2", "-query", "Q3"}, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("-phys %s: exit %d\nstderr: %s\nstdout: %s", mode, code, errOut.String(), out.String())
+		}
+		if !strings.Contains(out.String(), "phys "+mode) {
+			t.Fatalf("-phys %s: report header missing the mode\n%s", mode, out.String())
+		}
+		if mode != "hash" && !strings.Contains(out.String(), "/") {
+			t.Fatalf("-phys %s: report has no sorts column values\n%s", mode, out.String())
+		}
+	}
+}
+
+// TestHelpExitsZero pins that -h is a request, not misuse.
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h: want exit 0, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-phys") {
+		t.Fatal("usage output missing -phys")
+	}
+}

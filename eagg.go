@@ -135,6 +135,26 @@ type FeedbackResult = engine.FeedbackResult
 // optimizer.
 type ExecOptions = engine.ExecOptions
 
+// PhysMode selects the physical algebra the plan generator may use: the
+// hash layer only (default), the sort-based layer, or both competing
+// per plan class (see Options.Phys and the README's "-phys" section).
+type PhysMode = core.PhysMode
+
+// The physical algebra modes.
+const (
+	// PhysHash builds plans for the hash layer only (the default).
+	PhysHash = core.PhysModeHash
+	// PhysSort prefers sort-merge joins and sort-group aggregation.
+	PhysSort = core.PhysModeSort
+	// PhysAuto lets hash and sort operators compete; the DP table keys
+	// plan classes by (relation set, collapse state, order) so ordered
+	// plans survive and sorts get eliminated where orders can be reused.
+	PhysAuto = core.PhysModeAuto
+)
+
+// ParsePhysMode resolves "hash", "sort" or "auto" ("" = hash).
+func ParsePhysMode(s string) (PhysMode, error) { return core.ParsePhysMode(s) }
+
 // The plan generators: the paper's five (Sec. 4) plus the beam extension.
 const (
 	// DPhyp is the baseline: optimal join ordering, grouping stays on top.

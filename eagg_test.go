@@ -158,3 +158,46 @@ func TestFacadeReoptimize(t *testing.T) {
 		t.Fatal("re-optimization under overlay failed")
 	}
 }
+
+// TestFacadeSurfacesCapacityErrors pins the satellite contract of the
+// >64-relation roadmap item's first step: blowing the relation or
+// attribute caps is an error returned by Optimize, not a panic during
+// query construction.
+func TestFacadeSurfacesCapacityErrors(t *testing.T) {
+	q := eagg.NewQuery()
+	for i := 0; i < 80; i++ {
+		q.AddRelation(fmt.Sprintf("r%d", i), 10)
+	}
+	if _, err := eagg.Optimize(q, eagg.Options{Algorithm: eagg.H1}); err == nil {
+		t.Fatal("Optimize must reject a query that overflowed the relation cap")
+	}
+}
+
+// TestFacadePhysModes drives the sort-based physical layer through the
+// facade: all three modes optimize and execute the doc example, results
+// equal the canonical evaluation.
+func TestFacadePhysModes(t *testing.T) {
+	q, _ := buildStarQuery()
+	rng := rand.New(rand.NewSource(5))
+	data := engine.RandomData(rng, q, 40)
+	want, err := eagg.Canonical(q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []eagg.PhysMode{eagg.PhysHash, eagg.PhysSort, eagg.PhysAuto} {
+		res, err := eagg.Optimize(q, eagg.Options{Algorithm: eagg.EAPrune, Phys: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got, err := eagg.Execute(q, res.Plan, data)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if !eagg.SameResult(q, want, got) {
+			t.Fatalf("%v: result differs from canonical", mode)
+		}
+	}
+	if _, err := eagg.ParsePhysMode("bogus"); err == nil {
+		t.Fatal("ParsePhysMode must reject unknown modes")
+	}
+}

@@ -184,6 +184,51 @@ func (e *Exec) forMorsels(n int, fn func(m, lo, hi int)) {
 	wg.Wait()
 }
 
+// forTasks executes fn(i) for i in [0, n) over the worker pool — the
+// generic task fan-out for work that is not row-granular (e.g. one task
+// per merge pair of the parallel sort's cascade).
+func (e *Exec) forTasks(n int, fn func(i int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// seqFor returns e itself when the parallel variants should run for an
+// n-row operator, and a single-worker copy otherwise — the sort-based
+// operators' counterpart of the hash operators' sequential fallback
+// below parallelCutoff. Results are identical either way.
+func (e *Exec) seqFor(n int) *Exec {
+	if e.parFor(n) {
+		return e
+	}
+	s := *e
+	s.workers = 1
+	return &s
+}
+
 // forParts executes fn(p) for every partition id over the worker pool.
 func (e *Exec) forParts(fn func(p int)) {
 	w := e.workers

@@ -1,0 +1,598 @@
+package algebra
+
+// Sort-based physical operators: streaming sort-merge equi-joins
+// (inner/semi/anti/leftouter) and sort-group aggregation over slot-based
+// tables — the second physical layer beside the hash operators.
+//
+// Every operator here emits the *hash-canonical output sequence*: the
+// exact row order its hash counterpart produces (probe rows in input
+// order with matches in build-input order; groups in first-encounter
+// order, folded in input order). Sortedness is exploited internally —
+// to find join partners by merging instead of hashing, and to detect
+// group boundaries by run instead of hash lookups — but never leaks
+// into the output order. Two consequences:
+//
+//   - results are bit-identical to the hash layer for every operator,
+//     every worker count and every input, float aggregation included,
+//     so the whole differential-testing story of the runtime carries
+//     over unchanged; and
+//   - an operator's output keeps its left/probe input's physical order,
+//     which is exactly the contractual order propagation the optimizer
+//     assumes (internal/ordering): orders originate at sorted scans and
+//     survive through the sort-based layer.
+//
+// When an input's sort is *eliminated* (the optimizer proved its
+// contractual order covers the requirement), the operator does not
+// trust the claim blindly: the merge verifies non-decreasing keys while
+// streaming and fails the execution on a violated declaration — a wrong
+// scan-order declaration is an error, never a wrong result.
+//
+// When an input's sort is *performed*, rows are ordered by
+// (key, original index). That total order makes the sorted permutation
+// unique, so the parallel sort (chunked sort + pairwise merge rounds)
+// is bit-identical to the sequential one for every worker count.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"eagg/internal/aggfn"
+)
+
+// ---------------------------------------------------------------------
+// Comparators
+// ---------------------------------------------------------------------
+
+// compareJoinValue is the total order behind merge joins. Its equality
+// coincides with join-key equality (strict, numeric across int/float —
+// Int(2) = Float(2.0), like appendJoinKey's normalization); NULL and NaN
+// never reach it (rows with such keys are filtered like in the hash
+// operators). Mixed number/string keys order numbers first — consistent
+// on both sides, which is all a merge needs.
+func compareJoinValue(a, b Value) int {
+	as, bs := a.Kind == KindString, b.Kind == KindString
+	if as || bs {
+		if as && bs {
+			return strings.Compare(a.S, b.S)
+		}
+		if bs {
+			return -1 // number < string
+		}
+		return 1
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	}
+	return 0
+}
+
+// compareGroupValue is the total order behind sort-group aggregation.
+// Its equality coincides with grouping equality (NULL = NULL, all NaNs
+// one group, otherwise kind-sensitive like appendRowKey): values that
+// hash aggregation keeps apart never compare equal here.
+func compareGroupValue(a, b Value) int {
+	ra, rb := groupRank(a), groupRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ra {
+	case 0, 1: // both NULL / both NaN
+		return 0
+	case 3:
+		return strings.Compare(a.S, b.S)
+	}
+	if c := compareJoinValue(a, b); c != 0 {
+		return c
+	}
+	// Numerically equal but kind-sensitive: Int(2) before Float(2.0).
+	return int(a.Kind) - int(b.Kind)
+}
+
+func groupRank(v Value) int {
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return 3
+	case KindFloat:
+		if math.IsNaN(v.F) {
+			return 1
+		}
+	}
+	return 2
+}
+
+// compareKeySeq compares two rows' key sequences under cmp.
+func compareKeySeq(a Row, ak []int, b Row, bk []int, cmp func(Value, Value) int) int {
+	for i := range ak {
+		if c := cmp(a.get(ak[i]), b.get(bk[i])); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Index preparation: verified (eliminated sort) or sorted (performed)
+// ---------------------------------------------------------------------
+
+// verifiedJoinIndex returns the indices of t's rows with non-NULL keys in
+// input order, verifying the contractual claim that the kept rows are
+// non-decreasing under the join comparator. A violation is an execution
+// error: the scan-order declaration (or an unsound order inference) lied
+// about the data.
+func verifiedJoinIndex(t *Table, ks []int) ([]int32, error) {
+	idx := make([]int32, 0, len(t.Rows))
+	prev := int32(-1)
+	for i, row := range t.Rows {
+		if rowHasNullKey(row, ks) {
+			continue
+		}
+		if prev >= 0 {
+			if compareKeySeq(t.Rows[prev], ks, row, ks, compareJoinValue) > 0 {
+				return nil, fmt.Errorf(
+					"algebra: input declared sorted on merge keys but row %d is out of order (violated scan-order declaration)", i)
+			}
+		}
+		prev = int32(i)
+		idx = append(idx, int32(i))
+	}
+	return idx, nil
+}
+
+// sortedIndexBy returns row indices ordered by (key, original index)
+// under cmp — a total order, so the permutation is unique and identical
+// for every worker count. With filterNull set, rows with NULL/NaN key
+// components are dropped first (join semantics); otherwise every row
+// participates (grouping semantics).
+func (e *Exec) sortedIndexBy(t *Table, ks []int, cmp func(Value, Value) int, filterNull bool) []int32 {
+	idx := make([]int32, 0, len(t.Rows))
+	for i, row := range t.Rows {
+		if filterNull && rowHasNullKey(row, ks) {
+			continue
+		}
+		idx = append(idx, int32(i))
+	}
+	less := func(a, b int32) bool {
+		if c := compareKeySeq(t.Rows[a], ks, t.Rows[b], ks, cmp); c != 0 {
+			return c < 0
+		}
+		return a < b
+	}
+	if !e.parFor(len(idx)) {
+		sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+		return idx
+	}
+	// Parallel: sort morsel-sized chunks concurrently, then merge
+	// adjacent runs in rounds — one task per merge pair, so the cascade
+	// keeps all workers busy instead of collapsing onto one morsel. The
+	// (key, index) order is total, so the result does not depend on the
+	// chunking.
+	size := e.sizeFor(len(idx))
+	var chunks [][]int32
+	for lo := 0; lo < len(idx); lo += size {
+		chunks = append(chunks, idx[lo:min(lo+size, len(idx))])
+	}
+	e.forMorsels(len(idx), func(m, lo, hi int) {
+		c := idx[lo:hi]
+		sort.Slice(c, func(i, j int) bool { return less(c[i], c[j]) })
+	})
+	for len(chunks) > 1 {
+		next := make([][]int32, (len(chunks)+1)/2)
+		e.forTasks(len(next), func(p int) {
+			if 2*p+1 < len(chunks) {
+				next[p] = mergeRuns(chunks[2*p], chunks[2*p+1], less)
+			} else {
+				next[p] = chunks[2*p]
+			}
+		})
+		chunks = next
+	}
+	if len(chunks) == 1 {
+		return chunks[0]
+	}
+	return idx
+}
+
+// mergeRuns merges two runs sorted under less into a fresh slice.
+func mergeRuns(a, b []int32, less func(x, y int32) bool) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// joinIndex prepares one merge input: verified input order when the sort
+// is eliminated, (key, index)-sorted otherwise.
+func (e *Exec) joinIndex(t *Table, ks []int, needSort bool) ([]int32, error) {
+	if needSort {
+		return e.sortedIndexBy(t, ks, compareJoinValue, true), nil
+	}
+	return verifiedJoinIndex(t, ks)
+}
+
+// ---------------------------------------------------------------------
+// The merge: per-left-row match ranges
+// ---------------------------------------------------------------------
+
+// noRange marks "no partners" in a range table.
+const noRange = int32(-1)
+
+// matchRanges walks the two prepared index streams once and returns, per
+// original left row, the half-open range into rIdx holding its join
+// partners. Rows absent from lIdx (NULL keys) keep noRange. Within one
+// range, rIdx ascends — for a performed sort by the (key, index) order,
+// for a verified input by construction — so partners are emitted in
+// right-input order, exactly like a hash build's posting list.
+func matchRanges(l, r *Table, lIdx, rIdx []int32, lk, rk []int) [][2]int32 {
+	ranges := make([][2]int32, len(l.Rows))
+	for i := range ranges {
+		ranges[i] = [2]int32{noRange, noRange}
+	}
+	j := 0
+	for i := 0; i < len(lIdx); {
+		lrow := l.Rows[lIdx[i]]
+		// Left key group [i, i2).
+		i2 := i + 1
+		for i2 < len(lIdx) && compareKeySeq(l.Rows[lIdx[i2]], lk, lrow, lk, compareJoinValue) == 0 {
+			i2++
+		}
+		// Advance the right stream to the group's key.
+		for j < len(rIdx) && compareKeySeq(r.Rows[rIdx[j]], rk, lrow, lk, compareJoinValue) < 0 {
+			j++
+		}
+		j2 := j
+		for j2 < len(rIdx) && compareKeySeq(r.Rows[rIdx[j2]], rk, lrow, lk, compareJoinValue) == 0 {
+			j2++
+		}
+		if j2 > j {
+			for ; i < i2; i++ {
+				ranges[lIdx[i]] = [2]int32{int32(j), int32(j2)}
+			}
+		} else {
+			i = i2
+		}
+		// The right pointer stays at the group start: several left keys
+		// never share right partners (keys differ), so j only moves
+		// forward — the walk is linear.
+		j = j2
+	}
+	return ranges
+}
+
+// verifyOrderedBy checks the contractual claim behind an eliminated
+// group sort: the table is non-decreasing on the covering order prefix
+// (grouping comparator: NULLs first, kind-refined). Adjacent pairs are
+// checked morsel-parallel; a violation is an execution error — the
+// scan-order declaration (or an unsound inference) lied about the data.
+func (e *Exec) verifyOrderedBy(t *Table, slots []int) error {
+	n := len(t.Rows)
+	if len(slots) == 0 || n < 2 {
+		return nil
+	}
+	viol := make([]int, e.morselCount(n))
+	for i := range viol {
+		viol[i] = -1
+	}
+	e.forMorsels(n, func(m, lo, hi int) {
+		if lo == 0 {
+			lo = 1
+		}
+		for i := lo; i < hi; i++ {
+			if compareKeySeq(t.Rows[i-1], slots, t.Rows[i], slots, compareGroupValue) > 0 {
+				viol[m] = i
+				return
+			}
+		}
+	})
+	// Morsels cover ascending index ranges and each records its first
+	// violation, so the first hit in morsel order is the global first.
+	for _, v := range viol {
+		if v >= 0 {
+			return fmt.Errorf(
+				"algebra: input declared ordered for streaming aggregation but row %d is out of order (violated scan-order declaration)", v)
+		}
+	}
+	return nil
+}
+
+// mergePrepare runs both index preparations and the merge walk — the
+// shared first half of every merge join.
+func (e *Exec) mergePrepare(l, r *Table, lk, rk []int, sortL, sortR bool) ([]int32, [][2]int32, error) {
+	lIdx, err := e.joinIndex(l, lk, sortL)
+	if err != nil {
+		return nil, nil, fmt.Errorf("merge join, left input: %w", err)
+	}
+	rIdx, err := e.joinIndex(r, rk, sortR)
+	if err != nil {
+		return nil, nil, fmt.Errorf("merge join, right input: %w", err)
+	}
+	return rIdx, matchRanges(l, r, lIdx, rIdx, lk, rk), nil
+}
+
+// ---------------------------------------------------------------------
+// The operators
+// ---------------------------------------------------------------------
+
+// MergeJoin is the inner equi-join l ⋈ r on the sort-based layer. sortL
+// and sortR say which inputs must be sorted; a false flag is the
+// eliminated-sort case and requires (and verifies) that the input is
+// already non-decreasing on its key slots. The output sequence equals
+// HashJoin's exactly.
+func (e *Exec) MergeJoin(l, r *Table, lk, rk []int, sortL, sortR bool) (*Table, error) {
+	e = e.seqFor(max(len(l.Rows), len(r.Rows)))
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	rIdx, ranges, err := e.mergePrepare(l, r, lk, rk, sortL, sortR)
+	if err != nil {
+		return nil, err
+	}
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		for i := lo; i < hi; i++ {
+			rg := ranges[i]
+			for j := rg[0]; j < rg[1]; j++ {
+				chunk = append(chunk, concatRow(l.Rows[i], r.Rows[rIdx[j]]))
+			}
+		}
+		return chunk
+	})
+	return out, nil
+}
+
+// MergeSemiJoin is the left semijoin l ⋉ r on the sort-based layer.
+func (e *Exec) MergeSemiJoin(l, r *Table, lk, rk []int, sortL, sortR bool) (*Table, error) {
+	e = e.seqFor(max(len(l.Rows), len(r.Rows)))
+	out := &Table{Schema: l.Schema}
+	_, ranges, err := e.mergePrepare(l, r, lk, rk, sortL, sortR)
+	if err != nil {
+		return nil, err
+	}
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		for i := lo; i < hi; i++ {
+			if ranges[i][0] != noRange {
+				chunk = append(chunk, l.Rows[i])
+			}
+		}
+		return chunk
+	})
+	return out, nil
+}
+
+// MergeAntiJoin is the left antijoin l ▷ r on the sort-based layer. Left
+// rows with NULL key components are kept, like in the hash operator.
+func (e *Exec) MergeAntiJoin(l, r *Table, lk, rk []int, sortL, sortR bool) (*Table, error) {
+	e = e.seqFor(max(len(l.Rows), len(r.Rows)))
+	out := &Table{Schema: l.Schema}
+	_, ranges, err := e.mergePrepare(l, r, lk, rk, sortL, sortR)
+	if err != nil {
+		return nil, err
+	}
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		for i := lo; i < hi; i++ {
+			if ranges[i][0] == noRange {
+				chunk = append(chunk, l.Rows[i])
+			}
+		}
+		return chunk
+	})
+	return out, nil
+}
+
+// MergeLeftOuter is the left outerjoin on the sort-based layer. pad must
+// be a full row over r's schema (the engine's default vectors).
+func (e *Exec) MergeLeftOuter(l, r *Table, lk, rk []int, sortL, sortR bool, pad Row) (*Table, error) {
+	e = e.seqFor(max(len(l.Rows), len(r.Rows)))
+	out := &Table{Schema: l.Schema.Concat(r.Schema)}
+	rIdx, ranges, err := e.mergePrepare(l, r, lk, rk, sortL, sortR)
+	if err != nil {
+		return nil, err
+	}
+	e.probeMorsels(l, out, func(lo, hi int) []Row {
+		var chunk []Row
+		for i := lo; i < hi; i++ {
+			rg := ranges[i]
+			if rg[0] == noRange {
+				chunk = append(chunk, concatRow(l.Rows[i], pad))
+				continue
+			}
+			for j := rg[0]; j < rg[1]; j++ {
+				chunk = append(chunk, concatRow(l.Rows[i], r.Rows[rIdx[j]]))
+			}
+		}
+		return chunk
+	})
+	return out, nil
+}
+
+// SortGroup is sort-group aggregation: the sort-based counterpart of
+// HashGroup. With sortInput false the input's contractual order already
+// makes every group a consecutive run, and the operator streams over the
+// input aggregating run by run — zero reorganization. With sortInput
+// true it orders rows by (grouping key, input index) first. Either way
+// every group folds its rows in input order and groups are emitted in
+// first-encounter order: the output is bit-identical to HashGroup.
+func (e *Exec) SortGroup(t *Table, groupBy []string, f aggfn.Vector, sortInput bool, verify []int) (*Table, error) {
+	e = e.seqFor(len(t.Rows))
+	bound := BindVector(f, t.Schema)
+	groupSlots := t.Schema.Slots(groupBy)
+	names := make([]string, 0, len(groupBy)+len(f))
+	names = append(names, groupBy...)
+	names = append(names, f.Outs()...)
+	out := &Table{Schema: NewSchema(names)}
+
+	if !sortInput {
+		if err := e.verifyOrderedBy(t, verify); err != nil {
+			return nil, err
+		}
+		e.streamRuns(t, groupSlots, bound, out)
+		return out, nil
+	}
+
+	idx := e.sortedIndexBy(t, groupSlots, compareGroupValue, false)
+	// Runs of equal keys are contiguous in idx and internally ascend by
+	// original index, so folding a run front to back is folding the
+	// group in input order. Emitting the finished groups by ascending
+	// first (= minimal original) index restores first-encounter order.
+	groups := e.foldSortedRuns(t, idx, groupSlots, bound)
+	sort.Slice(groups, func(i, j int) bool { return groups[i].first < groups[j].first })
+	out.Rows = make([]Row, len(groups))
+	for i, g := range groups {
+		out.Rows[i] = g.row
+	}
+	return out, nil
+}
+
+// foldSortedRuns folds each equal-key run of the sorted index into one
+// finished group row, in parallel across runs. Run boundaries are a pure
+// function of the data, and each run is owned start to finish by the
+// task whose original span contains its first element, so the result is
+// identical for every worker count.
+func (e *Exec) foldSortedRuns(t *Table, idx []int32, groupSlots []int, bound []BoundAgg) []groupOut {
+	sameKey := func(a, b int32) bool {
+		return compareKeySeq(t.Rows[a], groupSlots, t.Rows[b], groupSlots, compareGroupValue) == 0
+	}
+	runStart := func(p int) bool { return p == 0 || !sameKey(idx[p-1], idx[p]) }
+	n := len(idx)
+	if !e.parFor(n) {
+		return foldRunRange(t, idx, 0, n, n, groupSlots, bound, sameKey, runStart)
+	}
+	chunks := make([][]groupOut, e.morselCount(n))
+	e.forMorsels(n, func(m, lo, hi int) {
+		chunks[m] = foldRunRange(t, idx, lo, hi, n, groupSlots, bound, sameKey, runStart)
+	})
+	var all []groupOut
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	return all
+}
+
+// foldRunRange folds every run starting in [lo, hi) to completion (a run
+// may extend past hi; runs starting before lo belong to earlier spans).
+func foldRunRange(t *Table, idx []int32, lo, hi, n int, groupSlots []int, bound []BoundAgg,
+	sameKey func(a, b int32) bool, runStart func(p int) bool) []groupOut {
+	var outs []groupOut
+	p := lo
+	for p < hi && !runStart(p) {
+		p++
+	}
+	for p < hi {
+		end := p + 1
+		for end < n && sameKey(idx[p], idx[end]) {
+			end++
+		}
+		rep := make(Row, len(groupSlots))
+		for i, s := range groupSlots {
+			rep[i] = t.Rows[idx[p]].get(s)
+		}
+		cells := make([]aggCell, len(bound))
+		for q := p; q < end; q++ {
+			row := t.Rows[idx[q]]
+			for i := range bound {
+				cells[i].update(&bound[i], row)
+			}
+		}
+		row := make(Row, 0, len(groupSlots)+len(bound))
+		row = append(row, rep...)
+		for i := range bound {
+			row = append(row, cells[i].final(&bound[i]))
+		}
+		outs = append(outs, groupOut{first: idx[p], row: row})
+		p = end
+	}
+	return outs
+}
+
+// streamRuns is the eliminated-sort aggregation: the input's order makes
+// every group one consecutive run, so a single pass folds runs in place.
+// Boundaries are detected with the same collision-proof key encoding the
+// hash layer groups by, so run equality is exactly hash-group equality.
+func (e *Exec) streamRuns(t *Table, groupSlots []int, bound []BoundAgg, out *Table) {
+	n := len(t.Rows)
+	rowKey := func(i int) []byte { return appendRowKey(nil, t.Rows[i], groupSlots) }
+	isStart := func(i int) bool {
+		if i == 0 {
+			return true
+		}
+		return string(rowKey(i-1)) != string(rowKey(i))
+	}
+	fold := func(lo, hi int) []Row { // runs starting in [lo,hi), folded to completion
+		var chunk []Row
+		p := lo
+		for p < hi && !isStart(p) {
+			p++
+		}
+		var key, next []byte
+		for p < hi {
+			key = appendRowKey(key[:0], t.Rows[p], groupSlots)
+			end := p + 1
+			for end < n {
+				next = appendRowKey(next[:0], t.Rows[end], groupSlots)
+				if string(next) != string(key) {
+					break
+				}
+				end++
+			}
+			rep := make(Row, len(groupSlots))
+			for i, s := range groupSlots {
+				rep[i] = t.Rows[p].get(s)
+			}
+			cells := make([]aggCell, len(bound))
+			for q := p; q < end; q++ {
+				for i := range bound {
+					cells[i].update(&bound[i], t.Rows[q])
+				}
+			}
+			row := make(Row, 0, len(groupSlots)+len(bound))
+			row = append(row, rep...)
+			for i := range bound {
+				row = append(row, cells[i].final(&bound[i]))
+			}
+			chunk = append(chunk, row)
+			p = end
+		}
+		return chunk
+	}
+	if !e.parFor(n) {
+		out.Rows = fold(0, n)
+		return
+	}
+	chunks := make([][]Row, e.morselCount(n))
+	e.forMorsels(n, func(m, lo, hi int) {
+		chunks[m] = fold(lo, hi)
+	})
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	out.Rows = make([]Row, 0, total)
+	for _, c := range chunks {
+		out.Rows = append(out.Rows, c...)
+	}
+}

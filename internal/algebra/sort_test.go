@@ -1,0 +1,190 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eagg/internal/aggfn"
+)
+
+// randomKeyedTable builds a table with a key column drawn from a small
+// domain (plus NULLs and the odd float twin), a payload column, and —
+// when sorted is set — rows ordered by the key so the eliminated-sort
+// paths are exercised.
+func randomKeyedTable(rng *rand.Rand, prefix string, rows int, sorted bool, withNulls bool) *Table {
+	t := &Table{Schema: NewSchema([]string{prefix + ".k", prefix + ".v"})}
+	keys := make([]int64, rows)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(8))
+	}
+	if sorted {
+		for i := 1; i < rows; i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		k := Value(Int(keys[i]))
+		if withNulls && !sorted && rng.Intn(6) == 0 {
+			k = Null
+		} else if !sorted && rng.Intn(7) == 0 {
+			k = Float(float64(keys[i])) // joins must match across kinds
+		}
+		t.Rows = append(t.Rows, Row{k, Int(int64(rng.Intn(100)))})
+	}
+	return t
+}
+
+func identical(t *testing.T, label string, want, got *Table) {
+	t.Helper()
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows vs %d rows", label, len(want.Rows), len(got.Rows))
+	}
+	for i := range want.Rows {
+		if len(want.Rows[i]) != len(got.Rows[i]) {
+			t.Fatalf("%s: row %d width differs", label, i)
+		}
+		for j := range want.Rows[i] {
+			if want.Rows[i][j] != got.Rows[i][j] {
+				t.Fatalf("%s: row %d slot %d: %v vs %v", label, i, j, want.Rows[i][j], got.Rows[i][j])
+			}
+		}
+	}
+}
+
+// TestMergeJoinsMatchHash pins the central contract of the sort-based
+// layer: every merge operator emits exactly the hash operator's output
+// sequence — for sorted inputs with the sort eliminated, unsorted inputs
+// with the sort performed, and any worker count.
+func TestMergeJoinsMatchHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lk, rk := []int{0}, []int{0}
+	for trial := 0; trial < 60; trial++ {
+		lSorted, rSorted := trial%2 == 0, trial%3 == 0
+		l := randomKeyedTable(rng, "l", 1+rng.Intn(40), lSorted, true)
+		r := randomKeyedTable(rng, "r", 1+rng.Intn(40), rSorted, true)
+		pad := NullRow(r.Schema)
+		for _, workers := range []int{1, 8} {
+			ex := NewExec(workers).WithMorselSize(3)
+			label := fmt.Sprintf("trial=%d workers=%d lSorted=%v rSorted=%v", trial, workers, lSorted, rSorted)
+
+			got, err := ex.MergeJoin(l, r, lk, rk, !lSorted, !rSorted)
+			if err != nil {
+				t.Fatalf("%s join: %v", label, err)
+			}
+			identical(t, label+" join", HashJoin(l, r, lk, rk), got)
+
+			got, err = ex.MergeSemiJoin(l, r, lk, rk, !lSorted, !rSorted)
+			if err != nil {
+				t.Fatalf("%s semi: %v", label, err)
+			}
+			identical(t, label+" semi", HashSemiJoin(l, r, lk, rk), got)
+
+			got, err = ex.MergeAntiJoin(l, r, lk, rk, !lSorted, !rSorted)
+			if err != nil {
+				t.Fatalf("%s anti: %v", label, err)
+			}
+			identical(t, label+" anti", HashAntiJoin(l, r, lk, rk), got)
+
+			got, err = ex.MergeLeftOuter(l, r, lk, rk, !lSorted, !rSorted, pad)
+			if err != nil {
+				t.Fatalf("%s leftouter: %v", label, err)
+			}
+			identical(t, label+" leftouter", HashLeftOuter(l, r, lk, rk, pad), got)
+		}
+	}
+}
+
+// TestSortGroupMatchesHash pins the same contract for sort-group
+// aggregation, including order-sensitive float sums: group boundaries by
+// run (eliminated) or by sort (performed), output always equals
+// HashGroup bit for bit.
+func TestSortGroupMatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := aggfn.Vector{
+		{Out: "cnt", Kind: aggfn.CountStar},
+		{Out: "s", Kind: aggfn.Sum, Arg: "t.v"},
+		{Out: "m", Kind: aggfn.Min, Arg: "t.v"},
+	}
+	for trial := 0; trial < 60; trial++ {
+		sorted := trial%2 == 0
+		in := randomKeyedTable(rng, "t", 1+rng.Intn(60), sorted, true)
+		// Float payloads make summation order observable.
+		for i, row := range in.Rows {
+			if i%3 == 0 {
+				row[1] = Float(float64(rng.Intn(1000)) / 7)
+			}
+		}
+		want := HashGroup(in, []string{"t.k"}, f)
+		for _, workers := range []int{1, 8} {
+			ex := NewExec(workers).WithMorselSize(4)
+			var verify []int
+			if sorted {
+				verify = []int{0} // eliminated path: verify the run column
+			}
+			got, err := ex.SortGroup(in, []string{"t.k"}, f, !sorted, verify)
+			if err != nil {
+				t.Fatalf("trial=%d workers=%d sorted=%v: %v", trial, workers, sorted, err)
+			}
+			identical(t, fmt.Sprintf("trial=%d workers=%d sorted=%v", trial, workers, sorted), want, got)
+		}
+	}
+}
+
+// TestMergeJoinVerifiesOrder pins the safety net: claiming an eliminated
+// sort on an unsorted input is an execution error, not a wrong result.
+func TestMergeJoinVerifiesOrder(t *testing.T) {
+	l := &Table{Schema: NewSchema([]string{"l.k"}), Rows: []Row{{Int(2)}, {Int(1)}}}
+	r := &Table{Schema: NewSchema([]string{"r.k"}), Rows: []Row{{Int(1)}}}
+	if _, err := NewExec(1).MergeJoin(l, r, []int{0}, []int{0}, false, true); err == nil {
+		t.Fatal("merge join accepted an unsorted input declared sorted")
+	}
+	// NULL keys are filtered before the check, so a NULL between ordered
+	// keys is fine.
+	l2 := &Table{Schema: NewSchema([]string{"l.k"}), Rows: []Row{{Int(1)}, {Null}, {Int(2)}}}
+	if _, err := NewExec(1).MergeJoin(l2, r, []int{0}, []int{0}, false, true); err != nil {
+		t.Fatalf("NULL key between ordered keys rejected: %v", err)
+	}
+}
+
+// TestSortGroupKindSensitive pins that the sort comparator refines
+// numeric equality by kind: Int(2) and Float(2.0) stay separate groups,
+// exactly like the hash layer's kind-sensitive grouping keys.
+func TestSortGroupKindSensitive(t *testing.T) {
+	in := &Table{Schema: NewSchema([]string{"t.k"}), Rows: []Row{
+		{Float(2)}, {Int(2)}, {Null}, {Int(2)}, {Null}, {Float(2)},
+	}}
+	f := aggfn.Vector{{Out: "cnt", Kind: aggfn.CountStar}}
+	want := HashGroup(in, []string{"t.k"}, f)
+	got, err := NewExec(1).SortGroup(in, []string{"t.k"}, f, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, "kind-sensitive groups", want, got)
+	if len(got.Rows) != 3 {
+		t.Fatalf("want 3 groups (Float 2, Int 2, NULL), got %d", len(got.Rows))
+	}
+}
+
+// TestSortGroupVerifiesOrder pins the streaming aggregation's safety
+// net: an eliminated sort whose covering order prefix the data violates
+// is an execution error, never a silently duplicated group.
+func TestSortGroupVerifiesOrder(t *testing.T) {
+	in := &Table{Schema: NewSchema([]string{"t.k"}), Rows: []Row{{Int(1)}, {Int(2)}, {Int(1)}}}
+	f := aggfn.Vector{{Out: "cnt", Kind: aggfn.CountStar}}
+	for _, workers := range []int{1, 8} {
+		ex := NewExec(workers).WithMorselSize(1)
+		if _, err := ex.SortGroup(in, []string{"t.k"}, f, false, []int{0}); err == nil {
+			t.Fatalf("workers=%d: streaming aggregation accepted an unsorted run column", workers)
+		}
+	}
+	// A genuinely sorted column (NULLs first) streams fine.
+	ok := &Table{Schema: NewSchema([]string{"t.k"}), Rows: []Row{{Null}, {Int(1)}, {Int(1)}, {Int(2)}}}
+	got, err := NewExec(1).SortGroup(ok, []string{"t.k"}, f, false, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, "sorted stream", HashGroup(ok, []string{"t.k"}, f), got)
+}

@@ -59,6 +59,52 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// PhysMode selects the physical algebra the plan generator may use.
+type PhysMode int
+
+const (
+	// PhysModeHash (the default) builds plans for the hash layer only —
+	// the exact pre-existing behavior, bit for bit.
+	PhysModeHash PhysMode = iota
+	// PhysModeSort prefers the sort-based layer: every operator with a
+	// sort-based form (inner/semi/anti/leftouter joins, all groupings)
+	// uses it; full outer joins and groupjoins stay on the hash layer.
+	PhysModeSort
+	// PhysModeAuto lets both layers compete: the DP table keeps plan
+	// classes keyed by (relation set, collapse state, contractual
+	// order), so a plan that is more expensive but ordered survives
+	// enumeration and can win later by eliminating sorts; selection is
+	// by PhysCost (C_out plus physical reorganization overhead).
+	PhysModeAuto
+)
+
+var physNames = map[PhysMode]string{
+	PhysModeHash: "hash",
+	PhysModeSort: "sort",
+	PhysModeAuto: "auto",
+}
+
+func (m PhysMode) String() string {
+	if s, ok := physNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("PhysMode(%d)", int(m))
+}
+
+// ParsePhysMode resolves the user-facing physical-mode names ("hash",
+// "sort", "auto"; "" means hash).
+func ParsePhysMode(s string) (PhysMode, error) {
+	switch s {
+	case "", "hash":
+		return PhysModeHash, nil
+	case "sort":
+		return PhysModeSort, nil
+	case "auto":
+		return PhysModeAuto, nil
+	}
+	return 0, fmt.Errorf("unknown physical mode %q (want hash, sort or auto)", s)
+}
+
 // Options configure an optimization run.
 type Options struct {
 	Algorithm Algorithm
@@ -85,6 +131,11 @@ type Options struct {
 	// concurrent reads and must not change during the optimization:
 	// parallel workers share it across their estimator clones.
 	Stats cost.CardSource
+	// Phys selects the physical algebra (hash only, sort-based, or both
+	// competing). The default PhysModeHash reproduces the pre-existing
+	// plans exactly; the sort modes additionally track contractual
+	// orders, key DP plan classes by them, and rank plans by PhysCost.
+	Phys PhysMode
 }
 
 // Stats reports search effort.
@@ -191,7 +242,11 @@ func (g *generator) prepare() {
 func (g *generator) run() (*Result, error) {
 	// Component 1: initial access paths (Fig. 5, lines 1-2).
 	for r := range g.q.Relations {
-		g.table[bitset.Single64(r)] = []*plan.Plan{g.est.Scan(r)}
+		p := g.est.Scan(r)
+		if g.physOn() {
+			g.est.PhysifyScan(p) // contractual scan order, zero overhead
+		}
+		g.table[bitset.Single64(r)] = []*plan.Plan{p}
 	}
 	if len(g.q.Relations) == 1 {
 		g.stats.Workers = 1 // no pairs to enumerate; trivially sequential
@@ -273,8 +328,15 @@ func (g *generator) forEachApplicable(pr hypergraph.CsgCmpPair, apply func(s1, s
 		// Commutative operators (B, K) could also be applied with
 		// swapped arguments (Fig. 5, lines 7-8). Under the symmetric
 		// C_out cost function the mirrored trees of Fig. 8 (e)-(h)
-		// have identical cost and properties, so we skip them.
-		if op.Node.Kind.Commutative() && op.Applicable(pr.S2, pr.S1) && !op.Applicable(pr.S1, pr.S2) {
+		// have identical cost and properties, so the hash mode skips
+		// them. With the sort-based layer the mirror matters for inner
+		// joins: the output preserves the *left* input's contractual
+		// order and the merge may reuse either side's order, so both
+		// orientations are enumerated. (The full outerjoin has no sort
+		// form; its mirror stays redundant.)
+		if op.Node.Kind.Commutative() && op.Applicable(pr.S2, pr.S1) &&
+			(!op.Applicable(pr.S1, pr.S2) ||
+				(g.physOn() && op.Node.Kind == query.KindJoin)) {
 			apply(pr.S2, pr.S1, op)
 		}
 	}
@@ -327,7 +389,7 @@ func (g *generator) buildInto(est *cost.Estimator, entry []*plan.Plan, s, s1, s2
 			for _, tree := range g.opTrees(est, t1, t2, op, preds) {
 				built++
 				if topLevel {
-					entry = insertTopLevelPlan(entry, tree)
+					entry = g.insertTopLevelPlan(entry, tree)
 				} else {
 					entry = g.insert(est, s, entry, tree)
 				}
@@ -338,8 +400,12 @@ func (g *generator) buildInto(est *cost.Estimator, entry []*plan.Plan, s, s1, s2
 }
 
 // insert applies the algorithm's retention policy for non-top entries and
-// returns the updated plan list.
+// returns the updated plan list. In the sort/auto physical modes the
+// policy applies per plan class (see phys.go).
 func (g *generator) insert(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+	if g.physOn() {
+		return g.insertPhys(est, s, entry, t)
+	}
 	switch g.opts.Algorithm {
 	case AlgEAAll:
 		return append(entry, t)
@@ -367,12 +433,18 @@ func (g *generator) insert(est *cost.Estimator, s bitset.Set64, entry []*plan.Pl
 }
 
 // insertTopLevelPlan implements Fig. 9's InsertTopLevelPlan: top-level
-// plans are always compared by plain cost and only the best one is kept.
-// The final grouping (or its elimination) has already been attached by
-// opTrees.
-func insertTopLevelPlan(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+// plans are always compared by plain cost — physical cost in the
+// sort/auto modes — and only the best one is kept. The final grouping
+// (or its elimination) has already been attached by opTrees.
+func (g *generator) insertTopLevelPlan(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	if len(entry) == 0 {
 		return []*plan.Plan{t}
+	}
+	if g.physOn() {
+		if t.PhysCost < entry[0].PhysCost {
+			entry[0] = t
+		}
+		return entry
 	}
 	if t.Cost < entry[0].Cost {
 		entry[0] = t

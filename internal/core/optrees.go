@@ -18,8 +18,26 @@ func (g *generator) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict
 	kind := op.Node.Kind
 	out := make([]*plan.Plan, 0, 4)
 	add := func(l, r *plan.Plan) {
-		tree := est.Op(kind, preds, l, r)
-		out = append(out, g.maybeFinalize(est, tree))
+		if !g.physOn() {
+			tree := est.Op(kind, preds, l, r)
+			out = append(out, g.maybeFinalize(est, tree))
+			return
+		}
+		// Sort/auto physical modes: one tree per admissible physical
+		// kind, hash first (ties resolve toward hash in the retention
+		// policies), each completed tree finalized per physical kind of
+		// the final grouping.
+		for _, ph := range g.opPhysKinds(kind) {
+			tree := est.Op(kind, preds, l, r)
+			if !est.PhysifyOp(tree, ph) {
+				continue
+			}
+			if tree.Rels != g.all {
+				out = append(out, tree)
+				continue
+			}
+			out = append(out, g.finalizeAll(est, tree)...)
+		}
 	}
 
 	add(t1, t2)
@@ -27,29 +45,78 @@ func (g *generator) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict
 		return out
 	}
 
-	var gl, gr *plan.Plan
-	if g.validPush(t1.Rels, true, kind) {
-		gp := g.gPlus(t1.Rels)
-		if g.needsGrouping(gp, t1) {
-			gl = est.Group(t1, gp)
-		}
-	}
-	if g.validPush(t2.Rels, false, kind) {
-		gp := g.gPlus(t2.Rels)
-		if g.needsGrouping(gp, t2) {
-			gr = est.Group(t2, gp)
-		}
-	}
-	if gl != nil {
+	gls := g.groupVariants(est, t1, t1.Rels, true, kind)
+	grs := g.groupVariants(est, t2, t2.Rels, false, kind)
+	for _, gl := range gls {
 		add(gl, t2)
 	}
-	if gr != nil {
+	for _, gr := range grs {
 		add(t1, gr)
 	}
-	if gl != nil && gr != nil {
-		add(gl, gr)
+	for _, gl := range gls {
+		for _, gr := range grs {
+			add(gl, gr)
+		}
 	}
 	return out
+}
+
+// groupVariants builds the admissible pushed-grouping plans for one side
+// of an operator: none when the push is invalid or unnecessary, one hash
+// grouping in the default mode, and one plan per enabled physical kind
+// otherwise (hash aggregation and sort-group aggregation are distinct
+// plan-class members: their costs and contractual orders differ).
+func (g *generator) groupVariants(est *cost.Estimator, t *plan.Plan, side bitset.Set64, isLeft bool, kind query.OpKind) []*plan.Plan {
+	if !g.validPush(side, isLeft, kind) {
+		return nil
+	}
+	gp := g.gPlus(side)
+	if !g.needsGrouping(gp, t) {
+		return nil
+	}
+	if !g.physOn() {
+		return []*plan.Plan{est.Group(t, gp)}
+	}
+	var out []*plan.Plan
+	for _, ph := range g.groupPhysKinds() {
+		gt := est.Group(t, gp)
+		if est.PhysifyGroup(gt, ph) {
+			out = append(out, gt)
+		}
+	}
+	return out
+}
+
+// opPhysKinds returns the physical kinds to enumerate for a binary
+// operator, hash before sort. Operators without a sort-based form (full
+// outerjoin, groupjoin) stay on the hash layer in every mode.
+func (g *generator) opPhysKinds(kind query.OpKind) []plan.PhysKind {
+	switch g.opts.Phys {
+	case PhysModeSort:
+		switch kind {
+		case query.KindFullOuter, query.KindGroupJoin:
+			return []plan.PhysKind{plan.PhysHash}
+		}
+		return []plan.PhysKind{plan.PhysSortMerge}
+	case PhysModeAuto:
+		switch kind {
+		case query.KindFullOuter, query.KindGroupJoin:
+			return []plan.PhysKind{plan.PhysHash}
+		}
+		return []plan.PhysKind{plan.PhysHash, plan.PhysSortMerge}
+	}
+	return []plan.PhysKind{plan.PhysHash}
+}
+
+// groupPhysKinds returns the physical kinds to enumerate for groupings.
+func (g *generator) groupPhysKinds() []plan.PhysKind {
+	switch g.opts.Phys {
+	case PhysModeSort:
+		return []plan.PhysKind{plan.PhysSortMerge}
+	case PhysModeAuto:
+		return []plan.PhysKind{plan.PhysHash, plan.PhysSortMerge}
+	}
+	return []plan.PhysKind{plan.PhysHash}
 }
 
 // maybeFinalize attaches the final grouping to complete plans (Fig. 6,
@@ -66,6 +133,19 @@ func (g *generator) finalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
 	if !g.q.HasGrouping {
 		return tree
 	}
+	if g.physOn() {
+		// Pick the physically cheapest finalization (used only where a
+		// single plan is needed, e.g. single-relation queries); ties
+		// keep the hash variant, which finalizeAll lists first.
+		variants := g.finalizeAll(est, tree)
+		best := variants[0]
+		for _, v := range variants[1:] {
+			if v.PhysCost < best.PhysCost {
+				best = v
+			}
+		}
+		return best
+	}
 	// At the top every predicate has been applied, so the query-level FD
 	// closure of G is valid: a key *implied* by the grouping attributes
 	// eliminates the final grouping just like one contained in them
@@ -74,6 +154,30 @@ func (g *generator) finalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
 		return est.Project(tree)
 	}
 	return est.FinalGroup(tree)
+}
+
+// finalizeAll attaches the final grouping (or its free projection) to a
+// complete tree, one plan per enabled physical kind of the final
+// grouping, hash first. The sort-group variant of the top Γ_G is where
+// a contractual order carried this far pays off: when it covers G the
+// final aggregation streams with zero reorganization.
+func (g *generator) finalizeAll(est *cost.Estimator, tree *plan.Plan) []*plan.Plan {
+	if !g.q.HasGrouping {
+		return []*plan.Plan{tree}
+	}
+	if tree.DupFree && tree.HasKeySubsetOf(est.FDClosure(g.q.GroupBy)) {
+		p := est.Project(tree)
+		est.PhysifyProject(p)
+		return []*plan.Plan{p}
+	}
+	var out []*plan.Plan
+	for _, ph := range g.groupPhysKinds() {
+		fg := est.FinalGroup(tree)
+		if est.PhysifyGroup(fg, ph) {
+			out = append(out, fg)
+		}
+	}
+	return out
 }
 
 // needsGrouping implements Fig. 7: grouping on attrs is unnecessary iff

@@ -1,0 +1,143 @@
+package core
+
+// Plan-class retention for the sort-based physical layer. In the default
+// hash mode every DP-table entry competes on C_out alone (one plan per
+// relation set for the heuristics). With Options.Phys enabled, entries
+// become *plan classes* keyed by
+//
+//	(relation set, GroupsBelow, contractual order)
+//
+// — the relation set is the table key as before, and within an entry
+// plans only compete against plans of the same collapse state and the
+// same order. A plan that is dominated on cost but carries a stronger
+// order therefore survives enumeration (the classic interesting-order
+// argument): its order may later eliminate a sort whose saving exceeds
+// the cost gap. Selection inside a class — and at the top level — is by
+// PhysCost: C_out plus the physical reorganization overheads of
+// cost/phys.go. Ties keep the first-enumerated plan, which (hash
+// variants are enumerated before sort variants) resolves toward the
+// hash layer and keeps the choice deterministic for the parallel driver.
+
+import (
+	"eagg/internal/bitset"
+	"eagg/internal/cost"
+	"eagg/internal/ordering"
+	"eagg/internal/plan"
+)
+
+// physOn reports whether the sort-based physical layer participates.
+func (g *generator) physOn() bool { return g.opts.Phys != PhysModeHash }
+
+// sameClass reports whether two plans fall into the same plan class of
+// one DP-table entry: identical collapse state and identical contractual
+// order.
+func sameClass(a, b *plan.Plan) bool {
+	return a.GroupsBelow == b.GroupsBelow && ordering.Order(a.Ord).Equal(ordering.Order(b.Ord))
+}
+
+// insertPhys is the retention policy of the sort/auto modes, applied per
+// plan class.
+func (g *generator) insertPhys(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+	switch g.opts.Algorithm {
+	case AlgEAAll:
+		return append(entry, t)
+	case AlgEAPrune:
+		return g.pruneDominatedPlansPhys(est, s, entry, t)
+	case AlgBeam:
+		return g.insertBeamPhys(entry, t)
+	case AlgH2:
+		for i, old := range entry {
+			if sameClass(old, t) {
+				if g.compareAdjustedPhysCosts(t, old) {
+					entry[i] = t
+				}
+				return entry
+			}
+		}
+		return append(entry, t)
+	default: // DPhyp, H1: single cheapest plan per class
+		for i, old := range entry {
+			if sameClass(old, t) {
+				if t.PhysCost < old.PhysCost {
+					entry[i] = t
+				}
+				return entry
+			}
+		}
+		return append(entry, t)
+	}
+}
+
+// compareAdjustedPhysCosts is H2's eagerness-biased comparison (Fig. 12)
+// on physical costs: within a class, more eager plans get the tolerance
+// factor F, exactly like the hash mode's compareAdjustedCosts does on
+// C_out.
+func (g *generator) compareAdjustedPhysCosts(t, cur *plan.Plan) bool {
+	et, ec := t.Eagerness(), cur.Eagerness()
+	f := g.opts.F
+	switch {
+	case et == ec:
+		return t.PhysCost < cur.PhysCost
+	case et < ec:
+		return f*t.PhysCost < cur.PhysCost
+	default:
+		return t.PhysCost < f*cur.PhysCost
+	}
+}
+
+// physDominates extends the dominance test of Sec. 4.6 with the physical
+// dimensions: a only dominates b if it is also at least as cheap
+// physically and its contractual order is at least as strong (b's order
+// is a prefix of a's) — otherwise the dominated-but-ordered plan must
+// survive.
+func physDominates(a, b *plan.Plan) bool {
+	if a.PhysCost > b.PhysCost {
+		return false
+	}
+	if !ordering.Order(a.Ord).HasPrefix(ordering.Order(b.Ord)) {
+		return false
+	}
+	return dominates(a, b)
+}
+
+// pruneDominatedPlansPhys is Fig. 13 under the extended dominance.
+func (g *generator) pruneDominatedPlansPhys(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+	g.fillProfileWith(est, s, t)
+	for _, old := range entry {
+		if physDominates(old, t) {
+			return entry
+		}
+	}
+	kept := entry[:0]
+	for _, old := range entry {
+		if !physDominates(t, old) {
+			kept = append(kept, old)
+		}
+	}
+	return append(kept, t)
+}
+
+// insertBeamPhys keeps the BeamWidth physically cheapest plans per plan
+// class. Within a class the worst member is evicted; on cost ties the
+// earlier-enumerated plan stays (determinism).
+func (g *generator) insertBeamPhys(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+	k := g.opts.BeamWidth
+	members := 0
+	worst := -1
+	for i, old := range entry {
+		if !sameClass(old, t) {
+			continue
+		}
+		members++
+		if worst < 0 || old.PhysCost > entry[worst].PhysCost {
+			worst = i
+		}
+	}
+	if members < k {
+		return append(entry, t)
+	}
+	if worst >= 0 && t.PhysCost < entry[worst].PhysCost {
+		entry[worst] = t
+	}
+	return entry
+}

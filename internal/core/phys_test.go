@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/plan"
+	"eagg/internal/randquery"
+)
+
+// TestPhysParallelDeterminism extends the parallel-driver contract to
+// the sort/auto physical modes: plan-class retention, physical costs and
+// order inference are pure functions of the query, so Workers: 8 must
+// return bit-identical plans (including every physical annotation, which
+// plan.Equal compares) and identical search counters.
+func TestPhysParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	for n := 3; n <= 7; n++ {
+		for trial := 0; trial < 4; trial++ {
+			q := randquery.Generate(rng, randquery.Params{Relations: n})
+			for _, mode := range []PhysMode{PhysModeSort, PhysModeAuto} {
+				for _, alg := range []Algorithm{AlgH1, AlgEAPrune, AlgBeam} {
+					if alg == AlgEAPrune && n > 5 {
+						continue // the phys-mode EA search space grows fast; H1/Beam cover the larger graphs
+					}
+					seq, err := Optimize(q, Options{Algorithm: alg, Phys: mode, Workers: 1})
+					if err != nil {
+						t.Fatalf("n=%d trial=%d %v/%v sequential: %v", n, trial, alg, mode, err)
+					}
+					par, err := Optimize(q, Options{Algorithm: alg, Phys: mode, Workers: 8})
+					if err != nil {
+						t.Fatalf("n=%d trial=%d %v/%v parallel: %v", n, trial, alg, mode, err)
+					}
+					if !plan.Equal(seq.Plan, par.Plan) {
+						t.Fatalf("n=%d trial=%d %v/%v: parallel plan differs\nsequential:\n%v\nparallel:\n%v",
+							n, trial, alg, mode, seq.Plan, par.Plan)
+					}
+					if seq.Stats.PlansBuilt != par.Stats.PlansBuilt ||
+						seq.Stats.TablePlans != par.Stats.TablePlans {
+						t.Fatalf("n=%d trial=%d %v/%v: search counters differ (%+v vs %+v)",
+							n, trial, alg, mode, seq.Stats, par.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPhysHashModeUnchanged pins that the default mode is untouched by
+// the sort-based layer: a run with Phys unset produces plans carrying no
+// physical annotations at all, bit-identical to what an explicit
+// PhysModeHash run returns.
+func TestPhysHashModeUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		q := randquery.Generate(rng, randquery.Params{Relations: 3 + trial%4})
+		def, err := Optimize(q, Options{Algorithm: AlgEAPrune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := Optimize(q, Options{Algorithm: AlgEAPrune, Phys: PhysModeHash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Equal(def.Plan, explicit.Plan) {
+			t.Fatal("explicit PhysModeHash differs from the default")
+		}
+		var walk func(p *plan.Plan)
+		walk = func(p *plan.Plan) {
+			if p == nil {
+				return
+			}
+			if p.Phys != plan.PhysHash || p.Ord != nil || p.PhysCost != 0 || p.SortL || p.SortR {
+				t.Fatalf("default-mode plan carries physical annotations: %+v", p)
+			}
+			walk(p.Left)
+			walk(p.Right)
+		}
+		walk(def.Plan)
+	}
+}
+
+// TestPhysCostAccounting pins the overhead model on a plan whose shape
+// is known: in auto mode PhysCost is C_out plus the physical overheads,
+// and eliminated sorts are the only free reorganizations.
+func TestPhysCostAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		q := randquery.Generate(rng, randquery.Params{Relations: 3 + trial%3})
+		res, err := Optimize(q, Options{Algorithm: AlgH1, Phys: PhysModeAuto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var overhead func(p *plan.Plan) float64
+		overhead = func(p *plan.Plan) float64 {
+			if p == nil {
+				return 0
+			}
+			o := overhead(p.Left) + overhead(p.Right)
+			switch {
+			case p.Kind == plan.NodeOp && p.Phys == plan.PhysHash:
+				o += p.Left.Card + p.Right.Card
+			case p.Kind == plan.NodeOp && p.Phys == plan.PhysSortMerge:
+				if p.SortL {
+					o += p.Left.Card
+				}
+				if p.SortR {
+					o += p.Right.Card
+				}
+			case p.Kind == plan.NodeGroup && p.Phys == plan.PhysHash:
+				o += p.Left.Card
+			case p.Kind == plan.NodeGroup && p.Phys == plan.PhysSortMerge && p.SortL:
+				o += p.Left.Card
+			}
+			return o
+		}
+		want := res.Plan.Cost + overhead(res.Plan)
+		if diff := want - res.Plan.PhysCost; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("PhysCost %.6g != C_out %.6g + overheads %.6g\n%v",
+				res.Plan.PhysCost, res.Plan.Cost, overhead(res.Plan), res.Plan)
+		}
+	}
+}

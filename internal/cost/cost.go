@@ -13,6 +13,7 @@ package cost
 import (
 	"eagg/internal/bitset"
 	"eagg/internal/fd"
+	"eagg/internal/ordering"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 )
@@ -48,6 +49,11 @@ type Estimator struct {
 	// every operator and grouping estimate, so all plans in one DP run
 	// see a consistent view.
 	Source CardSource
+
+	// ord lazily holds the order-inference analysis of the sort-based
+	// physical layer (see phys.go); nil until the first Physify call,
+	// so the default hash mode never builds it.
+	ord *ordering.Info
 }
 
 type predInfo struct {
@@ -95,7 +101,7 @@ func NewEstimator(q *query.Query) *Estimator {
 // synchronization; cached values are pure functions of the query, so every
 // clone stays numerically identical to the original.
 func (e *Estimator) Clone() *Estimator {
-	return &Estimator{
+	c := &Estimator{
 		Q:              e.Q,
 		preds:          e.preds,
 		canon:          make(map[bitset.Set64]float64, len(e.canon)),
@@ -103,6 +109,11 @@ func (e *Estimator) Clone() *Estimator {
 		FDReduceGroups: e.FDReduceGroups,
 		Source:         e.Source,
 	}
+	if e.ord != nil {
+		// Order inference is pure per query; clones own their caches.
+		c.ord = e.ord.Clone()
+	}
+	return c
 }
 
 // FDClosure returns the attribute closure under the query-level functional

@@ -321,7 +321,7 @@ func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 		}
 		var c *compiled
 		if p.Final {
-			c, err = e.finalGroup(child, p.GroupBy)
+			c, err = e.finalGroup(child, p.GroupBy, p)
 		} else {
 			c, err = e.group(child, p)
 		}
@@ -340,7 +340,7 @@ func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 		// identical results (Eqv. 42). It is free under C_out, so its
 		// output is not recorded into ActualCout — matching the
 		// estimator, which prices NodeProject at its child's cost.
-		return e.finalGroup(child, e.q.GroupBy)
+		return e.finalGroup(child, e.q.GroupBy, nil)
 	}
 	return nil, fmt.Errorf("engine: unknown node kind %d", p.Kind)
 }
@@ -367,6 +367,24 @@ func joinKeys(q *query.Query, preds []*query.Predicate, ls, rs *algebra.Schema) 
 			lk = append(lk, slotIn(ls, ln))
 			rk = append(rk, slotIn(rs, rn))
 		}
+	}
+	return lk, rk
+}
+
+// mergeKeySlots resolves a sort-merge node's merge-key attribute ids
+// (already oriented and permuted by the optimizer, plan.MergeL/MergeR)
+// against the input schemas. Attributes dropped below (slot -1) read as
+// NULL and match nothing, like in the hash path.
+func mergeKeySlots(q *query.Query, p *plan.Plan, ls, rs *algebra.Schema) (lk, rk []int) {
+	slotIn := func(s *algebra.Schema, a int) int {
+		if i, ok := s.Slot(q.AttrNames[a]); ok {
+			return i
+		}
+		return -1
+	}
+	for i := range p.MergeL {
+		lk = append(lk, slotIn(ls, p.MergeL[i]))
+		rk = append(rk, slotIn(rs, p.MergeR[i]))
 	}
 	return lk, rk
 }
@@ -420,6 +438,34 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 	out.weights = append(out.weights, l.weights...)
 	if !dropRight {
 		out.weights = append(out.weights, r.weights...)
+	}
+
+	if p.Phys == plan.PhysSortMerge {
+		// The sort-based layer: merge joins over the plan's merge-key
+		// order, sorting only the inputs the optimizer could not prove
+		// ordered. Output sequences equal the hash operators', so the
+		// choice of layer never shows in results — only in the sorts
+		// performed.
+		mlk, mrk := mergeKeySlots(e.q, p, l.tab.Schema, r.tab.Schema)
+		var tab *algebra.Table
+		switch p.Op {
+		case query.KindJoin:
+			tab, err = e.ex.MergeJoin(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR)
+		case query.KindSemiJoin:
+			tab, err = e.ex.MergeSemiJoin(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR)
+		case query.KindAntiJoin:
+			tab, err = e.ex.MergeAntiJoin(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR)
+		case query.KindLeftOuter:
+			tab, err = e.ex.MergeLeftOuter(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR, padRow(r))
+		default:
+			err = fmt.Errorf("engine: %v has no sort-based form", p.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.tab = tab
+		e.record(p, out.tab)
+		return out, nil
 	}
 
 	switch p.Op {

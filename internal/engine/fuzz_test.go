@@ -7,6 +7,7 @@ import (
 
 	"eagg/internal/algebra"
 	"eagg/internal/core"
+	"eagg/internal/plan"
 	"eagg/internal/randquery"
 )
 
@@ -98,6 +99,38 @@ func FuzzExecEquivalence(f *testing.F) {
 			t.Fatalf("parallel exec (workers=%d): %v", workers, err)
 		}
 		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v workers=%d", seed, n, opts.Algorithm, workers), seqTab, parTab)
+
+		// -phys arm: the sort-based physical layer. The sort/auto plan
+		// (annotated with merge keys, sort/reuse decisions and
+		// contractual orders) must execute bit-identically to the same
+		// logical plan stripped to the hash layer, and bag-equal to the
+		// canonical result; its parallel execution must be bit-identical
+		// to its sequential one.
+		physMode := []core.PhysMode{core.PhysModeSort, core.PhysModeAuto}[int(algPick/8)%2]
+		popt := opts
+		popt.Phys = physMode
+		pres, err := core.Optimize(q, popt)
+		if err != nil {
+			t.Fatalf("phys optimize (%v): %v", physMode, err)
+		}
+		physTab, err := ExecTablesOpts(q, pres.Plan, tables, ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("phys exec (%v): %v\nplan:\n%v", physMode, err, pres.Plan.StringWithQuery(q))
+		}
+		strippedTab, err := ExecTablesOpts(q, plan.StripPhys(pres.Plan), tables, ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("phys stripped exec: %v", err)
+		}
+		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v phys=%v sort≡hash", seed, n, opts.Algorithm, physMode), strippedTab, physTab)
+		if !algebra.EqualBags(want, physTab.Rel(), attrs) {
+			t.Fatalf("seed=%d n=%d %v phys=%v: ≢ Canonical\nplan:\n%v",
+				seed, n, opts.Algorithm, physMode, pres.Plan.StringWithQuery(q))
+		}
+		physPar, err := ExecTablesOpts(q, pres.Plan, tables, popts)
+		if err != nil {
+			t.Fatalf("phys parallel exec: %v", err)
+		}
+		identicalTables(t, fmt.Sprintf("seed=%d n=%d phys=%v workers=%d", seed, n, physMode, workers), physTab, physPar)
 
 		// Feedback arm: the cardinality feedback loop may change the
 		// chosen plan, never the answer — every re-optimized plan must

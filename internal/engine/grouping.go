@@ -96,9 +96,34 @@ func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 		}
 	}
 
-	out.tab = e.ex.HashGroup(tab, gNames, inner)
+	res, err := e.groupTable(tab, gNames, inner, p)
+	if err != nil {
+		return nil, err
+	}
+	out.tab = res
 	out.weights = []weight{{attr: wNew, cover: s}}
 	return out, nil
+}
+
+// groupTable runs one aggregation on the physical layer the plan node
+// selected: typed hash aggregation, or sort-group aggregation that
+// either streams over the input's existing order (SortL false — the
+// eliminated sort, verified against the covering order prefix the
+// optimizer recorded in p.MergeL) or sorts by the grouping key first.
+// Both layers emit the identical output sequence.
+func (e *executor) groupTable(tab *algebra.Table, gNames []string, f aggfn.Vector, p *plan.Plan) (*algebra.Table, error) {
+	if p != nil && p.Phys == plan.PhysSortMerge {
+		var verify []int
+		if !p.SortL {
+			for _, a := range p.MergeL {
+				if slot, ok := tab.Schema.Slot(e.q.AttrNames[a]); ok {
+					verify = append(verify, slot)
+				}
+			}
+		}
+		return e.ex.SortGroup(tab, gNames, f, p.SortL, verify)
+	}
+	return e.ex.HashGroup(tab, gNames, f), nil
 }
 
 // collapse turns a raw aggregate into a partial state, appending the
@@ -179,8 +204,9 @@ func (e *binder) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner 
 // finalGroup evaluates the query's final grouping (or its projection
 // replacement — results are identical when G holds a key of a
 // duplicate-free input, which is exactly when the optimizer chooses the
-// projection).
-func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64) (*compiled, error) {
+// projection). p is the plan node selecting the physical layer; nil (the
+// projection path) aggregates on the hash layer.
+func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64, p *plan.Plan) (*compiled, error) {
 	tab := child.tab
 	final := aggfn.Vector{}
 	srcs := e.q.AggSourceRels()
@@ -206,7 +232,10 @@ func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64) (*compiled,
 		final = append(final, fa)
 	}
 	gNames := e.attrNames(groupBy)
-	res := e.ex.HashGroup(tab, gNames, final)
+	res, err := e.groupTable(tab, gNames, final, p)
+	if err != nil {
+		return nil, err
+	}
 	return &compiled{tab: res, aggs: make([]aggState, len(e.q.Aggregates))}, nil
 }
 

@@ -1,0 +1,201 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/engine"
+	"eagg/internal/plan"
+	"eagg/internal/randquery"
+	"eagg/internal/tpch"
+)
+
+// physModes are the two modes that activate the sort-based layer.
+var physModes = []core.PhysMode{core.PhysModeSort, core.PhysModeAuto}
+
+// TestSortPhysTPCHDifferential is the TPC-H arm of the differential
+// coverage: for every query and sort mode, the sort-annotated plan must
+// execute bit-identically to the same logical plan stripped to the hash
+// layer (the sort operators emit the hash-canonical sequence), and
+// bag-equal to the canonical evaluation and the frozen nested-loop
+// reference executor.
+func TestSortPhysTPCHDifferential(t *testing.T) {
+	for name, q := range tpch.Queries() {
+		tables := tpch.GenerateTables(rand.New(rand.NewSource(3)), q, tpch.ExecutionScale(name))
+		data := engine.Data{}
+		for id, tab := range tables {
+			data[id] = tab.Rel()
+		}
+		attrs := engine.OutputAttrs(q)
+		want, err := engine.CanonicalTables(q, tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range physModes {
+			for _, alg := range []core.Algorithm{core.AlgEAPrune, core.AlgH1, core.AlgDPhyp} {
+				label := fmt.Sprintf("%s/%v/%v", name, mode, alg)
+				res, err := core.Optimize(q, core.Options{Algorithm: alg, Phys: mode})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				got, err := engine.ExecTables(q, res.Plan, tables)
+				if err != nil {
+					t.Fatalf("%s exec: %v\nplan:\n%v", label, err, res.Plan.StringWithQuery(q))
+				}
+				stripped, err := engine.ExecTables(q, plan.StripPhys(res.Plan), tables)
+				if err != nil {
+					t.Fatalf("%s stripped exec: %v", label, err)
+				}
+				identicalTables(t, label+" sort≡hash(same plan)", stripped, got)
+				if !algebra.EqualBags(want.Rel(), got.Rel(), attrs) {
+					t.Fatalf("%s: result differs from canonical\nplan:\n%v", label, res.Plan.StringWithQuery(q))
+				}
+				ref, err := engine.ExecRef(q, res.Plan, data)
+				if err != nil {
+					t.Fatalf("%s ref exec: %v", label, err)
+				}
+				if !algebra.EqualBags(ref, got.Rel(), attrs) {
+					t.Fatalf("%s: slot sort path differs from nested-loop reference", label)
+				}
+			}
+		}
+	}
+}
+
+// TestSortPhysRandomDifferential fans the same differential over random
+// queries and data: annotated ≡ stripped bit for bit, ≡ canonical as
+// bags.
+func TestSortPhysRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		q := randquery.Generate(rng, randquery.Params{Relations: n})
+		data := engine.RandomData(rng, q, 8)
+		tables := data.Tables()
+		attrs := engine.OutputAttrs(q)
+		want, err := engine.CanonicalTables(q, tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := physModes[trial%len(physModes)]
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Phys: mode})
+		if err != nil {
+			t.Fatalf("trial=%d %v: %v", trial, mode, err)
+		}
+		got, err := engine.ExecTables(q, res.Plan, tables)
+		if err != nil {
+			t.Fatalf("trial=%d %v exec: %v\nplan:\n%v", trial, mode, err, res.Plan.StringWithQuery(q))
+		}
+		stripped, err := engine.ExecTables(q, plan.StripPhys(res.Plan), tables)
+		if err != nil {
+			t.Fatalf("trial=%d stripped: %v", trial, err)
+		}
+		identicalTables(t, fmt.Sprintf("trial=%d %v", trial, mode), stripped, got)
+		if !algebra.EqualBags(want.Rel(), got.Rel(), attrs) {
+			t.Fatalf("trial=%d %v: ≢ canonical\nplan:\n%v", trial, mode, res.Plan.StringWithQuery(q))
+		}
+	}
+}
+
+// TestSortParallelBitIdentity pins workers 1 vs 8 bit-identity for the
+// parallel sort path: the forced small morsel size pushes the parallel
+// machinery (chunked sorts, merge rounds, run-parallel aggregation) onto
+// every operator even at test sizes.
+func TestSortParallelBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		q := randquery.Generate(rng, randquery.Params{Relations: n})
+		tables := engine.RandomData(rng, q, 12).Tables()
+		mode := physModes[trial%len(physModes)]
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgH1, Phys: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := engine.ExecTablesOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial=%d sequential: %v", trial, err)
+		}
+		par, err := engine.ExecTablesOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 8, MorselSize: 3})
+		if err != nil {
+			t.Fatalf("trial=%d parallel: %v", trial, err)
+		}
+		identicalTables(t, fmt.Sprintf("trial=%d %v workers 1 vs 8", trial, mode), seq, par)
+	}
+	// The TPC-H queries at execution scale cross the parallel cutoff
+	// with adaptive morsels too.
+	for name, q := range tpch.Queries() {
+		tables := tpch.GenerateTables(rand.New(rand.NewSource(4)), q, tpch.ExecutionScale(name))
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Phys: core.PhysModeSort})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := engine.ExecTablesOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := engine.ExecTablesOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalTables(t, name+" sort workers 1 vs 8", seq, par)
+	}
+}
+
+// TestAutoEliminatesSortOnTPCH pins the acceptance scenario: under
+// -phys auto, at least Q3 ends up with a sort-merge join whose sort is
+// eliminated (the orders scan order is reused), the plan reports
+// eliminated sorts, and the results stay identical to the hash plan and
+// the canonical evaluation.
+func TestAutoEliminatesSortOnTPCH(t *testing.T) {
+	q := tpch.Queries()["Q3"]
+	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune, Phys: core.PhysModeAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, eliminated := res.Plan.SortStats()
+	if eliminated == 0 {
+		t.Fatalf("Q3 auto plan eliminated no sorts:\n%v", res.Plan.StringWithQuery(q))
+	}
+	foundMergeElim := false
+	var walk func(p *plan.Plan)
+	walk = func(p *plan.Plan) {
+		if p == nil {
+			return
+		}
+		if p.Kind == plan.NodeOp && p.Phys == plan.PhysSortMerge && (!p.SortL || !p.SortR) {
+			foundMergeElim = true
+		}
+		walk(p.Left)
+		walk(p.Right)
+	}
+	walk(res.Plan)
+	if !foundMergeElim {
+		t.Fatalf("Q3 auto plan has no sort-merge join with an eliminated sort:\n%v", res.Plan.StringWithQuery(q))
+	}
+
+	tables := tpch.GenerateTables(rand.New(rand.NewSource(2)), q, tpch.ExecutionScale("Q3"))
+	got, err := engine.ExecTables(q, res.Plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashRes, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashTab, err := engine.ExecTables(q, hashRes.Plan, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.CanonicalTables(q, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := engine.OutputAttrs(q)
+	if !algebra.EqualBags(hashTab.Rel(), got.Rel(), attrs) || !algebra.EqualBags(want.Rel(), got.Rel(), attrs) {
+		t.Fatal("auto plan result differs from hash plan / canonical")
+	}
+}

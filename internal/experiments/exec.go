@@ -42,6 +42,11 @@ type ExecRow struct {
 	// RowsPerSec is the runtime throughput: intermediate + final rows
 	// produced per second of execution.
 	RowsPerSec float64
+	// SortsPerformed/SortsEliminated count the sorts of the plan's
+	// sort-based operators: inputs that had to be sorted versus inputs
+	// whose existing order was reused (the interesting-order win). Both
+	// zero for pure hash plans.
+	SortsPerformed, SortsEliminated int
 	// Match reports result equality against the canonical evaluation.
 	Match bool
 }
@@ -50,7 +55,8 @@ type ExecRow struct {
 // canonical evaluation time plus one row per optimized plan.
 type ExecReport struct {
 	Factor      float64
-	Workers     int // execution workers (1 = sequential reference)
+	Workers     int           // execution workers (1 = sequential reference)
+	Phys        core.PhysMode // physical algebra the plans were built for
 	CanonMillis map[string]float64
 	Rows        []ExecRow
 }
@@ -109,13 +115,13 @@ func execSetup(cfg Config, factor float64, name string) (q *query.Query, data en
 func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 	cfg = cfg.Defaults()
 	execOpts := engine.ExecOptions{Workers: cfg.Workers}
-	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, CanonMillis: map[string]float64{}}
+	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, Phys: cfg.Phys, CanonMillis: map[string]float64{}}
 	for _, name := range execQueryNames(names) {
 		q, data, wantRel, attrs, canonMillis := execSetup(cfg, factor, name)
 		rep.CanonMillis[name] = canonMillis
 
 		for _, alg := range execAlgs {
-			res := mustOptimize(q, alg.alg, 0, cfg.Workers)
+			res := mustOptimizePhys(q, alg.alg, 0, cfg.Workers, cfg.Phys)
 			start := time.Now()
 			tab, stats, err := engine.ExecProfiledOpts(q, res.Plan, data, execOpts)
 			if err != nil {
@@ -139,6 +145,7 @@ func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 				row.WorstOpQError = w.QError()
 				row.WorstOp = w.Key.Describe(q)
 			}
+			row.SortsPerformed, row.SortsEliminated = res.Plan.SortStats()
 			if secs > 0 {
 				row.RowsPerSec = stats.ActualCout / secs
 			}
@@ -164,9 +171,9 @@ func (r *ExecReport) AllMatch() bool {
 // plus the worst single operator (value and the operator it occurs at).
 func (r *ExecReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g, workers %d)\n", r.Factor, r.Workers)
-	fmt.Fprintf(&b, "%-6s %-15s %4s %10s %10s %12s %12s %12s %8s %9s %6s  %s\n",
-		"query", "plan", "Γ", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "worst-op", "match", "worst operator")
+	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g, workers %d, phys %v)\n", r.Factor, r.Workers, r.Phys)
+	fmt.Fprintf(&b, "%-6s %-15s %4s %7s %10s %10s %12s %12s %12s %8s %9s %6s  %s\n",
+		"query", "plan", "Γ", "sorts", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "worst-op", "match", "worst operator")
 	var names []string
 	seen := map[string]bool{}
 	for _, row := range r.Rows {
@@ -191,12 +198,18 @@ func (r *ExecReport) Format() string {
 				qerr = fmt.Sprintf("%8s", "-")
 				worst = fmt.Sprintf("%9s", "-")
 			}
-			fmt.Fprintf(&b, "%-6s %-15s %4d %10.2f %10d %12.0f %12.0f %12.0f %s %s %6s  %s\n",
-				row.Query, row.Plan, row.Groupings, row.Millis, row.ResultRows,
+			// sorts column: performed/eliminated on the sort-based
+			// layer; "-" for pure hash plans.
+			sorts := "-"
+			if row.SortsPerformed+row.SortsEliminated > 0 {
+				sorts = fmt.Sprintf("%d/%d", row.SortsPerformed, row.SortsEliminated)
+			}
+			fmt.Fprintf(&b, "%-6s %-15s %4d %7s %10.2f %10d %12.0f %12.0f %12.0f %s %s %6s  %s\n",
+				row.Query, row.Plan, row.Groupings, sorts, row.Millis, row.ResultRows,
 				row.ActualCout, row.EstimatedCout, row.RowsPerSec, qerr, worst, match, row.WorstOp)
 		}
-		fmt.Fprintf(&b, "%-6s %-15s %4s %10.2f   (canonical evaluation of the initial tree)\n",
-			name, "canonical", "-", r.CanonMillis[name])
+		fmt.Fprintf(&b, "%-6s %-15s %4s %7s %10.2f   (canonical evaluation of the initial tree)\n",
+			name, "canonical", "-", "-", r.CanonMillis[name])
 	}
 	return b.String()
 }

@@ -39,6 +39,10 @@ type Config struct {
 	// parallelism is explicitly requested. Results are bit-identical
 	// for every value; only the runtime figures change.
 	Workers int
+	// Phys selects the physical algebra for the -exec and -feedback
+	// modes (hash, sort-based, or both competing per plan class). The
+	// zero value keeps the hash layer, the paper's conditions.
+	Phys core.PhysMode
 }
 
 // Defaults fills unset fields.
@@ -76,7 +80,11 @@ func queriesFor(cfg Config, n int) []*query.Query {
 }
 
 func mustOptimize(q *query.Query, alg core.Algorithm, f float64, workers int) *core.Result {
-	res, err := core.Optimize(q, core.Options{Algorithm: alg, F: f, Workers: workers})
+	return mustOptimizePhys(q, alg, f, workers, core.PhysModeHash)
+}
+
+func mustOptimizePhys(q *query.Query, alg core.Algorithm, f float64, workers int, phys core.PhysMode) *core.Result {
+	res, err := core.Optimize(q, core.Options{Algorithm: alg, F: f, Workers: workers, Phys: phys})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v failed: %v", alg, err))
 	}

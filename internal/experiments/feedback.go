@@ -60,7 +60,7 @@ func FeedbackEval(cfg Config, factor float64, names []string) *FeedbackReport {
 		for _, alg := range execAlgs {
 			start := time.Now()
 			res, err := engine.Reoptimize(q, data, engine.FeedbackOptions{
-				Opt:  core.Options{Algorithm: alg.alg, Workers: cfg.Workers},
+				Opt:  core.Options{Algorithm: alg.alg, Workers: cfg.Workers, Phys: cfg.Phys},
 				Exec: engine.ExecOptions{Workers: cfg.Workers},
 			})
 			if err != nil {

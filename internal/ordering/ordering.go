@@ -1,0 +1,363 @@
+// Package ordering implements the order property of the sort-based
+// physical layer (Selinger-style interesting orders; Neumann & Moerkotte,
+// ICDE 2004): a physical row order as an attribute sequence, a canonical
+// representation usable as a DP plan-class key, and the inference rules
+// that decide when an existing order makes a sort unnecessary.
+//
+// An Order is contractual: it describes the sequence rows are genuinely
+// in, not a hint. Orders originate at base relations whose scan order was
+// declared (query.SetScanOrder) and propagate only through operators that
+// preserve their input sequence — which, in this runtime, is every
+// sort-based operator (they emit the hash-canonical output sequence, see
+// internal/algebra/sort.go) and nothing else the optimizer relies on. The
+// hash layer physically happens to preserve probe order too, but the
+// optimizer deliberately claims nothing for it: claiming less than
+// reality is sound, and it is exactly what makes the sort-based layer
+// competitive where orders matter.
+//
+// Two different relations between attributes feed the rules, and they
+// must not be conflated:
+//
+//   - value equivalence (a ↔ b from an inner equi-join a = b applied
+//     inside the subplan): rows carry equal values, so "sorted by a"
+//     and "sorted by b" are the same physical fact. Only this relation
+//     may substitute attributes in an order.
+//   - functional dependency (key → attributes, plus the equivalences):
+//     equal determinant implies equal dependent, with no monotonicity.
+//     Sufficient for grouping ("rows with equal G are consecutive") but
+//     never for sorting (sorted by o_orderkey says nothing about the
+//     sequence of o_orderdate values).
+package ordering
+
+import (
+	"strconv"
+	"strings"
+
+	"eagg/internal/bitset"
+	"eagg/internal/fd"
+	"eagg/internal/query"
+)
+
+// Order is a physical row order: attribute ids in significance order,
+// ascending under the runtime's value comparison. nil/empty means "no
+// known order".
+type Order []int
+
+// IsEmpty reports whether the order carries no information.
+func (o Order) IsEmpty() bool { return len(o) == 0 }
+
+// Key returns the canonical representation of the order, usable as (part
+// of) a DP plan-class key. The empty order has the empty key.
+func (o Order) Key() string {
+	if len(o) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, a := range o {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(a))
+	}
+	return b.String()
+}
+
+// Equal reports attribute-wise equality.
+func (o Order) Equal(p Order) bool {
+	if len(o) != len(p) {
+		return false
+	}
+	for i := range o {
+		if o[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether p is a prefix of o — the plain (equivalence-
+// free) "o is at least as strong as p" test the dominance pruning uses.
+func (o Order) HasPrefix(p Order) bool {
+	if len(p) > len(o) {
+		return false
+	}
+	for i := range p {
+		if o[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Info derives order-inference facts for one query. It is built once per
+// optimization (or estimator clone) and caches the per-relation-set
+// equivalence classes and functional dependencies; all cached values are
+// pure functions of the query, so clones stay numerically identical.
+// Info is not safe for concurrent use — share the query, clone the Info.
+type Info struct {
+	q *query.Query
+
+	// innerPairs holds every attribute pair of an inner equi-join
+	// predicate with the relation set the pair spans. A pair is a value
+	// equivalence inside any subplan covering its relations: DP plans
+	// over S apply every predicate internal to S.
+	innerPairs []attrPair
+
+	equivs map[bitset.Set64]*unionFind
+	fds    map[bitset.Set64]*fd.Set
+}
+
+type attrPair struct {
+	a, b int
+	rels bitset.Set64
+}
+
+// NewInfo analyses the query once.
+func NewInfo(q *query.Query) *Info {
+	in := &Info{
+		q:      q,
+		equivs: map[bitset.Set64]*unionFind{},
+		fds:    map[bitset.Set64]*fd.Set{},
+	}
+	var walk func(n *query.OpNode)
+	walk = func(n *query.OpNode) {
+		if n == nil || n.Kind == query.KindScan {
+			return
+		}
+		// Only inner-join predicates are value equivalences: outer-join
+		// padding breaks a = b with one side NULL, and the left-only
+		// operators drop the right attributes entirely.
+		if n.Kind == query.KindJoin {
+			for i := range n.Pred.Left {
+				a, b := n.Pred.Left[i], n.Pred.Right[i]
+				in.innerPairs = append(in.innerPairs, attrPair{
+					a: a, b: b,
+					rels: bitset.Single64(q.AttrRel[a]).Union(bitset.Single64(q.AttrRel[b])),
+				})
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(q.Root)
+	return in
+}
+
+// Clone returns an Info sharing the immutable query analysis but owning
+// private caches, for concurrent optimizer workers.
+func (in *Info) Clone() *Info {
+	return &Info{
+		q:          in.q,
+		innerPairs: in.innerPairs,
+		equivs:     map[bitset.Set64]*unionFind{},
+		fds:        map[bitset.Set64]*fd.Set{},
+	}
+}
+
+// ScanOrder returns the declared physical order of a base relation.
+func (in *Info) ScanOrder(rel int) Order {
+	return Order(in.q.Relations[rel].Ordered)
+}
+
+// equivFor returns the value-equivalence classes valid inside a subplan
+// over rels: the union-find over inner-join pairs internal to the set.
+func (in *Info) equivFor(rels bitset.Set64) *unionFind {
+	if uf, ok := in.equivs[rels]; ok {
+		return uf
+	}
+	uf := newUnionFind(len(in.q.AttrNames))
+	for _, p := range in.innerPairs {
+		if p.rels.SubsetOf(rels) {
+			uf.union(p.a, p.b)
+		}
+	}
+	in.equivs[rels] = uf
+	return uf
+}
+
+// fdsFor returns the functional dependencies valid inside a subplan over
+// rels: candidate keys of the covered relations plus the internal inner
+// equi-join equivalences. Both families survive outer-join padding and
+// grouping under the NULL-equality convention of Sec. 2.3 (padded rows
+// are NULL on both sides of every internal dependency; grouping
+// representatives carry the attribute combinations of real rows).
+func (in *Info) fdsFor(rels bitset.Set64) *fd.Set {
+	if s, ok := in.fds[rels]; ok {
+		return s
+	}
+	s := &fd.Set{}
+	rels.ForEach(func(r int) {
+		for _, k := range in.q.Relations[r].Keys {
+			s.Add(k, in.q.Relations[r].Attrs)
+		}
+	})
+	for _, p := range in.innerPairs {
+		if p.rels.SubsetOf(rels) {
+			s.AddEquiv(p.a, p.b)
+		}
+	}
+	in.fds[rels] = s
+	return s
+}
+
+// CoversKeys reports whether an input order makes sorting by the given
+// key sequence unnecessary, and if so under which permutation of the
+// keys. rels is the relation set of the input subplan (its value
+// equivalences may substitute attributes). keys is matched greedily
+// against the order prefix: position i of the order must be value-
+// equivalent to some not-yet-used key; the returned perm maps merge
+// position → index into keys. ok is false when no permutation works.
+func (in *Info) CoversKeys(rels bitset.Set64, ord Order, keys []int) (perm []int, ok bool) {
+	if len(keys) == 0 {
+		return nil, true
+	}
+	if len(ord) < len(keys) {
+		return nil, false
+	}
+	uf := in.equivFor(rels)
+	used := make([]bool, len(keys))
+	perm = make([]int, 0, len(keys))
+	for pos := 0; pos < len(keys); pos++ {
+		found := -1
+		for j, k := range keys {
+			if !used[j] && uf.same(ord[pos], k) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, false
+		}
+		used[found] = true
+		perm = append(perm, found)
+	}
+	return perm, true
+}
+
+// CoversKeysInOrder reports whether the order covers exactly the given
+// key sequence — no permutation freedom, used for the second input of a
+// merge join once the first input's match has fixed the pair order.
+func (in *Info) CoversKeysInOrder(rels bitset.Set64, ord Order, keys []int) bool {
+	if len(keys) == 0 {
+		return true
+	}
+	if len(ord) < len(keys) {
+		return false
+	}
+	uf := in.equivFor(rels)
+	for i, k := range keys {
+		if !uf.same(ord[i], k) {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversGrouping reports whether an input order makes sorting for a
+// grouping on groupBy unnecessary: rows with equal groupBy values are
+// already consecutive. That holds iff some prefix P of the order
+// satisfies, under the dependencies valid in the subplan,
+//
+//	closure(P) ⊇ G  (equal P ⇒ equal G: a P-run never spans two groups)
+//	P ⊆ closure(G)  (equal G ⇒ equal P: one group never splits across runs)
+//
+// so G-groups are exactly P-runs and a streaming aggregation over the
+// existing sequence produces exactly the hash aggregation's groups.
+// The covering prefix is returned so the runtime can verify the
+// underlying order claim while streaming (the runs argument is only as
+// good as the scan-order declaration it rests on). Grouping on ∅ (one
+// global group) is trivially covered, with an empty prefix.
+func (in *Info) CoversGrouping(rels bitset.Set64, ord Order, groupBy bitset.Set64) (prefix Order, ok bool) {
+	if groupBy.IsEmpty() {
+		return nil, true
+	}
+	if len(ord) == 0 {
+		return nil, false
+	}
+	fds := in.fdsFor(rels)
+	gClosure := fds.Closure(groupBy)
+	var p bitset.Set64
+	for i, a := range ord {
+		if !gClosure.Contains(a) {
+			return nil, false // prefix stops being contained in closure(G)
+		}
+		p = p.Add(a)
+		if groupBy.SubsetOf(fds.Closure(p)) {
+			return append(Order(nil), ord[:i+1]...), true
+		}
+	}
+	return nil, false
+}
+
+// GroupOutputOrder maps an input order through a grouping on groupBy:
+// the output (one representative row per group, in first-encounter
+// order) is sorted by every input-order prefix whose attributes survive
+// — an attribute survives if it is value-equivalent to a grouping
+// attribute (equal values, so the grouping column carries the same
+// sequence). The mapped order stops at the first non-survivor.
+func (in *Info) GroupOutputOrder(rels bitset.Set64, ord Order, groupBy bitset.Set64) Order {
+	if len(ord) == 0 {
+		return nil
+	}
+	uf := in.equivFor(rels)
+	var out Order
+	for _, a := range ord {
+		mapped := -1
+		if groupBy.Contains(a) {
+			mapped = a
+		} else {
+			groupBy.ForEach(func(g int) {
+				if mapped < 0 && uf.same(a, g) {
+					mapped = g
+				}
+			})
+		}
+		if mapped < 0 {
+			break
+		}
+		out = append(out, mapped)
+	}
+	return out
+}
+
+// unionFind is a tiny union-find over attribute ids.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(a int) int {
+	for uf.parent[a] != a {
+		uf.parent[a] = uf.parent[uf.parent[a]]
+		a = uf.parent[a]
+	}
+	return a
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		// Deterministic root choice: the smaller id wins.
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		uf.parent[rb] = ra
+	}
+}
+
+func (uf *unionFind) same(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a < 0 || b < 0 || a >= len(uf.parent) || b >= len(uf.parent) {
+		return false
+	}
+	return uf.find(a) == uf.find(b)
+}

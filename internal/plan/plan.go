@@ -29,6 +29,23 @@ const (
 	NodeProject
 )
 
+// PhysKind selects the physical algebra a plan node executes on. The
+// zero value is the hash layer, so plans built without the sort-based
+// physical layer (the default optimization mode) are unchanged.
+type PhysKind int
+
+const (
+	// PhysHash is the build/probe hash layer (hash join, typed hash
+	// aggregation) — the default.
+	PhysHash PhysKind = iota
+	// PhysSortMerge is the sort-based layer: streaming sort-merge join
+	// (inner/semi/anti/leftouter) and sort-group aggregation. Inputs
+	// whose contractual order already covers the requirement skip their
+	// sort (SortL/SortR false); the output sequence is bit-identical to
+	// the hash layer's either way.
+	PhysSortMerge
+)
+
 // Plan is an immutable plan node. Plans share subtrees freely (the DP
 // table interleaves them), so nodes are never mutated after construction.
 type Plan struct {
@@ -67,6 +84,37 @@ type Plan struct {
 	// feedback loop records and looks up measured cardinalities under
 	// (internal/cost.KeyOf).
 	GroupsBelow bitset.Set64
+
+	// Physical properties, filled by the estimator only when the
+	// optimizer runs with the sort-based physical layer enabled
+	// (core.Options.Phys != PhysModeHash); plans built in the default
+	// mode carry the zero values and behave exactly as before.
+
+	// Phys is the physical algebra of this operator (NodeOp, NodeGroup).
+	Phys PhysKind
+	// SortL/SortR report that the sort-based operator must sort its
+	// left/right input (NodeGroup uses SortL for its only input). False
+	// on a PhysSortMerge node means the input's contractual order
+	// already covers the requirement — the sort is eliminated.
+	SortL, SortR bool
+	// MergeL/MergeR are the equi-join attribute ids in merge-comparison
+	// order (aligned pairs) on PhysSortMerge NodeOp nodes. The optimizer
+	// permutes the predicate pairs so that an input's existing order is
+	// matched where possible; the executor merges in exactly this order.
+	// On a PhysSortMerge NodeGroup with SortL false, MergeL instead
+	// holds the covering order prefix whose non-decreasingness the
+	// runtime verifies before streaming runs.
+	MergeL, MergeR []int
+	// Ord is the contractual physical output order (ordering.Order as
+	// attribute ids). It originates at declared scan orders and
+	// propagates only through the sort-based layer; nil means no claim.
+	Ord []int
+	// PhysCost ranks plans in sort/auto optimization modes: the C_out
+	// cost plus every operator's physical reorganization overhead (hash
+	// operators pay the rows they hash, sort operators the rows of each
+	// sort actually performed; reused orders are free). Zero in the
+	// default hash mode, where plain Cost keeps ranking plans.
+	PhysCost float64
 
 	// Profile caches the distinct-count estimates of the
 	// grouping-relevant attributes for the dominance test of Sec. 4.6
@@ -150,13 +198,13 @@ func (p *Plan) render(b *strings.Builder, depth int, q *query.Query) {
 		}
 		fmt.Fprintf(b, "%sscan %s (card=%.6g)\n", indent, name, p.Card)
 	case NodeOp:
-		fmt.Fprintf(b, "%s%v %v (card=%.6g cost=%.6g)\n", indent, p.Op, p.Rels, p.Card, p.Cost)
+		fmt.Fprintf(b, "%s%v%s %v (card=%.6g cost=%.6g)\n", indent, p.Op, p.physTag(), p.Rels, p.Card, p.Cost)
 		p.Left.render(b, depth+1, q)
 		p.Right.render(b, depth+1, q)
 	case NodeGroup:
-		label := "Γ"
+		label := "Γ" + p.physTag()
 		if p.Final {
-			label = "Γ(final)"
+			label = "Γ(final)" + p.physTag()
 		}
 		attrs := p.GroupBy.String()
 		if q != nil {
@@ -184,10 +232,15 @@ func Equal(a, b *Plan) bool {
 	if a.Kind != b.Kind || a.Rels != b.Rels || a.Rel != b.Rel || a.Op != b.Op ||
 		a.GroupBy != b.GroupBy || a.Final != b.Final ||
 		a.Card != b.Card || a.Cost != b.Cost || a.DupFree != b.DupFree ||
-		a.GroupsBelow != b.GroupsBelow {
+		a.GroupsBelow != b.GroupsBelow ||
+		a.Phys != b.Phys || a.SortL != b.SortL || a.SortR != b.SortR ||
+		a.PhysCost != b.PhysCost {
 		return false
 	}
 	if len(a.Keys) != len(b.Keys) || len(a.Preds) != len(b.Preds) {
+		return false
+	}
+	if !equalInts(a.MergeL, b.MergeL) || !equalInts(a.MergeR, b.MergeR) || !equalInts(a.Ord, b.Ord) {
 		return false
 	}
 	for i := range a.Keys {
@@ -203,6 +256,18 @@ func Equal(a, b *Plan) bool {
 	return Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
 }
 
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Signature returns a canonical string identifying the plan's structure
 // (used by tests to compare plans irrespective of pointer identity).
 func (p *Plan) Signature() string {
@@ -213,11 +278,77 @@ func (p *Plan) Signature() string {
 	case NodeScan:
 		return fmt.Sprintf("R%d", p.Rel)
 	case NodeOp:
-		return fmt.Sprintf("(%s %v %s)", p.Left.Signature(), p.Op, p.Right.Signature())
+		return fmt.Sprintf("(%s %v%s %s)", p.Left.Signature(), p.Op, p.physTag(), p.Right.Signature())
 	case NodeGroup:
-		return fmt.Sprintf("Γ%v[%s]", p.GroupBy, p.Left.Signature())
+		return fmt.Sprintf("Γ%s%v[%s]", p.physTag(), p.GroupBy, p.Left.Signature())
 	case NodeProject:
 		return fmt.Sprintf("Π[%s]", p.Left.Signature())
 	}
 	return "?"
+}
+
+// physTag renders the physical choice into signatures and trees: empty
+// for hash (keeping default-mode signatures stable), "∘sort" for the
+// sort-based layer with per-input sort/reuse marks.
+func (p *Plan) physTag() string {
+	if p.Phys != PhysSortMerge {
+		return ""
+	}
+	mark := func(need bool) byte {
+		if need {
+			return 's' // sort performed
+		}
+		return 'o' // order reused, sort eliminated
+	}
+	if p.Kind == NodeGroup {
+		return fmt.Sprintf("∘sort[%c]", mark(p.SortL))
+	}
+	return fmt.Sprintf("∘sort[%c%c]", mark(p.SortL), mark(p.SortR))
+}
+
+// SortStats counts the sorts of the plan's sort-based operators:
+// performed (the input had to be sorted) versus eliminated (an existing
+// order was reused). Hash operators contribute nothing.
+func (p *Plan) SortStats() (performed, eliminated int) {
+	if p == nil {
+		return 0, 0
+	}
+	lp, le := p.Left.SortStats()
+	rp, re := p.Right.SortStats()
+	performed, eliminated = lp+rp, le+re
+	if p.Phys == PhysSortMerge {
+		count := func(need bool) {
+			if need {
+				performed++
+			} else {
+				eliminated++
+			}
+		}
+		count(p.SortL)
+		if p.Kind == NodeOp {
+			count(p.SortR)
+		}
+	}
+	return performed, eliminated
+}
+
+// StripPhys returns a copy of the plan with every physical annotation
+// removed — the same logical tree on the pure hash layer. Executing the
+// stripped plan is the differential oracle for the sort-based layer: the
+// sort operators emit the hash-canonical output sequence, so results
+// must be bit-identical, not merely bag-equal.
+func StripPhys(p *Plan) *Plan {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	c.Phys = PhysHash
+	c.SortL, c.SortR = false, false
+	c.MergeL, c.MergeR = nil, nil
+	c.Ord = nil
+	c.PhysCost = 0
+	c.Profile = nil
+	c.Left = StripPhys(p.Left)
+	c.Right = StripPhys(p.Right)
+	return &c
 }

@@ -77,6 +77,14 @@ type Relation struct {
 	// least one key is duplicate-free (SQL primary key / uniqueness
 	// remark in Sec. 3.2).
 	Keys []bitset.Set64
+	// Ordered declares the physical row order the relation's data
+	// arrives in: attribute ids in significance order, ascending under
+	// the runtime's value comparison with NULLs first. It is a promise
+	// about the data, not a hint — the sort-based physical layer reuses
+	// the order to skip sorts, and the merge runtime verifies it while
+	// streaming (a violated declaration is an execution error, never a
+	// wrong result). Empty means "no known order".
+	Ordered []int
 }
 
 // Predicate is an equi-join predicate ⋀ Left[i] = Right[i] between two
@@ -160,6 +168,12 @@ type Query struct {
 	HasGrouping bool
 
 	attrByName map[string]int
+	// err records the first construction error (relation/attribute
+	// capacity overflow). Construction methods keep returning ids so
+	// fluent query building does not crash mid-way; Validate surfaces
+	// the error, so core.Optimize and the eagg facade report it instead
+	// of panicking.
+	err error
 }
 
 // New returns an empty query.
@@ -167,10 +181,27 @@ func New() *Query {
 	return &Query{attrByName: map[string]int{}}
 }
 
-// AddRelation registers a relation and returns its id.
+// fail records the first construction error; later errors are dropped
+// (the first one names the root cause).
+func (q *Query) fail(err error) {
+	if q.err == nil {
+		q.err = err
+	}
+}
+
+// Err returns the first construction error (capacity overflow), if any.
+// Validate reports it too, so most callers never need this directly.
+func (q *Query) Err() error { return q.err }
+
+// AddRelation registers a relation and returns its id. Relation ids are
+// bitset positions, so a query holds at most 63 relations; adding more
+// records an error (surfaced by Validate, core.Optimize and the eagg
+// facade) and returns the last valid id so fluent construction can
+// continue without crashing.
 func (q *Query) AddRelation(name string, card float64) int {
 	if len(q.Relations) >= 63 {
-		panic("query: too many relations (max 63)")
+		q.fail(fmt.Errorf("query: too many relations (relation %q exceeds the max of 63)", name))
+		return len(q.Relations) - 1
 	}
 	q.Relations = append(q.Relations, Relation{Name: name, Card: card})
 	return len(q.Relations) - 1
@@ -178,10 +209,13 @@ func (q *Query) AddRelation(name string, card float64) int {
 
 // AddAttr registers an attribute of a relation with a distinct-value count
 // and returns its id. Attribute names are query-global (qualify them like
-// "s.nationkey" when needed).
+// "s.nationkey" when needed). Attribute ids are bitset positions, capped
+// at 64 per query; overflow records an error (surfaced by Validate) and
+// returns the last valid id instead of panicking.
 func (q *Query) AddAttr(rel int, name string, distinct float64) int {
 	if len(q.AttrNames) >= 64 {
-		panic("query: too many attributes (max 64 registered attributes per query)")
+		q.fail(fmt.Errorf("query: too many attributes (attribute %q exceeds the max of 64 registered attributes per query)", name))
+		return len(q.AttrNames) - 1
 	}
 	if _, dup := q.attrByName[name]; dup {
 		panic(fmt.Sprintf("query: duplicate attribute %q", name))
@@ -215,6 +249,14 @@ func (q *Query) AddKey(rel int, attrs ...int) {
 		s = s.Add(a)
 	}
 	q.Relations[rel].Keys = append(q.Relations[rel].Keys, s)
+}
+
+// SetScanOrder declares the physical row order of a relation's data:
+// ascending by the given attributes (significance order, NULLs first).
+// The sort-based physical layer treats the declaration as an interesting
+// order it can reuse; the merge runtime verifies it during execution.
+func (q *Query) SetScanOrder(rel int, attrs ...int) {
+	q.Relations[rel].Ordered = append([]int(nil), attrs...)
 }
 
 // SetGrouping installs the top grouping Γ_G;F.
@@ -264,6 +306,9 @@ func (q *Query) AggSourceRels() []bitset.Set64 {
 // Validate performs structural sanity checks and returns an error
 // describing the first problem found.
 func (q *Query) Validate() error {
+	if q.err != nil {
+		return q.err
+	}
 	if q.Root == nil {
 		return fmt.Errorf("query: missing operator tree")
 	}
@@ -317,5 +362,16 @@ func (q *Query) Validate() error {
 			bad = fmt.Errorf("query: group-by references unregistered attribute %d", a)
 		}
 	})
-	return bad
+	if bad != nil {
+		return bad
+	}
+	for ri := range q.Relations {
+		for _, a := range q.Relations[ri].Ordered {
+			if a < 0 || a >= len(q.AttrNames) || !q.Relations[ri].Attrs.Contains(a) {
+				return fmt.Errorf("query: scan order of %s references attribute %d outside the relation",
+					q.Relations[ri].Name, a)
+			}
+		}
+	}
+	return nil
 }

@@ -143,3 +143,46 @@ func TestDistinctFloor(t *testing.T) {
 		t.Error("distinct counts are floored at 1")
 	}
 }
+
+func TestTooManyRelationsIsError(t *testing.T) {
+	q := New()
+	for i := 0; i < 70; i++ {
+		q.AddRelation("r", 10) // must not panic past the 63-relation cap
+	}
+	if len(q.Relations) != 63 {
+		t.Fatalf("want the catalog capped at 63 relations, got %d", len(q.Relations))
+	}
+	if q.Err() == nil || !strings.Contains(q.Err().Error(), "too many relations") {
+		t.Fatalf("want a too-many-relations error, got %v", q.Err())
+	}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "too many relations") {
+		t.Fatalf("Validate must surface the construction error, got %v", err)
+	}
+}
+
+func TestTooManyAttrsIsError(t *testing.T) {
+	q := New()
+	r := q.AddRelation("r", 10)
+	for i := 0; i < 70; i++ {
+		q.AddAttr(r, "a"+string(rune('A'+i)), 2) // must not panic past the 64-attr cap
+	}
+	if len(q.AttrNames) != 64 {
+		t.Fatalf("want the universe capped at 64 attributes, got %d", len(q.AttrNames))
+	}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "too many attributes") {
+		t.Fatalf("Validate must surface the attribute overflow, got %v", err)
+	}
+}
+
+func TestScanOrderValidated(t *testing.T) {
+	q := buildValid()
+	q.SetScanOrder(0, 2) // b1 belongs to r1, not r0
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "scan order") {
+		t.Fatalf("want a scan-order validation error, got %v", err)
+	}
+	q2 := buildValid()
+	q2.SetScanOrder(0, 0)
+	if err := q2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

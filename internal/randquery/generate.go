@@ -132,12 +132,17 @@ func Generate(rng *rand.Rand, p Params) *query.Query {
 	q.SetGrouping(groupBy, f)
 
 	// Keys: half of the relations get a key on their first join
-	// attribute, creating the cases where NeedsGrouping fires.
+	// attribute, creating the cases where NeedsGrouping fires. Keyed
+	// relations also declare the key as their physical scan order —
+	// engine.RandomData generates key columns counting up in row order,
+	// so the declaration is truthful and gives the sort-based physical
+	// layer orders to propagate and reuse.
 	for r := 0; r < n; r++ {
 		if rng.Intn(2) == 0 {
 			if a := firstAttr(q, r); a >= 0 {
 				q.AddKey(r, a)
 				q.Distinct[a] = q.Relations[r].Card // keys are unique
+				q.SetScanOrder(r, a)
 			}
 		}
 	}

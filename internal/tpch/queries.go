@@ -41,6 +41,7 @@ func Ex() *query.Query {
 	cNk := q.AddAttr(c, "c.c_nationkey", CardNation)
 	q.AddKey(ns, nsKey)
 	q.AddKey(nc, ncKey)
+	declareKeyScanOrders(q)
 
 	left := join(query.KindJoin, scan(ns), scan(s), nsKey, sNk, 1.0/CardNation)
 	right := join(query.KindJoin, scan(nc), scan(c), ncKey, cNk, 1.0/CardNation)
@@ -72,6 +73,7 @@ func Q3() *query.Query {
 	lPrice := q.AddAttr(l, "l.l_revenue", CardLineitem/10)
 	q.AddKey(c, cCk)
 	q.AddKey(o, oOk)
+	declareKeyScanOrders(q)
 
 	co := join(query.KindJoin, scan(c), scan(o), cCk, oCk, 1.0/(CardCustomer/DistinctMktSegment))
 	q.Root = join(query.KindJoin, co, scan(l), oOk, lOk, 1.0/CardOrders)
@@ -114,6 +116,7 @@ func Q5() *query.Query {
 	q.AddKey(s, sSk)
 	q.AddKey(n, nNk)
 	q.AddKey(r, rRk)
+	declareKeyScanOrders(q)
 
 	co := join(query.KindJoin, scan(c), scan(o), cCk, oCk, 1.0/CardCustomer)
 	col := join(query.KindJoin, co, scan(l), oOk, lOk, 1.0/(CardOrders*selQ5Orders))
@@ -169,6 +172,7 @@ func Q10() *query.Query {
 	q.AddKey(c, cCk)
 	q.AddKey(o, oOk)
 	q.AddKey(n, nNk)
+	declareKeyScanOrders(q)
 
 	co := join(query.KindJoin, scan(c), scan(o), cCk, oCk, 1.0/CardCustomer)
 	col := join(query.KindJoin, co, scan(l), oOk, lOk, 1.0/CardOrders)
@@ -177,6 +181,23 @@ func Q10() *query.Query {
 		{Out: "revenue", Kind: aggfn.Sum, Arg: q.AttrNames[lPrice]},
 	})
 	return q
+}
+
+// declareKeyScanOrders declares every single-attribute candidate key as
+// the relation's physical scan order. GenerateTables produces key
+// columns counting up in row order, so the declaration is true of every
+// generated instance — it is the TPC-H analogue of data arriving in
+// primary-key order, and it is what the sort-based physical layer's
+// interesting orders originate from.
+func declareKeyScanOrders(q *query.Query) {
+	for ri := range q.Relations {
+		for _, k := range q.Relations[ri].Keys {
+			if k.Len() == 1 {
+				q.SetScanOrder(ri, k.Min())
+				break
+			}
+		}
+	}
 }
 
 // Queries returns the four evaluation queries keyed by the paper's names.
