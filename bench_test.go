@@ -13,6 +13,8 @@ package eagg_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"eagg/internal/aggfn"
@@ -22,6 +24,7 @@ import (
 	"eagg/internal/experiments"
 	"eagg/internal/query"
 	"eagg/internal/randquery"
+	"eagg/internal/service"
 	"eagg/internal/tpch"
 )
 
@@ -687,6 +690,82 @@ func BenchmarkSortVsHash(b *testing.B) {
 					b.ReportMetric(float64(elim), "sorts-eliminated")
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkServiceThroughput drives the embedded query-service layer
+// with concurrent sessions replaying the Q3 and Q5 shapes against one
+// shared engine. cache=cold issues NoCache requests, so every request
+// pays the full EA-Prune enumeration; cache=warm primes the plan cache
+// first, so every measured request skips DP and goes straight to
+// execution. The qps metric is completed requests per second — CI
+// records both variants, and the warm/cold ratio is the cache's payoff
+// on repeated shapes. The instance is small (sf 0.2) and the physical
+// mode is auto (hash and sort layers compete, the priciest enumeration)
+// so the workload is optimization-bound — the regime the plan cache is
+// for; at large scale factors execution dominates and the ratio
+// approaches 1 regardless of the cache.
+func BenchmarkServiceThroughput(b *testing.B) {
+	type shape struct {
+		name string
+		q    *query.Query
+		data engine.TableData
+	}
+	var shapes []shape
+	for _, name := range []string{"Q3", "Q5"} {
+		q := tpch.Queries()[name]
+		data := tpch.GenerateTables(rand.New(rand.NewSource(1)), q, tpch.ExecutionScaleAt(name, 0.2))
+		shapes = append(shapes, shape{name, q, data})
+	}
+	for _, cache := range []string{"cold", "warm"} {
+		warm := cache == "warm"
+		for _, sessions := range []int{1, 4} {
+			b.Run(fmt.Sprintf("cache=%s/sessions=%d", cache, sessions), func(b *testing.B) {
+				eng := service.NewEngine(service.EngineOptions{Workers: 2, MaxConcurrent: sessions})
+				defer eng.Close()
+				for _, sh := range shapes {
+					eng.Register(sh.name, sh.data)
+				}
+				issue := func(sess *service.Session, i int) {
+					sh := shapes[i%len(shapes)]
+					_, err := sess.Execute(sh.q, service.Request{
+						Opt:     core.Options{Algorithm: core.AlgEAPrune, Workers: 1, Phys: core.PhysModeAuto},
+						Dataset: sh.name,
+						NoCache: !warm,
+					})
+					if err != nil {
+						b.Error(err)
+					}
+				}
+				if warm {
+					sess := eng.NewSession()
+					for i := range shapes {
+						issue(sess, i)
+					}
+				}
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				wg.Add(sessions)
+				for s := 0; s < sessions; s++ {
+					go func() {
+						defer wg.Done()
+						sess := eng.NewSession()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							issue(sess, i)
+						}
+					}()
+				}
+				wg.Wait()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(b.N)/secs, "qps")
+				}
+			})
 		}
 	}
 }

@@ -12,6 +12,8 @@
 //	eabench -exec -sf 50 -workers 0  # parallel execution on all cores
 //	eabench -exec -feedback -sf 1    # cardinality feedback loop report
 //	eabench -exec -phys auto -sf 10  # sort-based physical layer competing
+//	eabench -serve -sf 1             # service layer: concurrent sessions, shared engine
+//	eabench -serve -sessions 8 -requests 100 -feedback -sf 1
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
@@ -33,6 +35,15 @@
 // report's sorts column shows performed/eliminated sorts, the eliminated
 // ones being reused interesting orders. Results are identical across all
 // three modes.
+//
+// The -serve mode (mutually exclusive with -exec) measures the embedded
+// query-service layer: one engine — shared worker pool, plan cache, and
+// with -feedback a global measured-cardinality overlay — serves -sessions
+// concurrent sessions replaying the selected TPC-H shapes against
+// resident data, -requests times per shape. The report shows per-shape
+// throughput, p50/p99 latency, cache hits and the engine's shared-state
+// counters; every response is verified against the canonical result, so
+// the mode doubles as a concurrency soak.
 //
 // -feedback (requires -exec) closes the cardinality feedback loop: each
 // query is optimized, executed, the measured per-operator cardinalities
@@ -73,10 +84,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxNExh := fs.Int("maxn-exhaustive", 7, "largest relation count for EA-All (paper: ~8)")
 	workers := fs.Int("workers", 1, "workers per query for the optimizer and (with -exec) morsel-driven plan execution (0 = GOMAXPROCS, 1 = the paper's sequential conditions); plans and results are identical for every value")
 	execMode := fs.Bool("exec", false, "execute optimized vs canonical plans on generated data instead of running optimizer benchmarks")
-	feedback := fs.Bool("feedback", false, "with -exec: close the cardinality feedback loop (optimize → execute → re-optimize with measured cardinalities until the plan is stable) and report q-error before/after")
-	phys := fs.String("phys", "", "with -exec: physical algebra — hash (default), sort (sort-merge join/aggregation), or auto (both compete; the sorts column reports performed/eliminated)")
-	sf := fs.Float64("sf", 10, "-exec: scale factor multiplying the base synthetic instance sizes (must be > 0)")
-	execQuery := fs.String("query", "", "-exec: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
+	feedback := fs.Bool("feedback", false, "with -exec: close the cardinality feedback loop (optimize → execute → re-optimize with measured cardinalities until the plan is stable) and report q-error before/after; with -serve: enable the engine's shared feedback overlay")
+	phys := fs.String("phys", "", "with -exec or -serve: physical algebra — hash (default), sort (sort-merge join/aggregation), or auto (both compete; the sorts column reports performed/eliminated)")
+	sf := fs.Float64("sf", 10, "-exec/-serve: scale factor multiplying the base synthetic instance sizes (must be > 0)")
+	execQuery := fs.String("query", "", "-exec/-serve: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
+	serve := fs.Bool("serve", false, "run the service-layer throughput mode: one shared engine (plan cache, shared scheduler, optional -feedback overlay) serving -sessions concurrent sessions replaying the selected query shapes; reports qps and p50/p99 latency")
+	sessions := fs.Int("sessions", 0, "with -serve: concurrent sessions driving the engine (default 4, must be > 0)")
+	requests := fs.Int("requests", 0, "with -serve: requests served per query shape across all sessions (default 20, must be > 0)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / --help is a request, not misuse
@@ -90,12 +104,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	if *feedback && !*execMode {
-		fmt.Fprintln(stderr, "eabench: -feedback requires -exec (the feedback loop harvests cardinalities from plan execution)")
+	if *serve && *execMode {
+		fmt.Fprintln(stderr, "eabench: -serve and -exec are mutually exclusive (pick the service-throughput or the single-plan execution report)")
 		return 2
 	}
-	if *phys != "" && !*execMode {
-		fmt.Fprintln(stderr, "eabench: -phys requires -exec (the physical algebra only matters when plans are executed)")
+	if *feedback && !*execMode && !*serve {
+		fmt.Fprintln(stderr, "eabench: -feedback requires -exec or -serve (feedback harvests cardinalities from plan execution)")
+		return 2
+	}
+	if *phys != "" && !*execMode && !*serve {
+		fmt.Fprintln(stderr, "eabench: -phys requires -exec or -serve (the physical algebra only matters when plans are executed)")
 		return 2
 	}
 	physMode, err := core.ParsePhysMode(*phys)
@@ -103,9 +121,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eabench: -phys: %v\n", err)
 		return 2
 	}
-	if *execMode && !(*sf > 0) { // rejects NaN too, unlike *sf <= 0
+	if (*execMode || *serve) && !(*sf > 0) { // rejects NaN too, unlike *sf <= 0
 		fmt.Fprintf(stderr, "eabench: -sf must be > 0, got %g\n", *sf)
 		return 2
+	}
+	if !*serve && (*sessions != 0 || *requests != 0) {
+		fmt.Fprintln(stderr, "eabench: -sessions and -requests require -serve (they size the service-layer workload)")
+		return 2
+	}
+	if *serve {
+		if *sessions == 0 {
+			*sessions = 4
+		}
+		if *requests == 0 {
+			*requests = 20
+		}
+		if *sessions < 0 || *requests < 0 {
+			fmt.Fprintf(stderr, "eabench: -sessions and -requests must be > 0, got %d/%d\n", *sessions, *requests)
+			return 2
+		}
 	}
 
 	cfg := experiments.Config{
@@ -118,13 +152,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Phys:           physMode,
 	}
 
-	if *execMode {
-		var names []string
-		if *execQuery != "" {
-			for _, n := range strings.Split(*execQuery, ",") {
-				names = append(names, strings.TrimSpace(n))
-			}
+	var names []string
+	if *execQuery != "" {
+		for _, n := range strings.Split(*execQuery, ",") {
+			names = append(names, strings.TrimSpace(n))
 		}
+	}
+	if *serve {
+		rep := experiments.ServeEval(cfg, *sf, names, *sessions, *requests, *feedback)
+		fmt.Fprint(stdout, rep.Format())
+		if !rep.AllMatch() {
+			fmt.Fprintln(stderr, "eabench: some served responses did not reproduce the canonical result")
+			return 1
+		}
+		return 0
+	}
+
+	if *execMode {
 		if *feedback {
 			rep := experiments.FeedbackEval(cfg, *sf, names)
 			fmt.Fprint(stdout, rep.Format())

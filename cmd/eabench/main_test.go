@@ -21,6 +21,12 @@ func TestFlagHygiene(t *testing.T) {
 		{"negative workers", []string{"-workers", "-2"}, "-workers must be"},
 		{"bad sf", []string{"-exec", "-sf", "0"}, "-sf must be > 0"},
 		{"nothing selected", []string{"-fig", "3"}, "nothing selected"},
+		{"serve with exec", []string{"-serve", "-exec"}, "mutually exclusive"},
+		{"sessions without serve", []string{"-sessions", "4"}, "-sessions and -requests require -serve"},
+		{"requests without serve", []string{"-requests", "10"}, "-sessions and -requests require -serve"},
+		{"negative sessions", []string{"-serve", "-sessions", "-1"}, "must be > 0"},
+		{"negative requests", []string{"-serve", "-requests", "-5"}, "must be > 0"},
+		{"bad serve sf", []string{"-serve", "-sf", "0"}, "-sf must be > 0"},
 	}
 	for _, tc := range cases {
 		var out, errOut bytes.Buffer
@@ -49,6 +55,26 @@ func TestExecPhysRuns(t *testing.T) {
 		}
 		if mode != "hash" && !strings.Contains(out.String(), "/") {
 			t.Fatalf("-phys %s: report has no sorts column values\n%s", mode, out.String())
+		}
+	}
+}
+
+// TestServeRuns drives the -serve mode end to end on the smallest
+// instance: exit 0 (every served response reproduced the canonical
+// result) and a report with the throughput header, per-shape rows and
+// the engine counters. -feedback composes with -serve.
+func TestServeRuns(t *testing.T) {
+	for _, extra := range [][]string{nil, {"-feedback"}} {
+		args := append([]string{"-serve", "-sf", "0.2", "-query", "Q3", "-sessions", "2", "-requests", "4"}, extra...)
+		var out, errOut bytes.Buffer
+		code := run(args, &out, &errOut)
+		if code != 0 {
+			t.Fatalf("%v: exit %d\nstderr: %s\nstdout: %s", args, code, errOut.String(), out.String())
+		}
+		for _, want := range []string{"Service throughput", "2 sessions", "Q3", "engine: cache"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("%v: report missing %q\n%s", args, want, out.String())
+			}
 		}
 	}
 }

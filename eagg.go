@@ -41,6 +41,7 @@ import (
 	"eagg/internal/engine"
 	"eagg/internal/plan"
 	"eagg/internal/query"
+	"eagg/internal/service"
 )
 
 // Query is the optimizer input: relations with statistics, the initial
@@ -134,6 +135,59 @@ type FeedbackResult = engine.FeedbackResult
 // for every value, mirroring how Options.Workers behaves for the
 // optimizer.
 type ExecOptions = engine.ExecOptions
+
+// Engine is the embedded query service: one shared worker pool, plan
+// cache and (optionally) global feedback overlay serving many concurrent
+// queries against resident table data. Construct with NewEngine, then
+// execute through Sessions from any number of goroutines; results are
+// bit-identical to the one-shot Optimize + ExecuteTables calls.
+type Engine = service.Engine
+
+// EngineOptions configures an Engine: shared worker count, admission
+// bound, shared feedback, plan-cache size.
+type EngineOptions = service.EngineOptions
+
+// Session is one client's handle on an Engine (safe for concurrent use).
+type Session = service.Session
+
+// Request is one query submission to a Session: optimizer and execution
+// options plus the input data (inline or a registered dataset name).
+type Request = service.Request
+
+// Response is one executed query: the result table, the plan, execution
+// and optimizer statistics, and the cache/epoch provenance.
+type Response = service.Response
+
+// EngineMetrics is a point-in-time snapshot of an Engine's shared state
+// (cache hit/miss counters, feedback epoch, pool activity).
+type EngineMetrics = service.Metrics
+
+// NewEngine starts an embedded query-service engine.
+func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
+
+// Pool is a shared morsel scheduler: one fixed worker set multiplexed
+// across the operator fan-outs of concurrent plan executions (see
+// ExecOptions.Pool). Engines manage their own pool; NewPool is for
+// embedding the scheduler without the full service layer.
+type Pool = algebra.Pool
+
+// NewPool starts a shared execution worker pool.
+func NewPool(workers int) *Pool { return algebra.NewPool(workers) }
+
+// SharedOverlay is the concurrent counterpart of FeedbackOverlay: an
+// epoch-versioned, copy-on-write accumulator of measured cardinalities
+// shared across queries. Readers take immutable Snapshots; Publish only
+// advances the epoch when a measurement actually changes.
+type SharedOverlay = cost.SharedOverlay
+
+// NewSharedOverlay returns an empty shared overlay at epoch 0.
+func NewSharedOverlay() *SharedOverlay { return cost.NewSharedOverlay() }
+
+// Fingerprint returns the canonical signature of a (query, options)
+// pair — equal fingerprints guarantee the same chosen plan under the
+// same statistics. Workers and Stats are excluded (plans are shareable
+// across both); it is the query half of the service plan-cache key.
+func Fingerprint(q *Query, opts Options) string { return core.Fingerprint(q, opts) }
 
 // PhysMode selects the physical algebra the plan generator may use: the
 // hash layer only (default), the sort-based layer, or both competing

@@ -1,3 +1,12 @@
 module eagg
 
 go 1.24
+
+// Tool dependency: staticcheck is pinned here (a Go 1.24 `tool`
+// directive) instead of an @version in CI, so lint runs the same
+// version everywhere and upgrades happen through go.mod review. The
+// module has no go.sum because nothing in the library imports it; CI
+// runs `go mod tidy` before `go tool staticcheck` to resolve it.
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1

@@ -69,6 +69,12 @@ type Exec struct {
 	// (see sizeFor). Never read directly — operators size through
 	// sizeFor so that morsel counts and morsel iteration agree.
 	morsel int
+	// pool, when set, supplies the goroutines for every task fan-out
+	// instead of spawning fresh ones — the shared-scheduler seam of the
+	// service layer. The work decomposition (morsel geometry, partition
+	// count) still derives only from workers, so results are identical
+	// with or without a pool.
+	pool *Pool
 }
 
 // NewExec returns execution settings for the given worker count:
@@ -101,6 +107,15 @@ func (e *Exec) WithMorselSize(rows int) *Exec {
 		rows = 0
 	}
 	out.morsel = rows
+	return &out
+}
+
+// WithPool returns a copy of e whose task fan-outs run on the shared
+// pool (nil restores plain goroutine spawning). Attaching a pool never
+// changes results — only which goroutines execute the tasks.
+func (e *Exec) WithPool(p *Pool) *Exec {
+	out := *e
+	out.pool = p
 	return &out
 }
 
@@ -149,44 +164,27 @@ func (e *Exec) morselCount(n int) int {
 }
 
 // forMorsels executes fn(m, lo, hi) for every morsel of n input rows,
-// fanning out over up to e.workers goroutines. Morsel indices are handed
-// out through an atomic counter, so workers stay busy under per-morsel
-// skew. fn must only write state owned by morsel m; the final WaitGroup
-// wait gives the caller a happens-before edge on everything fn wrote.
+// fanning out over the task scheduler (up to e.workers goroutines, or
+// the attached pool's workers). Morsel boundaries are computed here —
+// a pure function of (n, workers, configuration) — and only then handed
+// to forTasks, so the decomposition never depends on who executes it.
+// fn must only write state owned by morsel m; the fan-out barrier gives
+// the caller a happens-before edge on everything fn wrote.
 func (e *Exec) forMorsels(n int, fn func(m, lo, hi int)) {
 	size := e.sizeFor(n)
 	morsels := e.morselCount(n)
-	w := e.workers
-	if w > morsels {
-		w = morsels
-	}
-	if w <= 1 {
-		for m := 0; m < morsels; m++ {
-			fn(m, m*size, min((m+1)*size, n))
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				m := int(next.Add(1)) - 1
-				if m >= morsels {
-					return
-				}
-				fn(m, m*size, min((m+1)*size, n))
-			}
-		}()
-	}
-	wg.Wait()
+	e.forTasks(morsels, func(m int) {
+		fn(m, m*size, min((m+1)*size, n))
+	})
 }
 
-// forTasks executes fn(i) for i in [0, n) over the worker pool — the
-// generic task fan-out for work that is not row-granular (e.g. one task
-// per merge pair of the parallel sort's cascade).
+// forTasks executes fn(i) for i in [0, n) — the single fan-out point
+// every parallel operator funnels through (forMorsels and forParts
+// included). Tasks are handed out through an atomic counter so workers
+// stay busy under per-task skew; with a pool attached, the pool's
+// shared workers (plus the submitter) execute the tasks instead of
+// freshly spawned goroutines. The call returns only after all n tasks
+// finished, with a happens-before edge on everything they wrote.
 func (e *Exec) forTasks(n int, fn func(i int)) {
 	w := e.workers
 	if w > n {
@@ -196,6 +194,10 @@ func (e *Exec) forTasks(n int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		return
+	}
+	if e.pool != nil {
+		e.pool.Run(n, fn)
 		return
 	}
 	var next atomic.Int64
@@ -229,34 +231,10 @@ func (e *Exec) seqFor(n int) *Exec {
 	return &s
 }
 
-// forParts executes fn(p) for every partition id over the worker pool.
+// forParts executes fn(p) for every partition id over the task
+// scheduler.
 func (e *Exec) forParts(fn func(p int)) {
-	w := e.workers
-	if w > partitions {
-		w = partitions
-	}
-	if w <= 1 {
-		for p := 0; p < partitions; p++ {
-			fn(p)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				p := int(next.Add(1)) - 1
-				if p >= partitions {
-					return
-				}
-				fn(p)
-			}
-		}()
-	}
-	wg.Wait()
+	e.forTasks(partitions, fn)
 }
 
 // hashKey is the deterministic partition hash (FNV-1a) over an encoded

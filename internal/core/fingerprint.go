@@ -1,0 +1,96 @@
+// The query fingerprint: a canonical string identifying everything that
+// shapes which plan Optimize chooses — the plan-relevant optimizer
+// options plus the complete optimizer input (relations, statistics,
+// keys, declared orders, the initial tree, predicates, grouping and
+// aggregates). Two (query, options) pairs with equal fingerprints are
+// guaranteed the same chosen plan when optimized under the same stats
+// snapshot, which is exactly the property the service layer's plan
+// cache needs: its key is (Fingerprint, stats epoch).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"eagg/internal/query"
+)
+
+// Fingerprint returns the canonical signature of a (query, options)
+// pair. Options that cannot influence the chosen plan are deliberately
+// excluded:
+//
+//   - Workers: the parallel DP driver is bit-identical to the sequential
+//     one for every worker count (the PR 1 contract), so plans may be
+//     shared across worker settings.
+//   - Stats: the cardinality source is external state; the service layer
+//     accounts for it separately through the overlay epoch. Callers that
+//     cache must pair the fingerprint with a stats identity of their own.
+//
+// Everything else is normalized the way Optimize resolves it (BeamWidth
+// defaulting, F only mattering to H2), so option spellings that resolve
+// to the same search also share a fingerprint.
+func Fingerprint(q *query.Query, opts Options) string {
+	var b strings.Builder
+	// Options half.
+	f := 0.0
+	if opts.Algorithm == AlgH2 {
+		f = opts.F
+	}
+	bw := 0
+	if opts.Algorithm == AlgBeam {
+		bw = opts.BeamWidth
+		if bw <= 0 {
+			bw = 4
+		}
+	}
+	fmt.Fprintf(&b, "alg=%d f=%g bw=%d fd=%t phys=%d;", opts.Algorithm, f, bw, opts.FDReduceGroups, opts.Phys)
+
+	// Relations with their statistics, keys and declared orders.
+	for i := range q.Relations {
+		r := &q.Relations[i]
+		fmt.Fprintf(&b, "R%d=%s c=%g a=%d k=", i, r.Name, r.Card, uint64(r.Attrs))
+		for _, k := range r.Keys {
+			fmt.Fprintf(&b, "%d,", uint64(k))
+		}
+		fmt.Fprintf(&b, " o=%v;", r.Ordered)
+	}
+	// Attributes: name, owner, distinct count.
+	for a, name := range q.AttrNames {
+		fmt.Fprintf(&b, "A%d=%s@%d d=%g;", a, name, q.AttrRel[a], q.Distinct[a])
+	}
+	// The initial operator tree with predicates and groupjoin vectors.
+	b.WriteString("T=")
+	fingerprintNode(&b, q.Root)
+	// Grouping and the aggregation vector.
+	fmt.Fprintf(&b, ";G=%d hg=%t F=", uint64(q.GroupBy), q.HasGrouping)
+	for _, a := range q.Aggregates {
+		fmt.Fprintf(&b, "%s:%d(%s|%s|%s),", a.Out, a.Kind, a.Arg, a.Arg2, a.Weight)
+	}
+	return b.String()
+}
+
+// fingerprintNode renders one initial-tree node. Predicates are rendered
+// by content (paired attribute ids and selectivity), not identity, so
+// two independently built but identical queries fingerprint equal.
+func fingerprintNode(b *strings.Builder, n *query.OpNode) {
+	if n == nil {
+		b.WriteString("·")
+		return
+	}
+	if n.Kind == query.KindScan {
+		fmt.Fprintf(b, "s%d", n.Rel)
+		return
+	}
+	fmt.Fprintf(b, "(%d", n.Kind)
+	if p := n.Pred; p != nil {
+		fmt.Fprintf(b, "[%v=%v@%g]", p.Left, p.Right, p.Selectivity)
+	}
+	for _, a := range n.GroupJoinAggs {
+		fmt.Fprintf(b, "{%s:%d(%s|%s|%s)}", a.Out, a.Kind, a.Arg, a.Arg2, a.Weight)
+	}
+	b.WriteString(" ")
+	fingerprintNode(b, n.Left)
+	b.WriteString(" ")
+	fingerprintNode(b, n.Right)
+	b.WriteString(")")
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"eagg/internal/cost"
+	"eagg/internal/query"
+	"eagg/internal/randquery"
+)
+
+// fpQuery builds a deterministic 5-relation query; equal seeds yield
+// structurally identical (but independently allocated) queries.
+func fpQuery(seed int64, rels int) *query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	return randquery.Generate(rng, randquery.Params{Relations: rels})
+}
+
+// TestFingerprintInvariants pins what the plan-cache key must and must
+// not depend on: Workers and Stats never change the fingerprint (plans
+// are shareable across both), while every plan-shaping input — algorithm,
+// physical mode, statistics, selectivities — changes it.
+func TestFingerprintInvariants(t *testing.T) {
+	q := fpQuery(7, 5)
+	base := Fingerprint(q, Options{Algorithm: AlgEAPrune})
+
+	// Workers and Stats are excluded by design.
+	if got := Fingerprint(q, Options{Algorithm: AlgEAPrune, Workers: 8}); got != base {
+		t.Error("Workers changed the fingerprint")
+	}
+	ov := cost.NewFeedbackOverlay()
+	if got := Fingerprint(q, Options{Algorithm: AlgEAPrune, Stats: ov}); got != base {
+		t.Error("Stats changed the fingerprint")
+	}
+	// F is irrelevant outside H2, BeamWidth outside Beam.
+	if got := Fingerprint(q, Options{Algorithm: AlgEAPrune, F: 1.05, BeamWidth: 7}); got != base {
+		t.Error("F/BeamWidth changed a non-H2/non-Beam fingerprint")
+	}
+	// BeamWidth 0 and the resolved default 4 coincide for Beam.
+	if Fingerprint(q, Options{Algorithm: AlgBeam}) != Fingerprint(q, Options{Algorithm: AlgBeam, BeamWidth: 4}) {
+		t.Error("Beam default width not normalized")
+	}
+
+	// Plan-shaping differences must separate.
+	diff := []Options{
+		{Algorithm: AlgDPhyp},
+		{Algorithm: AlgH2, F: 1.03},
+		{Algorithm: AlgEAPrune, Phys: PhysModeSort},
+		{Algorithm: AlgEAPrune, Phys: PhysModeAuto},
+		{Algorithm: AlgEAPrune, FDReduceGroups: true},
+		{Algorithm: AlgBeam, BeamWidth: 8},
+	}
+	seen := map[string]int{base: -1}
+	for i, o := range diff {
+		fp := Fingerprint(q, o)
+		if j, dup := seen[fp]; dup {
+			t.Errorf("options %d and %d collide: %+v", i, j, o)
+		}
+		seen[fp] = i
+	}
+
+	// Different queries must separate; an independently rebuilt but
+	// identical query must agree (predicates fingerprint by content,
+	// not pointer identity).
+	if Fingerprint(fpQuery(8, 5), Options{Algorithm: AlgEAPrune}) == base {
+		t.Error("two different random queries share a fingerprint")
+	}
+	if Fingerprint(fpQuery(7, 5), Options{Algorithm: AlgEAPrune}) != base {
+		t.Error("two builds of the same query fingerprint differently")
+	}
+}
+
+// TestFingerprintSeparatesRandomQueries runs the generator over a random
+// workload: distinct query structures should (essentially always) get
+// distinct fingerprints, and re-fingerprinting is stable.
+func TestFingerprintSeparatesRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	seen := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		q := randquery.Generate(rng, randquery.Params{Relations: 2 + i%5})
+		fp := Fingerprint(q, Options{Algorithm: AlgEAPrune})
+		if fp != Fingerprint(q, Options{Algorithm: AlgEAPrune}) {
+			t.Fatal("fingerprint not stable across calls")
+		}
+		seen[fp] = true
+	}
+	if len(seen) < 35 {
+		t.Fatalf("only %d distinct fingerprints over 40 random queries", len(seen))
+	}
+}

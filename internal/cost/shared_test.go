@@ -1,0 +1,108 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+
+	"eagg/internal/bitset"
+)
+
+func sharedKey(rel int) CardKey {
+	return CardKey{Rels: bitset.Single64(rel)}
+}
+
+// TestSharedOverlayEpochDiscipline pins the epoch semantics the plan
+// cache keys on: publishing new measurements advances the epoch exactly
+// once per actual change, republishing identical measurements never
+// advances it, and snapshots stay frozen at their version.
+func TestSharedOverlayEpochDiscipline(t *testing.T) {
+	s := NewSharedOverlay()
+	if s.Epoch() != 0 || s.Len() != 0 {
+		t.Fatalf("fresh overlay: epoch=%d len=%d, want 0/0", s.Epoch(), s.Len())
+	}
+
+	snap0, e0 := s.Snapshot()
+	prof := NewFeedbackOverlay()
+	prof.Set(sharedKey(1), 100)
+	prof.Set(sharedKey(2), 7)
+
+	epoch, changed := s.Publish(prof)
+	if !changed || epoch != 1 {
+		t.Fatalf("first publish: epoch=%d changed=%v, want 1/true", epoch, changed)
+	}
+	// Idempotent republish: same measurements, no epoch movement.
+	epoch, changed = s.Publish(prof)
+	if changed || epoch != 1 {
+		t.Fatalf("republish: epoch=%d changed=%v, want 1/false", epoch, changed)
+	}
+	// Empty and nil profiles are no-ops.
+	if _, changed := s.Publish(NewFeedbackOverlay()); changed {
+		t.Fatal("empty profile advanced the overlay")
+	}
+	if _, changed := s.Publish(nil); changed {
+		t.Fatal("nil profile advanced the overlay")
+	}
+	// A changed measurement advances the epoch and shows in new
+	// snapshots only.
+	prof2 := NewFeedbackOverlay()
+	prof2.Set(sharedKey(1), 250)
+	epoch, changed = s.Publish(prof2)
+	if !changed || epoch != 2 {
+		t.Fatalf("changed publish: epoch=%d changed=%v, want 2/true", epoch, changed)
+	}
+	if e0 != 0 || snap0.Len() != 0 {
+		t.Fatalf("old snapshot mutated: epoch=%d len=%d", e0, snap0.Len())
+	}
+	snap2, e2 := s.Snapshot()
+	if e2 != 2 {
+		t.Fatalf("snapshot epoch %d, want 2", e2)
+	}
+	if c, ok := snap2.Lookup(sharedKey(1)); !ok || c != 250 {
+		t.Fatalf("snapshot missed the updated measurement: %v %v", c, ok)
+	}
+	if c, ok := snap2.Lookup(sharedKey(2)); !ok || c != 7 {
+		t.Fatalf("snapshot lost the earlier measurement: %v %v", c, ok)
+	}
+}
+
+// TestSharedOverlayConcurrentPublish races many publishers and readers:
+// every published key must land, snapshots must never tear, and the
+// final epoch must not exceed the number of actual changes.
+func TestSharedOverlayConcurrentPublish(t *testing.T) {
+	s := NewSharedOverlay()
+	const writers, keys = 8, 32
+	var wg sync.WaitGroup
+	wg.Add(writers * 2)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				prof := NewFeedbackOverlay()
+				prof.Set(CardKey{Rels: bitset.Single64(w % 8), Group: bitset.Single64(k % 16)}, float64(100+k))
+				s.Publish(prof)
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				snap, epoch := s.Snapshot()
+				// Bounds: at most 8*16 distinct keys exist, and the
+				// epoch cannot exceed the total publish count (each
+				// writer publishes `keys` profiles).
+				if snap.Len() > 8*16 || epoch > writers*keys {
+					t.Errorf("implausible snapshot: len=%d epoch=%d", snap.Len(), epoch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap, _ := s.Snapshot()
+	for w := 0; w < 8; w++ {
+		for k := 0; k < 16; k++ {
+			key := CardKey{Rels: bitset.Single64(w), Group: bitset.Single64(k)}
+			if _, ok := snap.Lookup(key); !ok {
+				t.Fatalf("published key %v missing from final state", key)
+			}
+		}
+	}
+}

@@ -74,6 +74,13 @@ type ExecOptions struct {
 	// parallelism on tiny inputs. Leave it 0 in production; results
 	// are identical for every size.
 	MorselSize int
+	// Pool, when set, supplies the goroutines for every operator
+	// fan-out from a shared scheduler instead of spawning fresh ones —
+	// the handoff the service layer uses to multiplex one worker pool
+	// across concurrent queries. Workers still controls the (purely
+	// size-derived) work decomposition, so results are bit-identical
+	// with and without a pool.
+	Pool *algebra.Pool
 }
 
 // exec resolves the options into operator execution settings.
@@ -81,6 +88,9 @@ func (o ExecOptions) exec() *algebra.Exec {
 	e := algebra.NewExec(o.Workers)
 	if o.MorselSize > 0 {
 		e = e.WithMorselSize(o.MorselSize)
+	}
+	if o.Pool != nil {
+		e = e.WithPool(o.Pool)
 	}
 	return e
 }

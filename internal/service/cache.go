@@ -1,0 +1,126 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eagg/internal/core"
+	"eagg/internal/plan"
+)
+
+// cacheKey identifies one cached plan: the canonical (query, options)
+// fingerprint — which includes the physical mode — plus the feedback
+// epoch the plan was optimized under. Two requests differing in either
+// half never share an entry: a plan built for the hash layer must not
+// serve a sort-mode request, and a plan built from stale statistics
+// must not outlive the measurements that would have changed it.
+type cacheKey struct {
+	sig   string
+	epoch uint64
+}
+
+// cacheEntry is one plan cache slot with single-flight semantics: the
+// first request for a key computes while later requests block on ready.
+// plan/stats/err are written exactly once, before ready closes.
+type cacheEntry struct {
+	ready chan struct{}
+	plan  *plan.Plan
+	stats core.Stats
+	err   error
+	epoch uint64
+}
+
+// planCache is a bounded plan cache with single-flight computation.
+// Plans are immutable after optimization, so handing the same *plan.Plan
+// to any number of concurrent executions is safe.
+type planCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[cacheKey]*cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, m: map[cacheKey]*cacheEntry{}}
+}
+
+// getOrCompute returns the cached plan for key, computing it via fn on
+// the first request. Concurrent requests for the same key wait for the
+// single in-flight computation and count as hits (they skipped the DP
+// search — which is what hit/miss measures). A failed computation is
+// not cached: its waiters see the error, and the entry is removed so
+// later requests retry.
+func (c *planCache) getOrCompute(key cacheKey, fn func() (*plan.Plan, core.Stats, error)) (*plan.Plan, core.Stats, bool, error) {
+	c.mu.Lock()
+	if en, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-en.ready
+		if en.err != nil {
+			return nil, core.Stats{}, false, en.err
+		}
+		c.hits.Add(1)
+		return en.plan, en.stats, true, nil
+	}
+	en := &cacheEntry{ready: make(chan struct{}), epoch: key.epoch}
+	c.m[key] = en
+	c.evictLocked(key)
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	en.plan, en.stats, en.err = fn()
+	close(en.ready)
+	if en.err != nil {
+		c.mu.Lock()
+		if c.m[key] == en {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+		return nil, core.Stats{}, false, en.err
+	}
+	return en.plan, en.stats, false, nil
+}
+
+// evictLocked enforces the size cap after an insert, preferring entries
+// from older epochs (already unreachable for new requests under the
+// current epoch). keep is never evicted. Called with mu held.
+func (c *planCache) evictLocked(keep cacheKey) {
+	for len(c.m) > c.max {
+		var victim cacheKey
+		found := false
+		for k := range c.m {
+			if k == keep {
+				continue
+			}
+			if !found || k.epoch < victim.epoch {
+				victim, found = k, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(c.m, victim)
+	}
+}
+
+// pruneBelow drops every entry optimized under an epoch older than
+// epoch. In-flight entries may be pruned too: their computation still
+// completes and its direct requester still gets the plan — only the
+// cache stops serving it.
+func (c *planCache) pruneBelow(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.m {
+		if k.epoch < epoch {
+			delete(c.m, k)
+		}
+	}
+}
+
+// size returns the current entry count.
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

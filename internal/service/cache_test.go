@@ -1,0 +1,157 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eagg/internal/core"
+	"eagg/internal/plan"
+	"eagg/internal/tpch"
+)
+
+func mkPlan() *plan.Plan { return &plan.Plan{Kind: plan.NodeScan, Rel: 0} }
+
+// TestPlanCacheKeyCollision pins the satellite requirement: two requests
+// differing only in physical mode or only in stats epoch never share a
+// cache entry — the phys mode separates through the fingerprint, the
+// epoch through the key's second half.
+func TestPlanCacheKeyCollision(t *testing.T) {
+	q := tpch.Queries()["Q3"]
+	hash := core.Fingerprint(q, core.Options{Algorithm: core.AlgEAPrune, Phys: core.PhysModeHash})
+	sorted := core.Fingerprint(q, core.Options{Algorithm: core.AlgEAPrune, Phys: core.PhysModeSort})
+	auto := core.Fingerprint(q, core.Options{Algorithm: core.AlgEAPrune, Phys: core.PhysModeAuto})
+	if hash == sorted || hash == auto || sorted == auto {
+		t.Fatal("phys modes share a fingerprint — a hash-layer plan could serve a sort request")
+	}
+
+	c := newPlanCache(16)
+	computes := 0
+	get := func(sig string, epoch uint64) {
+		t.Helper()
+		_, _, _, err := c.getOrCompute(cacheKey{sig: sig, epoch: epoch}, func() (*plan.Plan, core.Stats, error) {
+			computes++
+			return mkPlan(), core.Stats{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same fingerprint, different epochs: distinct entries.
+	get(hash, 0)
+	get(hash, 1)
+	// Different phys fingerprints, same epoch: distinct entries.
+	get(sorted, 0)
+	get(auto, 0)
+	if computes != 4 || c.size() != 4 {
+		t.Fatalf("computes=%d size=%d, want 4/4 (no sharing across phys mode or epoch)", computes, c.size())
+	}
+	// Exact repeats hit.
+	get(hash, 0)
+	get(hash, 1)
+	if computes != 4 {
+		t.Fatalf("repeat lookups recomputed: %d computes", computes)
+	}
+}
+
+// TestPlanCacheSingleFlight pins that a cold popular key is optimized
+// exactly once: concurrent requesters block on the in-flight compute and
+// count as hits.
+func TestPlanCacheSingleFlight(t *testing.T) {
+	c := newPlanCache(16)
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	key := cacheKey{sig: "hot"}
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	plans := make([]*plan.Plan, waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			p, _, _, err := c.getOrCompute(key, func() (*plan.Plan, core.Stats, error) {
+				computes.Add(1)
+				<-gate // hold every waiter on the in-flight entry
+				return mkPlan(), core.Stats{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			plans[i] = p
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	for i := 1; i < waiters; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("waiters got different plan objects")
+		}
+	}
+	if hits := c.hits.Load(); hits != waiters-1 {
+		t.Fatalf("hits=%d, want %d", hits, waiters-1)
+	}
+}
+
+// TestPlanCacheErrorNotCached pins that failed optimizations are not
+// cached: the next request retries and can succeed.
+func TestPlanCacheErrorNotCached(t *testing.T) {
+	c := newPlanCache(4)
+	key := cacheKey{sig: "flaky"}
+	boom := errors.New("boom")
+	_, _, _, err := c.getOrCompute(key, func() (*plan.Plan, core.Stats, error) {
+		return nil, core.Stats{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want boom", err)
+	}
+	if c.size() != 0 {
+		t.Fatal("failed entry stayed cached")
+	}
+	p, _, hit, err := c.getOrCompute(key, func() (*plan.Plan, core.Stats, error) {
+		return mkPlan(), core.Stats{}, nil
+	})
+	if err != nil || hit || p == nil {
+		t.Fatalf("retry: p=%v hit=%v err=%v", p, hit, err)
+	}
+}
+
+// TestPlanCacheEvictionAndPrune pins the bounds: the cap holds, older
+// epochs are evicted first, and pruneBelow clears stale entries.
+func TestPlanCacheEvictionAndPrune(t *testing.T) {
+	c := newPlanCache(4)
+	fill := func(sig string, epoch uint64) {
+		_, _, _, err := c.getOrCompute(cacheKey{sig: sig, epoch: epoch}, func() (*plan.Plan, core.Stats, error) {
+			return mkPlan(), core.Stats{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		fill(fmt.Sprintf("old%d", i), 0)
+	}
+	for i := 0; i < 4; i++ {
+		fill(fmt.Sprintf("new%d", i), 5)
+	}
+	if c.size() != 4 {
+		t.Fatalf("size=%d, want cap 4", c.size())
+	}
+	// The epoch-0 entries were the eviction victims.
+	c.mu.Lock()
+	for k := range c.m {
+		if k.epoch != 5 {
+			t.Errorf("stale entry %v survived eviction of newer inserts", k)
+		}
+	}
+	c.mu.Unlock()
+	c.pruneBelow(6)
+	if c.size() != 0 {
+		t.Fatalf("pruneBelow left %d entries", c.size())
+	}
+}

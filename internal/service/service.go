@@ -1,0 +1,337 @@
+// Package service is the embedded query-service layer: one Engine
+// serves many concurrent queries against resident table data, sharing
+// three things across them that the one-shot library calls cannot:
+//
+//   - a plan cache keyed by (query fingerprint, stats epoch): repeated
+//     query shapes skip DP enumeration entirely, with single-flight
+//     deduplication so a popular shape is optimized once even when many
+//     sessions race on a cold cache;
+//   - a global feedback overlay (cost.SharedOverlay): measured
+//     per-operator cardinalities harvested from every execution improve
+//     the estimates of every later optimization, across sessions, behind
+//     a copy-on-read/epoch discipline — each query optimizes against a
+//     frozen snapshot, so the workers-1≡8 bit-identity contract of the
+//     optimizer and runtime holds unchanged per query;
+//   - a shared morsel scheduler (algebra.Pool): one worker pool
+//     multiplexed across the operator fan-outs of all in-flight queries,
+//     with round-robin per-query fairness at morsel granularity, plus a
+//     simple admission semaphore bounding the queries executing at once.
+//
+// Everything the engine shares is either immutable (plans, overlay
+// snapshots) or synchronized (cache, overlay versions, pool), so results
+// are bit-identical to the corresponding one-shot library call — the
+// concurrent-determinism suite enforces exactly that.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/cost"
+	"eagg/internal/engine"
+	"eagg/internal/plan"
+	"eagg/internal/query"
+)
+
+// EngineOptions configures a service engine.
+type EngineOptions struct {
+	// Workers is the size of the shared execution worker pool and the
+	// default work-decomposition width of each query (0 = GOMAXPROCS).
+	Workers int
+	// MaxConcurrent bounds the queries admitted into execution at once
+	// (0 = Workers): beyond it, Execute blocks in admission order.
+	MaxConcurrent int
+	// SharedFeedback enables the global measured-cardinality overlay:
+	// every execution publishes its profile, every optimization runs
+	// against the current snapshot, and the plan cache invalidates by
+	// epoch when measurements actually change.
+	SharedFeedback bool
+	// PlanCacheSize caps the plan cache (entries; 0 = 256). Stale-epoch
+	// entries are evicted first.
+	PlanCacheSize int
+}
+
+// defaults resolves zero values.
+func (o EngineOptions) defaults() EngineOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = o.Workers
+	}
+	if o.PlanCacheSize <= 0 {
+		o.PlanCacheSize = 256
+	}
+	return o
+}
+
+// Engine is a concurrent query service over resident table data. Create
+// one with NewEngine, register datasets (or pass data per request), and
+// execute queries through sessions from any number of goroutines.
+type Engine struct {
+	opts  EngineOptions
+	pool  *algebra.Pool
+	cache *planCache
+	stats *cost.SharedOverlay // nil unless SharedFeedback
+
+	sem chan struct{} // admission tickets
+
+	mu       sync.Mutex
+	datasets map[string]engine.TableData
+	closed   bool
+	sessions atomic.Int64
+
+	requests       atomic.Int64
+	admissionWaits atomic.Int64
+}
+
+// NewEngine starts a service engine: the shared worker pool is running
+// and the plan cache and feedback overlay (if enabled) are empty.
+func NewEngine(opts EngineOptions) *Engine {
+	opts = opts.defaults()
+	e := &Engine{
+		opts:     opts,
+		pool:     algebra.NewPool(opts.Workers),
+		cache:    newPlanCache(opts.PlanCacheSize),
+		sem:      make(chan struct{}, opts.MaxConcurrent),
+		datasets: map[string]engine.TableData{},
+	}
+	if opts.SharedFeedback {
+		e.stats = cost.NewSharedOverlay()
+	}
+	return e
+}
+
+// Close shuts the engine down: the worker pool drains and exits, and
+// subsequent Execute calls fail. In-flight queries complete (their
+// fan-outs degrade to inline execution once the pool closes).
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.pool.Close()
+}
+
+// Register makes a dataset available to requests by name (replacing any
+// previous dataset of that name). The tables must not be mutated after
+// registration — every concurrent query reads them directly.
+func (e *Engine) Register(name string, data engine.TableData) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.datasets[name] = data
+}
+
+// Epoch returns the current feedback epoch (0 when shared feedback is
+// off or nothing has been measured yet).
+func (e *Engine) Epoch() uint64 {
+	if e.stats == nil {
+		return 0
+	}
+	return e.stats.Epoch()
+}
+
+// NewSession returns a session bound to the engine. Sessions are cheap
+// handles; each is safe for concurrent use by multiple goroutines, and
+// any number of sessions may execute at once.
+func (e *Engine) NewSession() *Session {
+	id := e.sessions.Add(1)
+	return &Session{eng: e, id: id}
+}
+
+// Metrics is a point-in-time snapshot of the engine's shared state.
+type Metrics struct {
+	Requests       int64 // queries executed (or failed) through the engine
+	AdmissionWaits int64 // queries that blocked on the admission semaphore
+	PlanCacheHits  int64
+	PlanCacheMiss  int64
+	PlanCacheSize  int    // entries currently cached
+	Epoch          uint64 // current feedback epoch
+	FeedbackKeys   int    // measured cardinalities in the shared overlay
+	Pool           algebra.PoolStats
+}
+
+// Metrics returns current counters.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		Requests:       e.requests.Load(),
+		AdmissionWaits: e.admissionWaits.Load(),
+		PlanCacheHits:  e.cache.hits.Load(),
+		PlanCacheMiss:  e.cache.misses.Load(),
+		PlanCacheSize:  e.cache.size(),
+		Pool:           e.pool.Stats(),
+	}
+	if e.stats != nil {
+		m.Epoch = e.stats.Epoch()
+		m.FeedbackKeys = e.stats.Len()
+	}
+	return m
+}
+
+// Session is one client's handle on the engine.
+type Session struct {
+	eng *Engine
+	id  int64
+}
+
+// ID returns the session's engine-unique id.
+func (s *Session) ID() int64 { return s.id }
+
+// Request is one query submission.
+type Request struct {
+	// Opt configures the optimizer. Opt.Stats must be nil — the engine
+	// installs its own shared-overlay snapshot (requests needing custom
+	// statistics belong on the one-shot library entry points).
+	Opt core.Options
+	// Exec configures execution. Exec.Pool must be nil — the engine
+	// supplies the shared scheduler.
+	Exec engine.ExecOptions
+	// Data is the inline input data; leave nil to use the registered
+	// dataset named by Dataset.
+	Data engine.TableData
+	// Dataset names a registered dataset (ignored when Data is set).
+	Dataset string
+	// NoCache bypasses the plan cache for this request (the plan is
+	// optimized fresh and not stored) — the cold-path reference.
+	NoCache bool
+}
+
+// Response is one executed query.
+type Response struct {
+	Table *algebra.Table
+	Plan  *plan.Plan
+	// Stats is the execution profile (measured C_out, per-operator
+	// cardinalities, result rows).
+	Stats *engine.ExecStats
+	// OptStats reports the optimizer's search effort. On a plan-cache
+	// hit it is the zero value — no csg-cmp-pairs enumerated, no plans
+	// built — which is exactly the point of the cache.
+	OptStats core.Stats
+	// CacheHit reports that the plan came from the cache (including
+	// waiting on another request's in-flight optimization).
+	CacheHit bool
+	// Epoch is the feedback epoch the plan was optimized under.
+	Epoch uint64
+	// OptimizeMillis and ExecMillis split the request's wall time.
+	OptimizeMillis float64
+	ExecMillis     float64
+}
+
+// Execute optimizes and runs one query. Safe for arbitrary concurrent
+// use; the result table is bit-identical to the one-shot library call
+// (core.Optimize + engine.ExecTablesOpts) under the same statistics
+// snapshot, whatever the concurrency.
+func (s *Session) Execute(q *query.Query, req Request) (*Response, error) {
+	return s.eng.execute(q, req)
+}
+
+func (e *Engine) execute(q *query.Query, req Request) (*Response, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, errors.New("service: engine is closed")
+	}
+	data := req.Data
+	if data == nil {
+		if req.Dataset == "" {
+			e.mu.Unlock()
+			return nil, errors.New("service: request needs Data or a Dataset name")
+		}
+		var ok bool
+		data, ok = e.datasets[req.Dataset]
+		if !ok {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("service: unknown dataset %q", req.Dataset)
+		}
+	}
+	e.mu.Unlock()
+	if req.Opt.Stats != nil {
+		return nil, errors.New("service: Request.Opt.Stats must be nil (the engine supplies the shared statistics snapshot)")
+	}
+	if req.Exec.Pool != nil {
+		return nil, errors.New("service: Request.Exec.Pool must be nil (the engine supplies the shared scheduler)")
+	}
+	e.requests.Add(1)
+
+	// Admission: bound the queries executing at once. Waiting requests
+	// queue on the channel in arrival order.
+	select {
+	case e.sem <- struct{}{}:
+	default:
+		e.admissionWaits.Add(1)
+		e.sem <- struct{}{}
+	}
+	defer func() { <-e.sem }()
+
+	// Freeze the statistics for this query: the snapshot is immutable,
+	// so the whole optimization — parallel DP workers included — sees
+	// one consistent state no concurrent publish can perturb.
+	opt := req.Opt
+	var epoch uint64
+	if e.stats != nil {
+		var snap *cost.FeedbackOverlay
+		snap, epoch = e.stats.Snapshot()
+		opt.Stats = snap
+	}
+
+	resp := &Response{Epoch: epoch}
+	optStart := time.Now()
+	if req.NoCache {
+		res, err := core.Optimize(q, opt)
+		if err != nil {
+			return nil, err
+		}
+		resp.Plan, resp.OptStats = res.Plan, res.Stats
+	} else {
+		key := cacheKey{sig: core.Fingerprint(q, opt), epoch: epoch}
+		p, stats, hit, err := e.cache.getOrCompute(key, func() (*plan.Plan, core.Stats, error) {
+			res, err := core.Optimize(q, opt)
+			if err != nil {
+				return nil, core.Stats{}, err
+			}
+			return res.Plan, res.Stats, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp.Plan, resp.CacheHit = p, hit
+		if !hit {
+			resp.OptStats = stats
+		}
+	}
+	resp.OptimizeMillis = float64(time.Since(optStart).Microseconds()) / 1000
+
+	ex := req.Exec
+	if ex.Workers == 0 {
+		ex.Workers = e.opts.Workers
+	}
+	ex.Pool = e.pool
+	execStart := time.Now()
+	tab, stats, err := engine.ExecProfiledOpts(q, resp.Plan, data, ex)
+	if err != nil {
+		return nil, err
+	}
+	resp.ExecMillis = float64(time.Since(execStart).Microseconds()) / 1000
+	resp.Table, resp.Stats = tab, stats
+
+	// Publish the measured cardinalities. The epoch only advances when
+	// a measurement actually changes (steady-state workloads keep their
+	// cached plans); on a change, plans optimized under older epochs
+	// are dropped — the epoch half of the cache key already keeps them
+	// from being returned, pruning just frees the memory.
+	if e.stats != nil {
+		if newEpoch, changed := e.stats.Publish(stats.Profile()); changed {
+			e.cache.pruneBelow(newEpoch)
+		}
+	}
+	return resp, nil
+}
