@@ -68,72 +68,78 @@ func addTo(s Value, term Value) Value {
 	return Add(s, term)
 }
 
-// update folds one input row into the accumulator.
-func (c *aggCell) update(a *BoundAgg, row Row) {
+// update folds one input row into the accumulator. scratch is a reusable
+// per-worker key buffer for the distinct forms (reset on every use, so
+// sharing one across rows and aggregates is safe).
+func (c *aggCell) update(a *BoundAgg, row Row, scratch *[]byte) {
+	c.updateVals(a, row.get(a.Arg), row.get(a.Arg2), row.get(a.Wgt), scratch)
+}
+
+// updateVals is the representation-neutral fold core: it takes the
+// aggregate's input values directly instead of reading them from a row,
+// so the row runtime (update) and the batch runtime's generic fold
+// (batchagg.go) share one accumulator trajectory — bit-identical by
+// construction.
+func (c *aggCell) updateVals(a *BoundAgg, arg, arg2, wgt Value, scratch *[]byte) {
 	switch a.Kind {
 	case aggfn.CountStar:
 		c.count++
 	case aggfn.Count:
-		if !row.get(a.Arg).IsNull() {
+		if !arg.IsNull() {
 			c.count++
 		}
 	case aggfn.Sum:
-		c.sum = addTo(c.sum, row.get(a.Arg))
+		c.sum = addTo(c.sum, arg)
 	case aggfn.SumTimes:
-		c.sum = addTo(c.sum, Mul(row.get(a.Arg), row.get(a.Arg2)))
+		c.sum = addTo(c.sum, Mul(arg, arg2))
 	case aggfn.SumIfNotNull:
-		if row.get(a.Arg).IsNull() {
+		if arg.IsNull() {
 			c.sum = addTo(c.sum, Int(0))
 		} else {
-			c.sum = addTo(c.sum, row.get(a.Arg2))
+			c.sum = addTo(c.sum, arg2)
 		}
 	case aggfn.Min, aggfn.Max:
-		v := row.get(a.Arg)
-		if v.IsNull() {
+		if arg.IsNull() {
 			return
 		}
 		if c.sum.IsNull() {
-			c.sum = v
+			c.sum = arg
 			return
 		}
-		r, _ := CompareStrict(v, c.sum)
+		r, _ := CompareStrict(arg, c.sum)
 		if (a.Kind == aggfn.Min && r < 0) || (a.Kind == aggfn.Max && r > 0) {
-			c.sum = v
+			c.sum = arg
 		}
 	case aggfn.Avg:
-		v := row.get(a.Arg)
-		c.sum = addTo(c.sum, v)
-		if !v.IsNull() {
+		c.sum = addTo(c.sum, arg)
+		if !arg.IsNull() {
 			c.count++
 		}
 	case aggfn.AvgMerge:
-		num, den := row.get(a.Arg), row.get(a.Arg2)
+		num, den := arg, arg2
 		if a.Wgt >= 0 {
-			w := row.get(a.Wgt)
-			num, den = Mul(num, w), Mul(den, w)
+			num, den = Mul(num, wgt), Mul(den, wgt)
 		}
 		c.sum = addTo(c.sum, num)
 		c.sum2 = addTo(c.sum2, den)
 	case aggfn.AvgWeighted:
-		v, w := row.get(a.Arg), row.get(a.Arg2)
-		c.sum = addTo(c.sum, Mul(v, w))
-		if v.IsNull() {
+		c.sum = addTo(c.sum, Mul(arg, arg2))
+		if arg.IsNull() {
 			c.sum2 = addTo(c.sum2, Int(0))
 		} else {
-			c.sum2 = addTo(c.sum2, w)
+			c.sum2 = addTo(c.sum2, arg2)
 		}
 	case aggfn.SumDistinct, aggfn.CountDistinct, aggfn.AvgDistinct:
-		v := row.get(a.Arg)
-		if v.IsNull() {
+		if arg.IsNull() {
 			return
 		}
 		if c.seen == nil {
 			c.seen = map[string]struct{}{}
 		}
-		k := string(appendKeyValue(nil, v))
-		if _, dup := c.seen[k]; !dup {
-			c.seen[k] = struct{}{}
-			c.vals = append(c.vals, v)
+		*scratch = appendKeyValue((*scratch)[:0], arg)
+		if _, dup := c.seen[string(*scratch)]; !dup {
+			c.seen[string(*scratch)] = struct{}{}
+			c.vals = append(c.vals, arg)
 		}
 	default:
 		panic(fmt.Sprintf("algebra: unknown aggregate kind %v", a.Kind))
@@ -194,7 +200,7 @@ func HashGroup(t *Table, groupBy []string, f aggfn.Vector) *Table {
 
 	groups := map[string]*groupAcc{}
 	var order []*groupAcc
-	var buf []byte
+	var buf, scratch []byte
 	for _, row := range t.Rows {
 		buf = appendRowKey(buf[:0], row, groupSlots)
 		g := groups[string(buf)]
@@ -208,7 +214,7 @@ func HashGroup(t *Table, groupBy []string, f aggfn.Vector) *Table {
 			order = append(order, g)
 		}
 		for i := range bound {
-			g.cells[i].update(&bound[i], row)
+			g.cells[i].update(&bound[i], row, &scratch)
 		}
 	}
 	for _, g := range order {
@@ -231,14 +237,14 @@ func HashGroupJoin(l, r *Table, lk, rk []int, f aggfn.Vector) *Table {
 	names := append(append([]string(nil), l.Schema.Names()...), f.Outs()...)
 	out := &Table{Schema: NewSchema(names)}
 	ht := buildSide(r, rk)
-	var buf []byte
+	var buf, scratch []byte
 	for _, lrow := range l.Rows {
 		cells := make([]aggCell, len(bound))
 		if !rowHasNullKey(lrow, lk) {
 			buf = appendJoinKey(buf[:0], lrow, lk)
 			for _, ri := range ht[string(buf)] {
 				for i := range bound {
-					cells[i].update(&bound[i], r.Rows[ri])
+					cells[i].update(&bound[i], r.Rows[ri], &scratch)
 				}
 			}
 		}

@@ -39,6 +39,7 @@ func buildSide(r *Table, rk []int) map[string][]int32 {
 func HashJoin(l, r *Table, lk, rk []int) *Table {
 	out := &Table{Schema: l.Schema.Concat(r.Schema)}
 	ht := buildSide(r, rk)
+	ar := newRowArena(out.Schema.Len())
 	var buf []byte
 	for _, lrow := range l.Rows {
 		if rowHasNullKey(lrow, lk) {
@@ -46,7 +47,7 @@ func HashJoin(l, r *Table, lk, rk []int) *Table {
 		}
 		buf = appendJoinKey(buf[:0], lrow, lk)
 		for _, ri := range ht[string(buf)] {
-			out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+			out.Rows = append(out.Rows, ar.concat(lrow, r.Rows[ri]))
 		}
 	}
 	return out
@@ -93,6 +94,7 @@ func HashAntiJoin(l, r *Table, lk, rk []int) *Table {
 func HashLeftOuter(l, r *Table, lk, rk []int, pad Row) *Table {
 	out := &Table{Schema: l.Schema.Concat(r.Schema)}
 	ht := buildSide(r, rk)
+	ar := newRowArena(out.Schema.Len())
 	var buf []byte
 	for _, lrow := range l.Rows {
 		matched := false
@@ -100,11 +102,11 @@ func HashLeftOuter(l, r *Table, lk, rk []int, pad Row) *Table {
 			buf = appendJoinKey(buf[:0], lrow, lk)
 			for _, ri := range ht[string(buf)] {
 				matched = true
-				out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+				out.Rows = append(out.Rows, ar.concat(lrow, r.Rows[ri]))
 			}
 		}
 		if !matched {
-			out.Rows = append(out.Rows, concatRow(lrow, pad))
+			out.Rows = append(out.Rows, ar.concat(lrow, pad))
 		}
 	}
 	return out
@@ -115,6 +117,7 @@ func HashLeftOuter(l, r *Table, lk, rk []int, pad Row) *Table {
 func HashFullOuter(l, r *Table, lk, rk []int, lpad, rpad Row) *Table {
 	out := &Table{Schema: l.Schema.Concat(r.Schema)}
 	ht := buildSide(r, rk)
+	ar := newRowArena(out.Schema.Len())
 	matchedRight := make([]bool, len(r.Rows))
 	var buf []byte
 	for _, lrow := range l.Rows {
@@ -124,16 +127,16 @@ func HashFullOuter(l, r *Table, lk, rk []int, lpad, rpad Row) *Table {
 			for _, ri := range ht[string(buf)] {
 				matched = true
 				matchedRight[ri] = true
-				out.Rows = append(out.Rows, concatRow(lrow, r.Rows[ri]))
+				out.Rows = append(out.Rows, ar.concat(lrow, r.Rows[ri]))
 			}
 		}
 		if !matched {
-			out.Rows = append(out.Rows, concatRow(lrow, rpad))
+			out.Rows = append(out.Rows, ar.concat(lrow, rpad))
 		}
 	}
 	for ri, rrow := range r.Rows {
 		if !matchedRight[ri] {
-			out.Rows = append(out.Rows, concatRow(lpad, rrow))
+			out.Rows = append(out.Rows, ar.concat(lpad, rrow))
 		}
 	}
 	return out

@@ -75,6 +75,34 @@ type Exec struct {
 	// count) still derives only from workers, so results are identical
 	// with or without a pool.
 	pool *Pool
+	// batch is the row count per columnar batch of the batch-at-a-time
+	// operators (batchjoin.go, batchagg.go); 0 selects DefaultBatchSize.
+	// Results are identical for every size.
+	batch int
+}
+
+// DefaultBatchSize is the default row count per columnar batch: large
+// enough to amortize the per-batch column-kind dispatch, small enough
+// that a batch's working set (keys + payloads) stays cache-resident.
+const DefaultBatchSize = 1024
+
+// WithBatchSize returns a copy of e with an explicit columnar batch size
+// (≤ 0 restores the default). Results are bit-identical for every size.
+func (e *Exec) WithBatchSize(rows int) *Exec {
+	out := *e
+	if rows < 0 {
+		rows = 0
+	}
+	out.batch = rows
+	return &out
+}
+
+// batchSize returns the resolved columnar batch size.
+func (e *Exec) batchSize() int {
+	if e == nil || e.batch <= 0 {
+		return DefaultBatchSize
+	}
+	return e.batch
 }
 
 // NewExec returns execution settings for the given worker count:
@@ -351,16 +379,18 @@ func (e *Exec) HashJoin(l, r *Table, lk, rk []int) *Table {
 	}
 	out := &Table{Schema: l.Schema.Concat(r.Schema)}
 	pt := e.buildPartitioned(r, rk)
+	width := out.Schema.Len()
 	e.probeMorsels(l, out, func(lo, hi int) []Row {
 		var chunk []Row
 		var buf []byte
+		ar := newRowArena(width)
 		for _, lrow := range l.Rows[lo:hi] {
 			if rowHasNullKey(lrow, lk) {
 				continue
 			}
 			buf = appendJoinKey(buf[:0], lrow, lk)
 			for _, ri := range pt.lookup(buf) {
-				chunk = append(chunk, concatRow(lrow, r.Rows[ri]))
+				chunk = append(chunk, ar.concat(lrow, r.Rows[ri]))
 			}
 		}
 		return chunk
@@ -424,20 +454,22 @@ func (e *Exec) HashLeftOuter(l, r *Table, lk, rk []int, pad Row) *Table {
 	}
 	out := &Table{Schema: l.Schema.Concat(r.Schema)}
 	pt := e.buildPartitioned(r, rk)
+	width := out.Schema.Len()
 	e.probeMorsels(l, out, func(lo, hi int) []Row {
 		var chunk []Row
 		var buf []byte
+		ar := newRowArena(width)
 		for _, lrow := range l.Rows[lo:hi] {
 			matched := false
 			if !rowHasNullKey(lrow, lk) {
 				buf = appendJoinKey(buf[:0], lrow, lk)
 				for _, ri := range pt.lookup(buf) {
 					matched = true
-					chunk = append(chunk, concatRow(lrow, r.Rows[ri]))
+					chunk = append(chunk, ar.concat(lrow, r.Rows[ri]))
 				}
 			}
 			if !matched {
-				chunk = append(chunk, concatRow(lrow, pad))
+				chunk = append(chunk, ar.concat(lrow, pad))
 			}
 		}
 		return chunk
@@ -456,10 +488,12 @@ func (e *Exec) HashFullOuter(l, r *Table, lk, rk []int, lpad, rpad Row) *Table {
 	}
 	out := &Table{Schema: l.Schema.Concat(r.Schema)}
 	pt := e.buildPartitioned(r, rk)
+	width := out.Schema.Len()
 	matched := make([]atomic.Bool, len(r.Rows))
 	e.probeMorsels(l, out, func(lo, hi int) []Row {
 		var chunk []Row
 		var buf []byte
+		ar := newRowArena(width)
 		for _, lrow := range l.Rows[lo:hi] {
 			found := false
 			if !rowHasNullKey(lrow, lk) {
@@ -467,18 +501,19 @@ func (e *Exec) HashFullOuter(l, r *Table, lk, rk []int, lpad, rpad Row) *Table {
 				for _, ri := range pt.lookup(buf) {
 					found = true
 					matched[ri].Store(true)
-					chunk = append(chunk, concatRow(lrow, r.Rows[ri]))
+					chunk = append(chunk, ar.concat(lrow, r.Rows[ri]))
 				}
 			}
 			if !found {
-				chunk = append(chunk, concatRow(lrow, rpad))
+				chunk = append(chunk, ar.concat(lrow, rpad))
 			}
 		}
 		return chunk
 	})
+	tail := newRowArena(width)
 	for ri, rrow := range r.Rows {
 		if !matched[ri].Load() {
-			out.Rows = append(out.Rows, concatRow(lpad, rrow))
+			out.Rows = append(out.Rows, tail.concat(lpad, rrow))
 		}
 	}
 	return out
@@ -497,14 +532,14 @@ func (e *Exec) HashGroupJoin(l, r *Table, lk, rk []int, f aggfn.Vector) *Table {
 	pt := e.buildPartitioned(r, rk)
 	e.probeMorsels(l, out, func(lo, hi int) []Row {
 		chunk := make([]Row, 0, hi-lo)
-		var buf []byte
+		var buf, scratch []byte
 		for _, lrow := range l.Rows[lo:hi] {
 			cells := make([]aggCell, len(bound))
 			if !rowHasNullKey(lrow, lk) {
 				buf = appendJoinKey(buf[:0], lrow, lk)
 				for _, ri := range pt.lookup(buf) {
 					for i := range bound {
-						cells[i].update(&bound[i], r.Rows[ri])
+						cells[i].update(&bound[i], r.Rows[ri], &scratch)
 					}
 				}
 			}
@@ -560,6 +595,7 @@ func (e *Exec) HashGroup(t *Table, groupBy []string, f aggfn.Vector) *Table {
 	e.forParts(func(p int) {
 		groups := map[string]*partGroup{}
 		var order []*partGroup
+		var scratch []byte
 		for _, sc := range scatters {
 			for _, en := range sc.buckets[p] {
 				key := sc.arena[en.off : en.off+en.len]
@@ -578,7 +614,7 @@ func (e *Exec) HashGroup(t *Table, groupBy []string, f aggfn.Vector) *Table {
 					order = append(order, g)
 				}
 				for i := range bound {
-					g.acc.cells[i].update(&bound[i], row)
+					g.acc.cells[i].update(&bound[i], row, &scratch)
 				}
 			}
 		}
@@ -616,10 +652,14 @@ func (e *Exec) ExtendTable(t *Table, name string, fn func(Row) Value) *Table {
 		return ExtendTable(t, name, fn)
 	}
 	out := &Table{Schema: t.Schema.Extend(name), Rows: make([]Row, len(t.Rows))}
+	w := t.Schema.Len() + 1
+	slab := make([]Value, len(t.Rows)*w)
 	e.forMorsels(len(t.Rows), func(m, lo, hi int) {
+		// Morsels own disjoint row ranges, so they write disjoint slab
+		// spans.
 		for i := lo; i < hi; i++ {
 			row := t.Rows[i]
-			nr := make(Row, 0, len(row)+1)
+			nr := slab[i*w : i*w : (i+1)*w]
 			nr = append(nr, row...)
 			nr = append(nr, fn(row))
 			out.Rows[i] = nr

@@ -350,12 +350,14 @@ func (e *Exec) MergeJoin(l, r *Table, lk, rk []int, sortL, sortR bool) (*Table, 
 	if err != nil {
 		return nil, err
 	}
+	width := out.Schema.Len()
 	e.probeMorsels(l, out, func(lo, hi int) []Row {
 		var chunk []Row
+		ar := newRowArena(width)
 		for i := lo; i < hi; i++ {
 			rg := ranges[i]
 			for j := rg[0]; j < rg[1]; j++ {
-				chunk = append(chunk, concatRow(l.Rows[i], r.Rows[rIdx[j]]))
+				chunk = append(chunk, ar.concat(l.Rows[i], r.Rows[rIdx[j]]))
 			}
 		}
 		return chunk
@@ -413,16 +415,18 @@ func (e *Exec) MergeLeftOuter(l, r *Table, lk, rk []int, sortL, sortR bool, pad 
 	if err != nil {
 		return nil, err
 	}
+	width := out.Schema.Len()
 	e.probeMorsels(l, out, func(lo, hi int) []Row {
 		var chunk []Row
+		ar := newRowArena(width)
 		for i := lo; i < hi; i++ {
 			rg := ranges[i]
 			if rg[0] == noRange {
-				chunk = append(chunk, concatRow(l.Rows[i], pad))
+				chunk = append(chunk, ar.concat(l.Rows[i], pad))
 				continue
 			}
 			for j := rg[0]; j < rg[1]; j++ {
-				chunk = append(chunk, concatRow(l.Rows[i], r.Rows[rIdx[j]]))
+				chunk = append(chunk, ar.concat(l.Rows[i], r.Rows[rIdx[j]]))
 			}
 		}
 		return chunk
@@ -498,6 +502,7 @@ func (e *Exec) foldSortedRuns(t *Table, idx []int32, groupSlots []int, bound []B
 func foldRunRange(t *Table, idx []int32, lo, hi, n int, groupSlots []int, bound []BoundAgg,
 	sameKey func(a, b int32) bool, runStart func(p int) bool) []groupOut {
 	var outs []groupOut
+	var scratch []byte
 	p := lo
 	for p < hi && !runStart(p) {
 		p++
@@ -515,7 +520,7 @@ func foldRunRange(t *Table, idx []int32, lo, hi, n int, groupSlots []int, bound 
 		for q := p; q < end; q++ {
 			row := t.Rows[idx[q]]
 			for i := range bound {
-				cells[i].update(&bound[i], row)
+				cells[i].update(&bound[i], row, &scratch)
 			}
 		}
 		row := make(Row, 0, len(groupSlots)+len(bound))
@@ -535,20 +540,24 @@ func foldRunRange(t *Table, idx []int32, lo, hi, n int, groupSlots []int, bound 
 // hash layer groups by, so run equality is exactly hash-group equality.
 func (e *Exec) streamRuns(t *Table, groupSlots []int, bound []BoundAgg, out *Table) {
 	n := len(t.Rows)
-	rowKey := func(i int) []byte { return appendRowKey(nil, t.Rows[i], groupSlots) }
-	isStart := func(i int) bool {
-		if i == 0 {
-			return true
-		}
-		return string(rowKey(i-1)) != string(rowKey(i))
-	}
 	fold := func(lo, hi int) []Row { // runs starting in [lo,hi), folded to completion
 		var chunk []Row
+		// Per-call (= per-morsel) reusable key buffers: run-boundary
+		// detection and the distinct accumulators never allocate fresh
+		// encodings per row.
+		var key, next, scratch []byte
+		isStart := func(i int) bool {
+			if i == 0 {
+				return true
+			}
+			key = appendRowKey(key[:0], t.Rows[i-1], groupSlots)
+			next = appendRowKey(next[:0], t.Rows[i], groupSlots)
+			return string(key) != string(next)
+		}
 		p := lo
 		for p < hi && !isStart(p) {
 			p++
 		}
-		var key, next []byte
 		for p < hi {
 			key = appendRowKey(key[:0], t.Rows[p], groupSlots)
 			end := p + 1
@@ -566,7 +575,7 @@ func (e *Exec) streamRuns(t *Table, groupSlots []int, bound []BoundAgg, out *Tab
 			cells := make([]aggCell, len(bound))
 			for q := p; q < end; q++ {
 				for i := range bound {
-					cells[i].update(&bound[i], t.Rows[q])
+					cells[i].update(&bound[i], t.Rows[q], &scratch)
 				}
 			}
 			row := make(Row, 0, len(groupSlots)+len(bound))

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eagg/internal/core"
+	"eagg/internal/randquery"
+)
+
+// TestParseRuntime pins the flag-surface contract: empty and "row" are
+// the row runtime, "batch" is the batch runtime, anything else errors.
+func TestParseRuntime(t *testing.T) {
+	for s, want := range map[string]Runtime{"": RuntimeRow, "row": RuntimeRow, "batch": RuntimeBatch} {
+		got, err := ParseRuntime(s)
+		if err != nil || got != want {
+			t.Errorf("ParseRuntime(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseRuntime("vector"); err == nil {
+		t.Error("ParseRuntime must reject unknown names")
+	}
+	if RuntimeRow.String() != "row" || RuntimeBatch.String() != "batch" {
+		t.Error("Runtime.String mismatch")
+	}
+}
+
+// TestBatchParallelDeterminism is the batch runtime's version of the
+// central determinism contract: on random queries and data, executing an
+// optimized plan on the batch runtime — for every (workers, batch-size)
+// pair — must return a table bit-identical to the sequential row
+// reference path, order-sensitive float sums included.
+func TestBatchParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(90217))
+	algs := []core.Options{
+		{Algorithm: core.AlgDPhyp},
+		{Algorithm: core.AlgEAPrune},
+		{Algorithm: core.AlgH1},
+	}
+	batchSizes := []int{1, 7, 1024}
+	queries := 0
+	for n := 2; n <= 6; n++ {
+		for trial := 0; trial < 6; trial++ {
+			q := randquery.Generate(rng, randquery.Params{Relations: n})
+			data := RandomData(rng, q, 14).Tables()
+			queries++
+			opts := algs[(queries-1)%len(algs)]
+			res, err := core.Optimize(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := ExecTablesOpts(q, res.Plan, data, ExecOptions{Workers: 1})
+			if err != nil {
+				t.Fatalf("n=%d trial=%d sequential: %v", n, trial, err)
+			}
+			for _, bs := range batchSizes {
+				for _, workers := range []int{1, 8} {
+					eo := ExecOptions{Workers: workers, Runtime: RuntimeBatch, BatchSize: bs}
+					if workers > 1 {
+						eo.MorselSize = 2
+					}
+					got, err := ExecTablesOpts(q, res.Plan, data, eo)
+					if err != nil {
+						t.Fatalf("n=%d trial=%d batch=%d workers=%d: %v", n, trial, bs, workers, err)
+					}
+					identicalTables(t,
+						fmt.Sprintf("n=%d trial=%d %v batch=%d workers=%d", n, trial, opts.Algorithm, bs, workers),
+						seq, got)
+				}
+			}
+		}
+	}
+	if queries < 25 {
+		t.Fatalf("workload too small: %d queries", queries)
+	}
+}

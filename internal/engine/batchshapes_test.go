@@ -1,0 +1,54 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eagg/internal/algebra"
+	"eagg/internal/core"
+	"eagg/internal/engine"
+	"eagg/internal/tpch"
+)
+
+// TestBatchTPCHShapes runs every TPC-H query shape on the batch runtime —
+// eager and lazy plans from several enumerators, hash and sort-annotated
+// physical layers — and requires bit-identity with the row runtime plus
+// bag-equality with the canonical evaluation.
+func TestBatchTPCHShapes(t *testing.T) {
+	for name, q := range tpch.Queries() {
+		tables := tpch.GenerateTables(rand.New(rand.NewSource(5)), q, tpch.ExecutionScale(name))
+		attrs := engine.OutputAttrs(q)
+		want, err := engine.CanonicalTables(q, tables)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opt := range []core.Options{
+			{Algorithm: core.AlgDPhyp},
+			{Algorithm: core.AlgH1},
+			{Algorithm: core.AlgEAPrune},
+			{Algorithm: core.AlgDPhyp, Phys: core.PhysModeAuto},
+		} {
+			label := fmt.Sprintf("%s/%v/%v", name, opt.Algorithm, opt.Phys)
+			res, err := core.Optimize(q, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			row, err := engine.ExecTablesOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s row exec: %v", label, err)
+			}
+			for _, bs := range []int{0, 1, 7} {
+				batch, err := engine.ExecTablesOpts(q, res.Plan, tables,
+					engine.ExecOptions{Workers: 1, Runtime: engine.RuntimeBatch, BatchSize: bs})
+				if err != nil {
+					t.Fatalf("%s batch exec: %v", label, err)
+				}
+				identicalTables(t, fmt.Sprintf("%s batch=%d", label, bs), row, batch)
+			}
+			if !algebra.EqualBags(want.Rel(), row.Rel(), attrs) {
+				t.Fatalf("%s: result differs from canonical", label)
+			}
+		}
+	}
+}

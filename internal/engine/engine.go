@@ -81,6 +81,13 @@ type ExecOptions struct {
 	// size-derived) work decomposition, so results are bit-identical
 	// with and without a pool.
 	Pool *algebra.Pool
+	// Runtime selects row-at-a-time (the default, the reference) or
+	// batch-at-a-time columnar execution. Results are bit-identical.
+	Runtime Runtime
+	// BatchSize overrides the rows-per-batch granularity of the batch
+	// runtime (0 = algebra.DefaultBatchSize). Results are identical for
+	// every size.
+	BatchSize int
 }
 
 // exec resolves the options into operator execution settings.
@@ -92,7 +99,19 @@ func (o ExecOptions) exec() *algebra.Exec {
 	if o.Pool != nil {
 		e = e.WithPool(o.Pool)
 	}
+	if o.BatchSize > 0 {
+		e = e.WithBatchSize(o.BatchSize)
+	}
 	return e
+}
+
+// runtime resolves the options into the operator runtime the compiler
+// executes against.
+func (o ExecOptions) runtime(ex *algebra.Exec) runtimeOps {
+	if o.Runtime == RuntimeBatch {
+		return batchRuntime{ex: ex}
+	}
+	return rowRuntime{ex: ex}
 }
 
 // ExecStats profiles one execution: a per-operator cardinality profile
@@ -231,9 +250,11 @@ func (e *binder) attrNames(set bitset.Set64) []string {
 	return out
 }
 
-// compiled is an executed subplan plus its aggregate bookkeeping.
+// compiled is an executed subplan plus its aggregate bookkeeping. The
+// table lives in whichever representation the selected runtime works on
+// (rows or columnar batches).
 type compiled struct {
-	tab     *algebra.Table
+	tab     rtTable
 	weights []weight
 	aggs    []aggState // indexed like the query's aggregation vector
 }
@@ -260,12 +281,13 @@ func ExecTables(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, e
 // the given execution options. Results are bit-identical for every
 // worker count.
 func ExecTablesOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOptions) (*algebra.Table, error) {
-	e := &executor{binder: binder{q: q}, data: data, ex: opts.exec()}
+	rt := opts.runtime(opts.exec())
+	e := &executor{binder: binder{q: q}, data: data, rt: rt}
 	c, err := e.compile(p)
 	if err != nil {
 		return nil, err
 	}
-	return c.tab, nil
+	return rt.result(c.tab), nil
 }
 
 // ExecProfiled executes an optimized plan and reports execution
@@ -282,28 +304,30 @@ func ExecProfiled(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table,
 // on ExecStats is needed, and the profile itself is deterministic.
 func ExecProfiledOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOptions) (*algebra.Table, *ExecStats, error) {
 	ex := opts.exec()
+	rt := opts.runtime(ex)
 	stats := &ExecStats{EstimatedCout: p.Cost, Workers: ex.Workers()}
-	e := &executor{binder: binder{q: q}, data: data, stats: stats, ex: ex}
+	e := &executor{binder: binder{q: q}, data: data, stats: stats, rt: rt}
 	c, err := e.compile(p)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.ResultRows = c.tab.Card()
-	return c.tab, stats, nil
+	res := rt.result(c.tab)
+	stats.ResultRows = res.Card()
+	return res, stats, nil
 }
 
 type executor struct {
 	binder
 	data  TableData
 	stats *ExecStats
-	ex    *algebra.Exec
+	rt    runtimeOps
 }
 
 // record accumulates one operator's actual output cardinality, both into
 // the summed actual C_out and — keyed by the operator's canonical
 // (relation-set, grouping-attrs) identity — into the per-operator profile
 // the feedback loop harvests.
-func (e *executor) record(p *plan.Plan, t *algebra.Table) {
+func (e *executor) record(p *plan.Plan, t rtTable) {
 	if e.stats == nil {
 		return
 	}
@@ -321,7 +345,7 @@ func (e *executor) compile(p *plan.Plan) (*compiled, error) {
 		if !ok {
 			return nil, fmt.Errorf("engine: no data for relation %d", p.Rel)
 		}
-		return &compiled{tab: tab, aggs: make([]aggState, len(e.q.Aggregates))}, nil
+		return &compiled{tab: e.rt.scan(tab), aggs: make([]aggState, len(e.q.Aggregates))}, nil
 	case plan.NodeOp:
 		return e.compileOp(p)
 	case plan.NodeGroup:
@@ -402,9 +426,10 @@ func mergeKeySlots(q *query.Query, p *plan.Plan, ls, rs *algebra.Schema) (lk, rk
 // padRow builds the outerjoin default row for a padded side: NULL
 // everywhere except weights (1) and partial attributes ({⊥} defaults).
 func padRow(c *compiled) algebra.Row {
-	pad := algebra.NullRow(c.tab.Schema)
+	s := c.tab.TabSchema()
+	pad := algebra.NullRow(s)
 	set := func(attr string, v algebra.Value) {
-		if slot, ok := c.tab.Schema.Slot(attr); ok {
+		if slot, ok := s.Slot(attr); ok {
 			pad[slot] = v
 		}
 	}
@@ -433,7 +458,7 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	lk, rk := joinKeys(e.q, p.Preds, l.tab.Schema, r.tab.Schema)
+	lk, rk := joinKeys(e.q, p.Preds, l.tab.TabSchema(), r.tab.TabSchema())
 
 	out := &compiled{aggs: make([]aggState, len(e.q.Aggregates))}
 	dropRight := p.Op.LeftOnly()
@@ -456,20 +481,12 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 		// ordered. Output sequences equal the hash operators', so the
 		// choice of layer never shows in results — only in the sorts
 		// performed.
-		mlk, mrk := mergeKeySlots(e.q, p, l.tab.Schema, r.tab.Schema)
-		var tab *algebra.Table
-		switch p.Op {
-		case query.KindJoin:
-			tab, err = e.ex.MergeJoin(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR)
-		case query.KindSemiJoin:
-			tab, err = e.ex.MergeSemiJoin(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR)
-		case query.KindAntiJoin:
-			tab, err = e.ex.MergeAntiJoin(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR)
-		case query.KindLeftOuter:
-			tab, err = e.ex.MergeLeftOuter(l.tab, r.tab, mlk, mrk, p.SortL, p.SortR, padRow(r))
-		default:
-			err = fmt.Errorf("engine: %v has no sort-based form", p.Op)
+		mlk, mrk := mergeKeySlots(e.q, p, l.tab.TabSchema(), r.tab.TabSchema())
+		var rpad algebra.Row
+		if p.Op == query.KindLeftOuter {
+			rpad = padRow(r)
 		}
+		tab, err := e.rt.mergeJoin(p.Op, l.tab, r.tab, mlk, mrk, p.SortL, p.SortR, rpad)
 		if err != nil {
 			return nil, err
 		}
@@ -480,15 +497,15 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 
 	switch p.Op {
 	case query.KindJoin:
-		out.tab = e.ex.HashJoin(l.tab, r.tab, lk, rk)
+		out.tab = e.rt.hashJoin(l.tab, r.tab, lk, rk)
 	case query.KindSemiJoin:
-		out.tab = e.ex.HashSemiJoin(l.tab, r.tab, lk, rk)
+		out.tab = e.rt.hashSemiJoin(l.tab, r.tab, lk, rk)
 	case query.KindAntiJoin:
-		out.tab = e.ex.HashAntiJoin(l.tab, r.tab, lk, rk)
+		out.tab = e.rt.hashAntiJoin(l.tab, r.tab, lk, rk)
 	case query.KindLeftOuter:
-		out.tab = e.ex.HashLeftOuter(l.tab, r.tab, lk, rk, padRow(r))
+		out.tab = e.rt.hashLeftOuter(l.tab, r.tab, lk, rk, padRow(r))
 	case query.KindFullOuter:
-		out.tab = e.ex.HashFullOuter(l.tab, r.tab, lk, rk, padRow(l), padRow(r))
+		out.tab = e.rt.hashFullOuter(l.tab, r.tab, lk, rk, padRow(l), padRow(r))
 	case query.KindGroupJoin:
 		if len(r.weights) != 0 {
 			return nil, fmt.Errorf("engine: groupjoin over a pre-aggregated right side is not supported")
@@ -498,7 +515,7 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 		if gj == nil {
 			return nil, fmt.Errorf("engine: groupjoin node not found in the query tree")
 		}
-		out.tab = e.ex.HashGroupJoin(l.tab, r.tab, lk, rk, gj.GroupJoinAggs)
+		out.tab = e.rt.hashGroupJoin(l.tab, r.tab, lk, rk, gj.GroupJoinAggs)
 	default:
 		return nil, fmt.Errorf("engine: unsupported operator %v", p.Op)
 	}

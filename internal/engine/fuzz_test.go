@@ -100,6 +100,22 @@ func FuzzExecEquivalence(f *testing.F) {
 		}
 		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v workers=%d", seed, n, opts.Algorithm, workers), seqTab, parTab)
 
+		// Batch-runtime arm: columnar batch execution must be
+		// bit-identical to the row runtime — sequentially and under
+		// morsel parallelism, for a fuzz-chosen batch size.
+		bs := 1 + int(maxRows)%9
+		batchTab, err := ExecTablesOpts(q, res.Plan, tables, ExecOptions{Workers: 1, Runtime: RuntimeBatch, BatchSize: bs})
+		if err != nil {
+			t.Fatalf("batch exec: %v", err)
+		}
+		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v batch=%d", seed, n, opts.Algorithm, bs), seqTab, batchTab)
+		batchPar, err := ExecTablesOpts(q, res.Plan, tables,
+			ExecOptions{Workers: workers, MorselSize: popts.MorselSize, Runtime: RuntimeBatch, BatchSize: bs})
+		if err != nil {
+			t.Fatalf("parallel batch exec: %v", err)
+		}
+		identicalTables(t, fmt.Sprintf("seed=%d n=%d %v batch=%d workers=%d", seed, n, opts.Algorithm, bs, workers), seqTab, batchPar)
+
 		// -phys arm: the sort-based physical layer. The sort/auto plan
 		// (annotated with merge keys, sort/reuse decisions and
 		// contractual orders) must execute bit-identically to the same
@@ -131,6 +147,14 @@ func FuzzExecEquivalence(f *testing.F) {
 			t.Fatalf("phys parallel exec: %v", err)
 		}
 		identicalTables(t, fmt.Sprintf("seed=%d n=%d phys=%v workers=%d", seed, n, physMode, workers), physTab, physPar)
+		// Sort-annotated plans on the batch runtime bridge the merge
+		// operators through the row representation — still bit-identical.
+		physBatch, err := ExecTablesOpts(q, pres.Plan, tables,
+			ExecOptions{Workers: 1, Runtime: RuntimeBatch, BatchSize: bs})
+		if err != nil {
+			t.Fatalf("phys batch exec: %v", err)
+		}
+		identicalTables(t, fmt.Sprintf("seed=%d n=%d phys=%v batch=%d", seed, n, physMode, bs), physTab, physBatch)
 
 		// Feedback arm: the cardinality feedback loop may change the
 		// chosen plan, never the answer — every re-optimized plan must

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"eagg/internal/aggfn"
-	"eagg/internal/algebra"
 	"eagg/internal/bitset"
 	"eagg/internal/plan"
 )
@@ -13,8 +12,9 @@ import (
 // fresh column and returns its name ("" when there are none, the
 // attribute itself when there is exactly one). The column is computed
 // slot-wise: the weight attributes are resolved against the table schema
-// once, and each row multiplies plain slot reads.
-func (e *executor) product(tab *algebra.Table, attrs []string) (string, *algebra.Table) {
+// once, and the runtime multiplies plain slot reads (per row, or as a
+// typed columnar kernel on the batch runtime).
+func (e *executor) product(tab rtTable, attrs []string) (string, rtTable) {
 	switch len(attrs) {
 	case 0:
 		return "", tab
@@ -22,15 +22,8 @@ func (e *executor) product(tab *algebra.Table, attrs []string) (string, *algebra
 		return attrs[0], tab
 	}
 	name := e.fresh("prod")
-	slots := tab.Schema.Slots(attrs)
-	tab = e.ex.ExtendTable(tab, name, func(row algebra.Row) algebra.Value {
-		v := algebra.Int(1)
-		for _, s := range slots {
-			v = algebra.Mul(v, row[s])
-		}
-		return v
-	})
-	return name, tab
+	slots := tab.TabSchema().Slots(attrs)
+	return name, e.rt.product(tab, name, slots)
 }
 
 func weightAttrs(ws []weight, excludeCover bitset.Set64) []string {
@@ -111,19 +104,19 @@ func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 // eliminated sort, verified against the covering order prefix the
 // optimizer recorded in p.MergeL) or sorts by the grouping key first.
 // Both layers emit the identical output sequence.
-func (e *executor) groupTable(tab *algebra.Table, gNames []string, f aggfn.Vector, p *plan.Plan) (*algebra.Table, error) {
+func (e *executor) groupTable(tab rtTable, gNames []string, f aggfn.Vector, p *plan.Plan) (rtTable, error) {
 	if p != nil && p.Phys == plan.PhysSortMerge {
 		var verify []int
 		if !p.SortL {
 			for _, a := range p.MergeL {
-				if slot, ok := tab.Schema.Slot(e.q.AttrNames[a]); ok {
+				if slot, ok := tab.TabSchema().Slot(e.q.AttrNames[a]); ok {
 					verify = append(verify, slot)
 				}
 			}
 		}
-		return e.ex.SortGroup(tab, gNames, f, p.SortL, verify)
+		return e.rt.sortGroup(tab, gNames, f, p.SortL, verify)
 	}
-	return e.ex.HashGroup(tab, gNames, f), nil
+	return e.rt.hashGroup(tab, gNames, f), nil
 }
 
 // collapse turns a raw aggregate into a partial state, appending the

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/algebra"
+	"eagg/internal/query"
+)
+
+// Runtime selects the physical execution runtime: row-at-a-time over
+// []Value rows (the reference), or batch-at-a-time over columnar vectors
+// (internal/algebra's ColTable operators). Both produce bit-identical
+// output sequences — the batch runtime exists purely for speed, and the
+// row runtime stays the differential oracle.
+type Runtime int
+
+const (
+	// RuntimeRow executes operators row at a time on *algebra.Table.
+	RuntimeRow Runtime = iota
+	// RuntimeBatch executes operators batch at a time on columnar
+	// vectors, converting to rows only at the result boundary.
+	RuntimeBatch
+)
+
+func (r Runtime) String() string {
+	switch r {
+	case RuntimeRow:
+		return "row"
+	case RuntimeBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("Runtime(%d)", int(r))
+}
+
+// ParseRuntime parses a runtime name. The empty string selects the row
+// runtime (the default).
+func ParseRuntime(s string) (Runtime, error) {
+	switch s {
+	case "", "row":
+		return RuntimeRow, nil
+	case "batch":
+		return RuntimeBatch, nil
+	}
+	return 0, fmt.Errorf("engine: unknown runtime %q (want row or batch)", s)
+}
+
+// rtTable is a compiled subplan's materialized data in whichever
+// representation the runtime works on. Both *algebra.Table and
+// *algebra.ColTable implement it; the compiler only ever needs the
+// cardinality and the schema — everything else goes through runtimeOps.
+type rtTable interface {
+	Card() int
+	TabSchema() *algebra.Schema
+}
+
+// runtimeOps is the operator surface the plan compiler executes against.
+// scan converts a stored table into the runtime's representation and
+// result converts back; every operator maps a plan node onto the
+// corresponding algebra call.
+type runtimeOps interface {
+	scan(t *algebra.Table) rtTable
+	result(t rtTable) *algebra.Table
+	hashJoin(l, r rtTable, lk, rk []int) rtTable
+	hashSemiJoin(l, r rtTable, lk, rk []int) rtTable
+	hashAntiJoin(l, r rtTable, lk, rk []int) rtTable
+	hashLeftOuter(l, r rtTable, lk, rk []int, rpad algebra.Row) rtTable
+	hashFullOuter(l, r rtTable, lk, rk []int, lpad, rpad algebra.Row) rtTable
+	hashGroupJoin(l, r rtTable, lk, rk []int, f aggfn.Vector) rtTable
+	hashGroup(t rtTable, groupBy []string, f aggfn.Vector) rtTable
+	sortGroup(t rtTable, groupBy []string, f aggfn.Vector, sortInput bool, verify []int) (rtTable, error)
+	mergeJoin(op query.OpKind, l, r rtTable, lk, rk []int, sortL, sortR bool, rpad algebra.Row) (rtTable, error)
+	product(t rtTable, name string, slots []int) rtTable
+}
+
+// rowRuntime runs every operator on the row-at-a-time slot runtime.
+type rowRuntime struct{ ex *algebra.Exec }
+
+func (rt rowRuntime) tab(t rtTable) *algebra.Table { return t.(*algebra.Table) }
+
+func (rt rowRuntime) scan(t *algebra.Table) rtTable { return t }
+func (rt rowRuntime) result(t rtTable) *algebra.Table {
+	return rt.tab(t)
+}
+func (rt rowRuntime) hashJoin(l, r rtTable, lk, rk []int) rtTable {
+	return rt.ex.HashJoin(rt.tab(l), rt.tab(r), lk, rk)
+}
+func (rt rowRuntime) hashSemiJoin(l, r rtTable, lk, rk []int) rtTable {
+	return rt.ex.HashSemiJoin(rt.tab(l), rt.tab(r), lk, rk)
+}
+func (rt rowRuntime) hashAntiJoin(l, r rtTable, lk, rk []int) rtTable {
+	return rt.ex.HashAntiJoin(rt.tab(l), rt.tab(r), lk, rk)
+}
+func (rt rowRuntime) hashLeftOuter(l, r rtTable, lk, rk []int, rpad algebra.Row) rtTable {
+	return rt.ex.HashLeftOuter(rt.tab(l), rt.tab(r), lk, rk, rpad)
+}
+func (rt rowRuntime) hashFullOuter(l, r rtTable, lk, rk []int, lpad, rpad algebra.Row) rtTable {
+	return rt.ex.HashFullOuter(rt.tab(l), rt.tab(r), lk, rk, lpad, rpad)
+}
+func (rt rowRuntime) hashGroupJoin(l, r rtTable, lk, rk []int, f aggfn.Vector) rtTable {
+	return rt.ex.HashGroupJoin(rt.tab(l), rt.tab(r), lk, rk, f)
+}
+func (rt rowRuntime) hashGroup(t rtTable, groupBy []string, f aggfn.Vector) rtTable {
+	return rt.ex.HashGroup(rt.tab(t), groupBy, f)
+}
+func (rt rowRuntime) sortGroup(t rtTable, groupBy []string, f aggfn.Vector, sortInput bool, verify []int) (rtTable, error) {
+	return rt.ex.SortGroup(rt.tab(t), groupBy, f, sortInput, verify)
+}
+func (rt rowRuntime) mergeJoin(op query.OpKind, l, r rtTable, lk, rk []int, sortL, sortR bool, rpad algebra.Row) (rtTable, error) {
+	switch op {
+	case query.KindJoin:
+		return rt.ex.MergeJoin(rt.tab(l), rt.tab(r), lk, rk, sortL, sortR)
+	case query.KindSemiJoin:
+		return rt.ex.MergeSemiJoin(rt.tab(l), rt.tab(r), lk, rk, sortL, sortR)
+	case query.KindAntiJoin:
+		return rt.ex.MergeAntiJoin(rt.tab(l), rt.tab(r), lk, rk, sortL, sortR)
+	case query.KindLeftOuter:
+		return rt.ex.MergeLeftOuter(rt.tab(l), rt.tab(r), lk, rk, sortL, sortR, rpad)
+	}
+	return nil, fmt.Errorf("engine: %v has no sort-based form", op)
+}
+func (rt rowRuntime) product(t rtTable, name string, slots []int) rtTable {
+	return rt.ex.ExtendTable(rt.tab(t), name, func(row algebra.Row) algebra.Value {
+		v := algebra.Int(1)
+		for _, s := range slots {
+			v = algebra.Mul(v, row[s])
+		}
+		return v
+	})
+}
+
+// batchRuntime runs the hash operators batch at a time on columnar
+// vectors. The sort-merge layer stays row-based — those operators bridge
+// through the row representation (their output, a *algebra.Table, is
+// itself an rtTable, and the next batch operator re-columnarizes it
+// lazily via Columnar). Output sequences are bit-identical to the row
+// runtime's for every batch size.
+type batchRuntime struct{ ex *algebra.Exec }
+
+// col views any rtTable columnar: ColTables pass through (selection
+// vectors intact), row tables columnarize once and cache.
+func (rt batchRuntime) col(t rtTable) *algebra.ColTable {
+	switch v := t.(type) {
+	case *algebra.ColTable:
+		return v
+	case *algebra.Table:
+		return v.Columnar()
+	}
+	panic(fmt.Sprintf("engine: unknown runtime table %T", t))
+}
+
+func (rt batchRuntime) scan(t *algebra.Table) rtTable { return t.Columnar() }
+func (rt batchRuntime) result(t rtTable) *algebra.Table {
+	if v, ok := t.(*algebra.Table); ok {
+		return v
+	}
+	return rt.col(t).Table()
+}
+func (rt batchRuntime) hashJoin(l, r rtTable, lk, rk []int) rtTable {
+	return rt.ex.BatchHashJoin(rt.col(l), rt.col(r), lk, rk)
+}
+func (rt batchRuntime) hashSemiJoin(l, r rtTable, lk, rk []int) rtTable {
+	return rt.ex.BatchHashSemiJoin(rt.col(l), rt.col(r), lk, rk)
+}
+func (rt batchRuntime) hashAntiJoin(l, r rtTable, lk, rk []int) rtTable {
+	return rt.ex.BatchHashAntiJoin(rt.col(l), rt.col(r), lk, rk)
+}
+func (rt batchRuntime) hashLeftOuter(l, r rtTable, lk, rk []int, rpad algebra.Row) rtTable {
+	return rt.ex.BatchHashLeftOuter(rt.col(l), rt.col(r), lk, rk, rpad)
+}
+func (rt batchRuntime) hashFullOuter(l, r rtTable, lk, rk []int, lpad, rpad algebra.Row) rtTable {
+	return rt.ex.BatchHashFullOuter(rt.col(l), rt.col(r), lk, rk, lpad, rpad)
+}
+func (rt batchRuntime) hashGroupJoin(l, r rtTable, lk, rk []int, f aggfn.Vector) rtTable {
+	return rt.ex.BatchHashGroupJoin(rt.col(l), rt.col(r), lk, rk, f)
+}
+func (rt batchRuntime) hashGroup(t rtTable, groupBy []string, f aggfn.Vector) rtTable {
+	return rt.ex.BatchHashGroup(rt.col(t), groupBy, f)
+}
+func (rt batchRuntime) sortGroup(t rtTable, groupBy []string, f aggfn.Vector, sortInput bool, verify []int) (rtTable, error) {
+	return rt.ex.SortGroup(rt.result(t), groupBy, f, sortInput, verify)
+}
+func (rt batchRuntime) mergeJoin(op query.OpKind, l, r rtTable, lk, rk []int, sortL, sortR bool, rpad algebra.Row) (rtTable, error) {
+	return rowRuntime{ex: rt.ex}.mergeJoin(op, rt.result(l), rt.result(r), lk, rk, sortL, sortR, rpad)
+}
+func (rt batchRuntime) product(t rtTable, name string, slots []int) rtTable {
+	return rt.ex.BatchExtendProduct(rt.col(t), name, slots)
+}

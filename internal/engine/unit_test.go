@@ -9,32 +9,35 @@ import (
 )
 
 func TestProductHelper(t *testing.T) {
-	e := &executor{}
 	tab := algebra.TableOf(algebra.NewRel([]string{"w1", "w2", "w3"},
 		[]any{2, 3, 5},
 		[]any{1, nil, 4},
 	))
-	// No attributes: no column, empty name.
-	name, out := e.product(tab, nil)
-	if name != "" || out != tab {
-		t.Error("empty product must be a no-op")
-	}
-	// Single attribute: passthrough.
-	name, out = e.product(tab, []string{"w1"})
-	if name != "w1" || out != tab {
-		t.Error("single product must pass through")
-	}
-	// Multiple: materialized column with NULL propagation.
-	name, out = e.product(tab, []string{"w1", "w2", "w3"})
-	if name == "" || !out.Schema.Has(name) {
-		t.Fatal("product column missing")
-	}
-	rel := out.Rel()
-	if v := rel.Tuples[0].Get(name); v.I != 30 {
-		t.Errorf("product = %v, want 30", v)
-	}
-	if !rel.Tuples[1].Get(name).IsNull() {
-		t.Error("NULL weight must poison the product")
+	for _, rt := range []runtimeOps{rowRuntime{}, batchRuntime{}} {
+		e := &executor{rt: rt}
+		in := rt.scan(tab)
+		// No attributes: no column, empty name.
+		name, out := e.product(in, nil)
+		if name != "" || out != in {
+			t.Error("empty product must be a no-op")
+		}
+		// Single attribute: passthrough.
+		name, out = e.product(in, []string{"w1"})
+		if name != "w1" || out != in {
+			t.Error("single product must pass through")
+		}
+		// Multiple: materialized column with NULL propagation.
+		name, out = e.product(in, []string{"w1", "w2", "w3"})
+		if name == "" || !out.TabSchema().Has(name) {
+			t.Fatal("product column missing")
+		}
+		rel := rt.result(out).Rel()
+		if v := rel.Tuples[0].Get(name); v.I != 30 {
+			t.Errorf("product = %v, want 30", v)
+		}
+		if !rel.Tuples[1].Get(name).IsNull() {
+			t.Error("NULL weight must poison the product")
+		}
 	}
 }
 
@@ -95,7 +98,7 @@ func TestSideDefaults(t *testing.T) {
 		},
 	}
 	pad := padRow(sc)
-	s := sc.tab.Schema
+	s := sc.tab.TabSchema()
 	if pad[s.MustSlot("w")] != algebra.Int(1) {
 		t.Errorf("pad weight = %v, want 1", pad[s.MustSlot("w")])
 	}

@@ -55,8 +55,9 @@ type ExecRow struct {
 // canonical evaluation time plus one row per optimized plan.
 type ExecReport struct {
 	Factor      float64
-	Workers     int           // execution workers (1 = sequential reference)
-	Phys        core.PhysMode // physical algebra the plans were built for
+	Workers     int            // execution workers (1 = sequential reference)
+	Phys        core.PhysMode  // physical algebra the plans were built for
+	Runtime     engine.Runtime // execution runtime (row or batch)
 	CanonMillis map[string]float64
 	Rows        []ExecRow
 }
@@ -114,8 +115,8 @@ func execSetup(cfg Config, factor float64, name string) (q *query.Query, data en
 // for every worker count.
 func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 	cfg = cfg.Defaults()
-	execOpts := engine.ExecOptions{Workers: cfg.Workers}
-	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, Phys: cfg.Phys, CanonMillis: map[string]float64{}}
+	execOpts := engine.ExecOptions{Workers: cfg.Workers, Runtime: cfg.Runtime}
+	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, Phys: cfg.Phys, Runtime: cfg.Runtime, CanonMillis: map[string]float64{}}
 	for _, name := range execQueryNames(names) {
 		q, data, wantRel, attrs, canonMillis := execSetup(cfg, factor, name)
 		rep.CanonMillis[name] = canonMillis
@@ -171,7 +172,7 @@ func (r *ExecReport) AllMatch() bool {
 // plus the worst single operator (value and the operator it occurs at).
 func (r *ExecReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g, workers %d, phys %v)\n", r.Factor, r.Workers, r.Phys)
+	fmt.Fprintf(&b, "Execution: optimized vs canonical plans on synthetic TPC-H data (scale factor %g, workers %d, phys %v, runtime %v)\n", r.Factor, r.Workers, r.Phys, r.Runtime)
 	fmt.Fprintf(&b, "%-6s %-15s %4s %7s %10s %10s %12s %12s %12s %8s %9s %6s  %s\n",
 		"query", "plan", "Γ", "sorts", "ms", "rows", "C_out act", "C_out est", "rows/s", "q-err", "worst-op", "match", "worst operator")
 	var names []string

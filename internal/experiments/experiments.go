@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"eagg/internal/core"
+	"eagg/internal/engine"
 	"eagg/internal/query"
 	"eagg/internal/randquery"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	// modes (hash, sort-based, or both competing per plan class). The
 	// zero value keeps the hash layer, the paper's conditions.
 	Phys core.PhysMode
+	// Runtime selects the execution runtime for the -exec, -feedback and
+	// -serve modes: row-at-a-time (the zero value, the reference) or
+	// batch-at-a-time columnar vectors. Results are bit-identical; only
+	// the runtime figures change.
+	Runtime engine.Runtime
 }
 
 // Defaults fills unset fields.

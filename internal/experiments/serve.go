@@ -116,7 +116,7 @@ func ServeEval(cfg Config, factor float64, names []string, sessions, requests in
 					reqStart := time.Now()
 					resp, err := sess.Execute(sh.q.q, service.Request{
 						Opt:     core.Options{Algorithm: core.AlgEAPrune, Workers: cfg.Workers, Phys: cfg.Phys},
-						Exec:    engine.ExecOptions{Workers: cfg.Workers},
+						Exec:    engine.ExecOptions{Workers: cfg.Workers, Runtime: cfg.Runtime},
 						Dataset: sh.name,
 					})
 					lat := float64(time.Since(reqStart).Microseconds()) / 1000
