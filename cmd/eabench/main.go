@@ -15,6 +15,8 @@
 //	eabench -exec -runtime batch     # batch-at-a-time columnar execution
 //	eabench -serve -sf 1             # service layer: concurrent sessions, shared engine
 //	eabench -serve -sessions 8 -requests 100 -feedback -sf 1
+//	eabench -large                   # 100-relation shapes on the wide set representation
+//	eabench -large -shape star100 -pair-budget 50000
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
@@ -51,6 +53,18 @@
 // throughput, p50/p99 latency, cache hits and the engine's shared-state
 // counters; every response is verified against the canonical result, so
 // the mode doubles as a concurrency soak.
+//
+// The -large mode (mutually exclusive with -exec and -serve) exercises
+// the wide set representation: 100-relation chain, star and clique
+// shapes are optimized with H1 and beam search — the generators that
+// stay feasible at this scale — executed end-to-end on deterministic
+// data and verified against the canonical evaluation. -shape selects
+// shapes, -pair-budget caps the exact csg-cmp-pair enumeration (beyond
+// it the deterministic greedy fallback builds the plan; stars and
+// cliques always exceed any practical budget, chains never do). With
+// the default budget the full report takes a few minutes, most of it
+// the beam search on the 100-relation chain; -pair-budget 50000 brings
+// it under a minute.
 //
 // -feedback (requires -exec) closes the cardinality feedback loop: each
 // query is optimized, executed, the measured per-operator cardinalities
@@ -98,6 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sf := fs.Float64("sf", 10, "-exec/-serve: scale factor multiplying the base synthetic instance sizes (must be > 0)")
 	execQuery := fs.String("query", "", "-exec/-serve: comma-separated TPC-H queries (Ex, Q3, Q5, Q10); empty = all")
 	serve := fs.Bool("serve", false, "run the service-layer throughput mode: one shared engine (plan cache, shared scheduler, optional -feedback overlay) serving -sessions concurrent sessions replaying the selected query shapes; reports qps and p50/p99 latency")
+	large := fs.Bool("large", false, "run the large-query mode: optimize 100-relation shapes on the wide set representation (H1 and beam search; the exact generators are infeasible at this scale), execute the plans end-to-end and verify the results")
+	shape := fs.String("shape", "", "with -large: comma-separated shapes ("+strings.Join(experiments.LargeShapeNames(), ", ")+"); empty = all")
+	pairBudget := fs.Int("pair-budget", 0, "with -large: csg-cmp-pair enumeration budget (0 = the optimizer default; exceeding it switches to the deterministic greedy fallback)")
 	sessions := fs.Int("sessions", 0, "with -serve: concurrent sessions driving the engine (default 4, must be > 0)")
 	requests := fs.Int("requests", 0, "with -serve: requests served per query shape across all sessions (default 20, must be > 0)")
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +134,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "eabench: -serve and -exec are mutually exclusive (pick the service-throughput or the single-plan execution report)")
 		return 2
 	}
+	if *large && (*execMode || *serve) {
+		fmt.Fprintln(stderr, "eabench: -large is mutually exclusive with -exec and -serve (it runs its own optimize-and-execute report)")
+		return 2
+	}
+	if !*large && (*shape != "" || *pairBudget != 0) {
+		fmt.Fprintln(stderr, "eabench: -shape and -pair-budget require -large (they select and bound the large-query shapes)")
+		return 2
+	}
+	if *pairBudget < 0 {
+		fmt.Fprintf(stderr, "eabench: -pair-budget must be ≥ 0, got %d\n", *pairBudget)
+		return 2
+	}
+	if *large && *feedback {
+		fmt.Fprintln(stderr, "eabench: -feedback requires -exec or -serve (the large-query mode executes each plan once)")
+		return 2
+	}
 	if *feedback && !*execMode && !*serve {
 		fmt.Fprintln(stderr, "eabench: -feedback requires -exec or -serve (feedback harvests cardinalities from plan execution)")
 		return 2
@@ -130,8 +163,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eabench: -phys: %v\n", err)
 		return 2
 	}
-	if *runtimeName != "" && !*execMode && !*serve {
-		fmt.Fprintln(stderr, "eabench: -runtime requires -exec or -serve (the execution runtime only matters when plans are executed)")
+	if *runtimeName != "" && !*execMode && !*serve && !*large {
+		fmt.Fprintln(stderr, "eabench: -runtime requires -exec, -serve or -large (the execution runtime only matters when plans are executed)")
 		return 2
 	}
 	execRuntime, err := engine.ParseRuntime(*runtimeName)
@@ -173,9 +206,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var names []string
 	if *execQuery != "" {
+		if *large {
+			fmt.Fprintln(stderr, "eabench: -query selects TPC-H queries and requires -exec or -serve (use -shape with -large)")
+			return 2
+		}
 		for _, n := range strings.Split(*execQuery, ",") {
 			names = append(names, strings.TrimSpace(n))
 		}
+	}
+	if *large {
+		var shapes []string
+		if *shape != "" {
+			for _, s := range strings.Split(*shape, ",") {
+				s = strings.TrimSpace(s)
+				if _, ok := experiments.LargeShapes[s]; !ok {
+					fmt.Fprintf(stderr, "eabench: unknown -shape %q (known: %s)\n", s, strings.Join(experiments.LargeShapeNames(), ", "))
+					return 2
+				}
+				shapes = append(shapes, s)
+			}
+		}
+		rep := experiments.LargeEval(cfg, shapes, *pairBudget)
+		fmt.Fprint(stdout, rep.Format())
+		if !rep.AllMatch() {
+			fmt.Fprintln(stderr, "eabench: some large-query plans did not reproduce the canonical result")
+			return 1
+		}
+		return 0
 	}
 	if *serve {
 		rep := experiments.ServeEval(cfg, *sf, names, *sessions, *requests, *feedback)

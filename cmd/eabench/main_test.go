@@ -29,6 +29,14 @@ func TestFlagHygiene(t *testing.T) {
 		{"negative sessions", []string{"-serve", "-sessions", "-1"}, "must be > 0"},
 		{"negative requests", []string{"-serve", "-requests", "-5"}, "must be > 0"},
 		{"bad serve sf", []string{"-serve", "-sf", "0"}, "-sf must be > 0"},
+		{"large with exec", []string{"-large", "-exec"}, "-large is mutually exclusive"},
+		{"large with serve", []string{"-large", "-serve"}, "-large is mutually exclusive"},
+		{"shape without large", []string{"-shape", "star100"}, "-shape and -pair-budget require -large"},
+		{"pair budget without large", []string{"-pair-budget", "1000"}, "-shape and -pair-budget require -large"},
+		{"negative pair budget", []string{"-large", "-pair-budget", "-1"}, "-pair-budget must be"},
+		{"unknown shape", []string{"-large", "-shape", "ring100"}, "unknown -shape"},
+		{"large with feedback", []string{"-large", "-feedback"}, "-feedback requires -exec"},
+		{"large with query", []string{"-large", "-query", "Q3"}, "use -shape with -large"},
 	}
 	for _, tc := range cases {
 		var out, errOut bytes.Buffer
@@ -99,6 +107,25 @@ func TestServeRuns(t *testing.T) {
 			if !strings.Contains(out.String(), want) {
 				t.Fatalf("%v: report missing %q\n%s", args, want, out.String())
 			}
+		}
+	}
+}
+
+// TestLargeRuns drives the -large mode end to end on the cheapest shape:
+// exit 0 (both plans reproduce the canonical result) and a report with
+// the wide-representation header and one row per algorithm. clique100 is
+// the only shape that optimizes exactly in well under a second — its
+// hyperedges admit one buildable set per level — so the heavier chains
+// and stars are left to the dedicated large-query tests.
+func TestLargeRuns(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-large", "-shape", "clique100"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("-large: exit %d\nstderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	for _, want := range []string{"wide-representation", "clique100", "H1", "Beam(4)", "ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-large: report missing %q\n%s", want, out.String())
 		}
 	}
 }

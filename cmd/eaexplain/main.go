@@ -8,6 +8,16 @@
 //	eaexplain -demo q3|q5|q10     # the TPC-H evaluation queries
 //	eaexplain -spec query.json    # a JSON query specification
 //	eaexplain -spec - < q.json    # spec from stdin
+//	eaexplain -demo chain100      # 100-relation chain on the wide set representation
+//	eaexplain -demo star100 -pair-budget 50000
+//
+// The chain100/star100/clique100 demos optimize past the 63-relation
+// fast path; they run only the generators feasible at that scale (H1
+// and beam search). -pair-budget caps the exact csg-cmp-pair
+// enumeration; beyond the cap the deterministic greedy fallback builds
+// the plan (star and clique shapes always exceed any practical budget).
+// Expect minutes at the default budget — most of it the beam search on
+// chain100 — and under a minute with -pair-budget 50000.
 //
 // The JSON specification format is documented in spec.go (see also
 // examples/quickstart for the programmatic API).
@@ -21,27 +31,47 @@ import (
 
 	"eagg/internal/core"
 	"eagg/internal/query"
+	"eagg/internal/randquery"
 	"eagg/internal/tpch"
 )
 
 func main() {
-	demo := flag.String("demo", "", "built-in query: ex, q3, q5, q10")
+	demo := flag.String("demo", "", "built-in query: ex, q3, q5, q10, chain100, star100, clique100")
 	spec := flag.String("spec", "", "JSON query specification file ('-' for stdin)")
 	factor := flag.Float64("f", 1.03, "H2 tolerance factor")
 	workers := flag.Int("workers", 1, "optimizer workers (0 = GOMAXPROCS); the plans are identical for every value")
 	levels := flag.Bool("levels", false, "print per-level DP timing (pairs, subsets, duration)")
+	pairBudget := flag.Int("pair-budget", 0, "with a chain100/star100/clique100 demo: csg-cmp-pair enumeration budget (0 = the optimizer default; exceeding it switches to the deterministic greedy fallback)")
 	flag.Parse()
 
+	if *pairBudget < 0 {
+		fmt.Fprintf(os.Stderr, "eaexplain: -pair-budget must be ≥ 0, got %d\n", *pairBudget)
+		os.Exit(2)
+	}
+
+	largeDemos := map[string]func() *query.Query{
+		"chain100": func() *query.Query { return randquery.Chain(100) },
+		"star100":  func() *query.Query { return randquery.Star(100) },
+		"clique100": func() *query.Query {
+			return randquery.Clique(100)
+		},
+	}
+
 	var q *query.Query
+	isLarge := false
 	switch {
 	case *demo != "":
+		if build, ok := largeDemos[strings.ToLower(*demo)]; ok {
+			q, isLarge = build(), true
+			break
+		}
 		qs := tpch.Queries()
 		var ok bool
 		q, ok = map[string]*query.Query{
 			"ex": qs["Ex"], "q3": qs["Q3"], "q5": qs["Q5"], "q10": qs["Q10"],
 		}[strings.ToLower(*demo)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "eaexplain: unknown demo %q (ex, q3, q5, q10)\n", *demo)
+			fmt.Fprintf(os.Stderr, "eaexplain: unknown demo %q (ex, q3, q5, q10, chain100, star100, clique100)\n", *demo)
 			os.Exit(2)
 		}
 	case *spec != "":
@@ -57,26 +87,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	if !isLarge && *pairBudget != 0 {
+		fmt.Fprintln(os.Stderr, "eaexplain: -pair-budget requires a chain100/star100/clique100 demo (small queries are always enumerated exactly)")
+		os.Exit(2)
+	}
+
 	if err := q.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "eaexplain: invalid query: %v\n", err)
 		os.Exit(1)
 	}
 
 	type run struct {
-		name string
-		alg  core.Algorithm
-		f    float64
+		name  string
+		alg   core.Algorithm
+		f     float64
+		width int
 	}
 	runs := []run{
-		{"DPhyp (no eager aggregation)", core.AlgDPhyp, 0},
-		{"EA-Prune (optimal)", core.AlgEAPrune, 0},
-		{"EA-All (optimal, exhaustive)", core.AlgEAAll, 0},
-		{"H1", core.AlgH1, 0},
-		{fmt.Sprintf("H2 (F=%.2f)", *factor), core.AlgH2, *factor},
+		{"DPhyp (no eager aggregation)", core.AlgDPhyp, 0, 0},
+		{"EA-Prune (optimal)", core.AlgEAPrune, 0, 0},
+		{"EA-All (optimal, exhaustive)", core.AlgEAAll, 0, 0},
+		{"H1", core.AlgH1, 0, 0},
+		{fmt.Sprintf("H2 (F=%.2f)", *factor), core.AlgH2, *factor, 0},
+	}
+	if isLarge {
+		// Past ~13 relations the exact generators are infeasible; the
+		// 100-relation demos run the two that scale. The first run is the
+		// cost baseline, so the "× DPhyp" column becomes "× H1" here.
+		runs = []run{
+			{"H1", core.AlgH1, 0, 0},
+			{"Beam (width 4)", core.AlgBeam, 0, 4},
+		}
 	}
 	var base float64
 	for i, r := range runs {
-		res, err := core.Optimize(q, core.Options{Algorithm: r.alg, F: r.f, Workers: *workers})
+		res, err := core.Optimize(q, core.Options{Algorithm: r.alg, F: r.f, BeamWidth: r.width, Workers: *workers, PairBudget: *pairBudget})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "eaexplain: %s: %v\n", r.name, err)
 			os.Exit(1)
@@ -84,9 +129,16 @@ func main() {
 		if i == 0 {
 			base = res.Plan.Cost
 		}
+		baseName := "DPhyp"
+		if isLarge {
+			baseName = "H1"
+		}
 		fmt.Printf("=== %s ===\n", r.name)
-		fmt.Printf("cost %.6g (%.4g× DPhyp), %d csg-cmp-pairs, %d trees built\n",
-			res.Plan.Cost, res.Plan.Cost/base, res.Stats.CsgCmpPairs, res.Stats.PlansBuilt)
+		fmt.Printf("cost %.6g (%.4g× %s), %d csg-cmp-pairs, %d trees built\n",
+			res.Plan.Cost, res.Plan.Cost/base, baseName, res.Stats.CsgCmpPairs, res.Stats.PlansBuilt)
+		if res.Stats.PairBudgetExceeded {
+			fmt.Printf("pair budget exceeded: plan built by the deterministic greedy fallback\n")
+		}
 		if res.Stats.Workers > 1 {
 			fmt.Printf("workers %d, %d levels, shard contention %d\n",
 				res.Stats.Workers, len(res.Stats.Levels), res.Stats.ShardContention)

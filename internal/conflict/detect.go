@@ -8,23 +8,23 @@ import (
 
 // Rule is a conflict rule T1 → T2: whenever an operator is applied to
 // arguments whose union intersects T1, the union must contain all of T2.
-type Rule struct {
-	If, Then bitset.Set64
+type Rule[S bitset.RelSet[S]] struct {
+	If, Then S
 }
 
 // Op is one reorderable operator of the initial tree with its conflict
 // information.
-type Op struct {
+type Op[S bitset.RelSet[S]] struct {
 	Node *query.OpNode
 	// LeftRels and RightRels are the relation sets of the operator's
 	// original subtrees.
-	LeftRels, RightRels bitset.Set64
+	LeftRels, RightRels S
 	// SES is the syntactic eligibility set (relations of the predicate).
-	SES bitset.Set64
+	SES S
 	// TES extends SES with the conflicts expressible as hyperedge
 	// endpoints; LTES/RTES are its per-side components.
-	TES, LTES, RTES bitset.Set64
-	Rules           []Rule
+	TES, LTES, RTES S
+	Rules           []Rule[S]
 }
 
 // Applicable implements the paper's applicability test (Sec. 4.1, third
@@ -32,7 +32,7 @@ type Op struct {
 // sides are covered in the correct orientation and no conflict rule is
 // violated. Commutative operators are additionally tried by the caller
 // with swapped arguments.
-func (o *Op) Applicable(s1, s2 bitset.Set64) bool {
+func (o *Op[S]) Applicable(s1, s2 S) bool {
 	if !o.LTES.SubsetOf(s1) || !o.RTES.SubsetOf(s2) {
 		return false
 	}
@@ -48,15 +48,16 @@ func (o *Op) Applicable(s1, s2 bitset.Set64) bool {
 // Detection is the result of conflict detection: the query hypergraph with
 // one hyperedge per operator (payload = index into Ops), plus the operator
 // table.
-type Detection struct {
-	Graph *hypergraph.Graph
-	Ops   []*Op
+type Detection[S bitset.RelSet[S]] struct {
+	Graph *hypergraph.Graph[S]
+	Ops   []*Op[S]
 }
 
 // Detect runs CD-C-style conflict detection over the query's initial
-// operator tree and builds the query hypergraph.
-func Detect(q *query.Query) *Detection {
-	d := &Detection{Graph: hypergraph.New(len(q.Relations))}
+// operator tree and builds the query hypergraph, in the relation-set
+// representation S the plan generator runs on.
+func Detect[S bitset.RelSet[S]](q *query.Query) *Detection[S] {
+	d := &Detection[S]{Graph: hypergraph.New[S](len(q.Relations))}
 	var walk func(n *query.OpNode)
 	walk = func(n *query.OpNode) {
 		if n == nil || n.Kind == query.KindScan {
@@ -64,7 +65,7 @@ func Detect(q *query.Query) *Detection {
 		}
 		walk(n.Left)
 		walk(n.Right)
-		op := buildOp(q, n)
+		op := buildOp[S](q, n)
 		d.Ops = append(d.Ops, op)
 	}
 	walk(q.Root)
@@ -75,13 +76,13 @@ func Detect(q *query.Query) *Detection {
 }
 
 // buildOp computes SES, conflict rules, and the TES of one operator.
-func buildOp(q *query.Query, b *query.OpNode) *Op {
-	op := &Op{
+func buildOp[S bitset.RelSet[S]](q *query.Query, b *query.OpNode) *Op[S] {
+	op := &Op[S]{
 		Node:      b,
-		LeftRels:  b.Left.Rels(),
-		RightRels: b.Right.Rels(),
+		LeftRels:  bitset.FromVIn[S](b.Left.Rels()),
+		RightRels: bitset.FromVIn[S](b.Right.Rels()),
 	}
-	op.SES = q.RelsOf(b.Pred.Attrs())
+	op.SES = bitset.FromVIn[S](q.RelsOf(b.Pred.Attrs()))
 	op.TES = op.SES
 
 	// Collect conflict rules from the operators of both subtrees
@@ -91,25 +92,26 @@ func buildOp(q *query.Query, b *query.OpNode) *Op {
 		if a == nil || a.Kind == query.KindScan {
 			return
 		}
-		aLeft, aRight := a.Left.Rels(), a.Right.Rels()
+		aLeft := bitset.FromVIn[S](a.Left.Rels())
+		aRight := bitset.FromVIn[S](a.Right.Rels())
 		if leftSide {
 			// a under the left input: (e1 ◦a e2) ◦b e3.
 			if !Assoc(a.Kind, b.Kind) {
 				// ◦b may not move below ◦a's right side: touching e2
 				// requires all of e1.
-				op.Rules = append(op.Rules, Rule{If: aRight, Then: aLeft})
+				op.Rules = append(op.Rules, Rule[S]{If: aRight, Then: aLeft})
 			}
 			if !LAsscom(a.Kind, b.Kind) {
 				// ◦b may not separate e1 from e2.
-				op.Rules = append(op.Rules, Rule{If: aLeft, Then: aRight})
+				op.Rules = append(op.Rules, Rule[S]{If: aLeft, Then: aRight})
 			}
 		} else {
 			// a under the right input: e1 ◦b (e2 ◦a e3).
 			if !Assoc(b.Kind, a.Kind) {
-				op.Rules = append(op.Rules, Rule{If: aLeft, Then: aRight})
+				op.Rules = append(op.Rules, Rule[S]{If: aLeft, Then: aRight})
 			}
 			if !RAsscom(a.Kind, b.Kind) {
-				op.Rules = append(op.Rules, Rule{If: aRight, Then: aLeft})
+				op.Rules = append(op.Rules, Rule[S]{If: aRight, Then: aLeft})
 			}
 		}
 		collect(a.Left, leftSide)
@@ -146,4 +148,4 @@ func buildOp(q *query.Query, b *query.OpNode) *Op {
 
 // OpForEdge returns the operator owning the hyperedge with the given
 // payload.
-func (d *Detection) OpForEdge(payload int) *Op { return d.Ops[payload] }
+func (d *Detection[S]) OpForEdge(payload int) *Op[S] { return d.Ops[payload] }

@@ -45,7 +45,7 @@ func TestDetectMotivatingQuery(t *testing.T) {
 	if err := q.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	d := Detect(q)
+	d := Detect[bitset.Set64](q)
 	if len(d.Ops) != 3 {
 		t.Fatalf("detected %d operators, want 3", len(d.Ops))
 	}
@@ -96,7 +96,7 @@ func TestDetectInnerChainIsSimple(t *testing.T) {
 		Right: &query.OpNode{Kind: query.KindScan, Rel: r2},
 		Pred:  &query.Predicate{Left: []int{b1}, Right: []int{b2}, Selectivity: 0.1},
 	}
-	d := Detect(q)
+	d := Detect[bitset.Set64](q)
 	if d.Graph.HasHyperedges() {
 		t.Error("inner-join chain should yield only simple edges")
 	}
@@ -126,7 +126,7 @@ func TestApplicableOrientation(t *testing.T) {
 		Right: &query.OpNode{Kind: query.KindScan, Rel: r1},
 		Pred:  &query.Predicate{Left: []int{a0}, Right: []int{a1}, Selectivity: 0.1},
 	}
-	d := Detect(q)
+	d := Detect[bitset.Set64](q)
 	op := d.Ops[0]
 	if !op.Applicable(bitset.New64(0), bitset.New64(1)) {
 		t.Error("E must be applicable in original orientation")
@@ -160,7 +160,7 @@ func TestRuleViolationBlocksApplication(t *testing.T) {
 		Right: &query.OpNode{Kind: query.KindScan, Rel: r2},
 		Pred:  &query.Predicate{Left: []int{b1}, Right: []int{b2}, Selectivity: 0.1},
 	}
-	d := Detect(q)
+	d := Detect[bitset.Set64](q)
 	join := d.Ops[1]
 	if join.Node.Kind != query.KindJoin {
 		t.Fatalf("op order unexpected: %v", join.Node.Kind)

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"time"
 
@@ -136,7 +137,28 @@ type Options struct {
 	// plans exactly; the sort modes additionally track contractual
 	// orders, key DP plan classes by them, and rank plans by PhysCost.
 	Phys PhysMode
+	// ForceWide routes the run through the multi-word wide set
+	// representation even when the query fits the Set64 fast path. The
+	// two paths are bit-identical (the differential tests pin this);
+	// the flag exists for those tests and for diagnostics.
+	ForceWide bool
+	// PairBudget bounds the csg-cmp-pair enumeration. 0 means the
+	// default: unlimited for queries of ≤63 relations, and
+	// DefaultLargePairBudget beyond (graphs like large stars and
+	// cliques have exponentially many connected subgraphs, so exact
+	// enumeration must be cut off somewhere). When the budget is hit
+	// the exact DP is abandoned and a deterministic greedy fallback
+	// (beamed left-deep construction, see runGreedy) produces the plan;
+	// Stats.PairBudgetExceeded reports that this happened.
+	PairBudget int
 }
+
+// DefaultLargePairBudget is the csg-cmp-pair budget applied to queries
+// beyond 63 relations when Options.PairBudget is unset. It admits the
+// exact (and parallel) DP for a 100-relation chain (~167k pairs) while
+// cutting off shapes with exponential connected-subgraph counts (a
+// 100-relation star) after ~1M pairs.
+const DefaultLargePairBudget = 1 << 20
 
 // Stats reports search effort.
 type Stats struct {
@@ -149,6 +171,10 @@ type Stats struct {
 	// ShardContention counts contended shard-lock acquisitions in the
 	// parallel driver's staging table (always 0 for the sequential path).
 	ShardContention int64
+	// PairBudgetExceeded reports that the csg-cmp-pair enumeration hit
+	// its budget and the plan came from the greedy fallback instead of
+	// the exact DP.
+	PairBudgetExceeded bool
 }
 
 // LevelStat records the work done for one DP level: all csg-cmp-pairs
@@ -182,48 +208,70 @@ func Optimize(q *query.Query, opts Options) (*Result, error) {
 	if opts.Stats != nil {
 		est.Source = opts.Stats
 	}
-	g := &generator{
+	// Representation dispatch: ≤63 relations run on Set64 (zero-overhead
+	// fast path, bit-for-bit the pre-generics behavior); larger queries —
+	// or any query under ForceWide — run on the multi-word bitset.Wide.
+	// Everything downstream of the set representation is shared, so the
+	// two paths retain identical plans.
+	if len(q.Relations) <= 63 && !opts.ForceWide {
+		return optimizeAs[bitset.Set64](q, est, opts)
+	}
+	return optimizeAs[bitset.Wide](q, est, opts)
+}
+
+func optimizeAs[S bitset.RelSet[S]](q *query.Query, est *cost.Estimator, opts Options) (*Result, error) {
+	g := &generator[S]{
 		q:    q,
-		det:  conflict.Detect(q),
+		det:  conflict.Detect[S](q),
 		est:  est,
 		opts: opts,
-		all:  bitset.Range64(0, len(q.Relations)),
+		all:  bitset.RangeIn[S](0, len(q.Relations)),
 	}
+	g.allV = g.all.ToV()
 	g.prepare()
 	return g.run()
 }
 
-// generator carries the state of one optimization run.
-type generator struct {
+// generator carries the state of one optimization run. It is generic in
+// the relation-set representation S; attribute sets (and the relation
+// sets stored inside plans) stay bitset.VSet, so the estimator and plan
+// layers hold a single code path regardless of S.
+type generator[S bitset.RelSet[S]] struct {
 	q    *query.Query
-	det  *conflict.Detection
+	det  *conflict.Detection[S]
 	est  *cost.Estimator
 	opts Options
-	all  bitset.Set64
+	all  S
+	allV bitset.VSet // g.all in VSet form, for comparing plan.Plan.Rels
 
 	// table maps a relation set to its retained plans. Heuristic
 	// algorithms keep exactly one entry; EA-All/EA-Prune keep lists. The
 	// entry for the complete set holds the single best top-level plan.
-	table map[bitset.Set64][]*plan.Plan
+	table map[S][]*plan.Plan
 
 	// aggSrc[i] is the set of relations aggregate i draws from; aggOK[i]
 	// whether it is decomposable.
-	aggSrc []bitset.Set64
+	aggSrc []bitset.VSet
 	aggOK  []bool
 
-	// joinAttrs caches the union of all predicate attributes.
-	predAttrs []bitset.Set64
+	// predAttrs[i] caches op i's predicate attribute set, predRels[i] the
+	// relations those attributes come from, and profAttrs the union of the
+	// grouping attributes with every predicate's attributes — all constant
+	// per query, all on the per-pair hot path (gPlus, profileAttrs).
+	predAttrs []bitset.VSet
+	predRels  []bitset.VSet
+	profAttrs bitset.VSet
 
 	// gjRight is the union of all groupjoin right-subtree relations;
 	// groupings are never pushed there because they would aggregate away
 	// the inputs of the groupjoin's own vector F̄.
-	gjRight bitset.Set64
+	gjRight bitset.VSet
 
 	stats Stats
 }
 
-func (g *generator) prepare() {
-	g.table = make(map[bitset.Set64][]*plan.Plan)
+func (g *generator[S]) prepare() {
+	g.table = make(map[S][]*plan.Plan)
 	if g.q.HasGrouping {
 		g.aggSrc = g.q.AggSourceRels()
 		g.aggOK = make([]bool, len(g.q.Aggregates))
@@ -231,43 +279,72 @@ func (g *generator) prepare() {
 			g.aggOK[i] = a.Kind.Decomposable()
 		}
 	}
+	g.profAttrs = g.q.GroupBy
 	for _, op := range g.det.Ops {
-		g.predAttrs = append(g.predAttrs, op.Node.Pred.Attrs())
+		pa := op.Node.Pred.Attrs()
+		g.predAttrs = append(g.predAttrs, pa)
+		g.predRels = append(g.predRels, g.q.RelsOf(pa))
+		g.profAttrs = g.profAttrs.Union(pa)
 		if op.Node.Kind == query.KindGroupJoin {
-			g.gjRight = g.gjRight.Union(op.RightRels)
+			g.gjRight = g.gjRight.Union(op.RightRels.ToV())
 		}
 	}
 }
 
-func (g *generator) run() (*Result, error) {
+// pairBudget resolves Options.PairBudget: explicit value if set,
+// otherwise unlimited for ≤63-relation queries (keeping every small
+// query — including ForceWide differential runs — on the exact DP) and
+// DefaultLargePairBudget beyond.
+func (g *generator[S]) pairBudget() int {
+	if g.opts.PairBudget > 0 {
+		return g.opts.PairBudget
+	}
+	if len(g.q.Relations) > 63 {
+		return DefaultLargePairBudget
+	}
+	return 0
+}
+
+func (g *generator[S]) run() (*Result, error) {
 	// Component 1: initial access paths (Fig. 5, lines 1-2).
 	for r := range g.q.Relations {
 		p := g.est.Scan(r)
 		if g.physOn() {
 			g.est.PhysifyScan(p) // contractual scan order, zero overhead
 		}
-		g.table[bitset.Single64(r)] = []*plan.Plan{p}
+		g.table[bitset.SingleIn[S](r)] = []*plan.Plan{p}
 	}
 	if len(g.q.Relations) == 1 {
 		g.stats.Workers = 1 // no pairs to enumerate; trivially sequential
-		best := g.table[bitset.Single64(0)][0]
+		best := g.table[bitset.SingleIn[S](0)][0]
 		return &Result{Plan: g.finalize(g.est, best), Stats: g.stats}, nil
 	}
 
 	// Component 2: enumerate csg-cmp-pairs (Fig. 5, line 3). They come
 	// back ordered by |S1 ∪ S2|, so the DP levels are contiguous runs.
-	pairs := g.det.Graph.CsgCmpPairs()
+	pairs, complete := g.det.Graph.CsgCmpPairsBudget(g.pairBudget())
 	g.stats.CsgCmpPairs = len(pairs)
 
-	workers := g.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	g.stats.Workers = workers
-	if workers > 1 {
-		g.runLevelsParallel(pairs, workers)
+	if !complete {
+		// The enumeration was cut off: the partial pair list is useless
+		// for DP (sub-pairs may be missing), so discard it and build the
+		// plan with the deterministic greedy fallback. It is sequential
+		// regardless of Workers, so the workers-invariance contract holds
+		// trivially.
+		g.stats.PairBudgetExceeded = true
+		g.stats.Workers = 1
+		g.runGreedy()
 	} else {
-		g.runLevelsSequential(pairs)
+		workers := g.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		g.stats.Workers = workers
+		if workers > 1 {
+			g.runLevelsParallel(pairs, workers)
+		} else {
+			g.runLevelsSequential(pairs)
+		}
 	}
 
 	best := g.table[g.all]
@@ -285,7 +362,7 @@ func (g *generator) run() (*Result, error) {
 
 // forEachLevel calls fn once per DP level with the contiguous slice of
 // pairs whose result set has that cardinality.
-func forEachLevel(pairs []hypergraph.CsgCmpPair, fn func(level int, chunk []hypergraph.CsgCmpPair)) {
+func forEachLevel[S bitset.RelSet[S]](pairs []hypergraph.CsgCmpPair[S], fn func(level int, chunk []hypergraph.CsgCmpPair[S])) {
 	for start := 0; start < len(pairs); {
 		level := pairs[start].S1.Union(pairs[start].S2).Len()
 		end := start + 1
@@ -300,10 +377,10 @@ func forEachLevel(pairs []hypergraph.CsgCmpPair, fn func(level int, chunk []hype
 // runLevelsSequential is the reference driver: it consumes the pairs in
 // enumeration order, exactly like the paper's Fig. 5 loop, recording
 // per-level timing along the way.
-func (g *generator) runLevelsSequential(pairs []hypergraph.CsgCmpPair) {
-	forEachLevel(pairs, func(level int, chunk []hypergraph.CsgCmpPair) {
+func (g *generator[S]) runLevelsSequential(pairs []hypergraph.CsgCmpPair[S]) {
+	forEachLevel(pairs, func(level int, chunk []hypergraph.CsgCmpPair[S]) {
 		start := time.Now()
-		subsets := make(map[bitset.Set64]struct{}, len(chunk))
+		subsets := make(map[S]struct{}, len(chunk))
 		for _, pr := range chunk {
 			s := pr.S1.Union(pr.S2)
 			subsets[s] = struct{}{}
@@ -319,9 +396,16 @@ func (g *generator) runLevelsSequential(pairs []hypergraph.CsgCmpPair) {
 // per operator whose edge connects it (Fig. 5, lines 4-5), invoking apply
 // for every admissible orientation. Shared by the sequential and parallel
 // drivers so the commutativity guard cannot diverge between them.
-func (g *generator) forEachApplicable(pr hypergraph.CsgCmpPair, apply func(s1, s2 bitset.Set64, op *conflict.Op)) {
-	for _, ei := range g.det.Graph.ConnectingEdges(pr.S1, pr.S2) {
-		op := g.det.OpForEdge(g.det.Graph.Edges[ei].Payload)
+func (g *generator[S]) forEachApplicable(pr hypergraph.CsgCmpPair[S], apply func(s1, s2 S, op *conflict.Op[S])) {
+	// Edge scan inlined from ConnectingEdges: this runs once per
+	// csg-cmp-pair and must not allocate an index slice every time.
+	for i := range g.det.Graph.Edges {
+		e := &g.det.Graph.Edges[i]
+		if !((e.Left.SubsetOf(pr.S1) && e.Right.SubsetOf(pr.S2)) ||
+			(e.Left.SubsetOf(pr.S2) && e.Right.SubsetOf(pr.S1))) {
+			continue
+		}
+		op := g.det.OpForEdge(e.Payload)
 		if op.Applicable(pr.S1, pr.S2) {
 			apply(pr.S1, pr.S2, op)
 		}
@@ -343,14 +427,14 @@ func (g *generator) forEachApplicable(pr hypergraph.CsgCmpPair, apply func(s1, s
 }
 
 // processPair is the sequential per-pair step.
-func (g *generator) processPair(pr hypergraph.CsgCmpPair, s bitset.Set64) {
+func (g *generator[S]) processPair(pr hypergraph.CsgCmpPair[S], s S) {
 	topLevel := s == g.all
-	g.forEachApplicable(pr, func(s1, s2 bitset.Set64, op *conflict.Op) {
+	g.forEachApplicable(pr, func(s1, s2 S, op *conflict.Op[S]) {
 		g.applySequential(s, s1, s2, op, topLevel)
 	})
 }
 
-func (g *generator) applySequential(s, s1, s2 bitset.Set64, op *conflict.Op, topLevel bool) {
+func (g *generator[S]) applySequential(s, s1, s2 S, op *conflict.Op[S], topLevel bool) {
 	entry, built := g.buildInto(g.est, g.table[s], s, s1, s2, op, topLevel)
 	g.stats.PlansBuilt += built
 	if built > 0 {
@@ -360,10 +444,16 @@ func (g *generator) applySequential(s, s1, s2 bitset.Set64, op *conflict.Op, top
 
 // preds collects the predicates of every edge connecting S1 and S2, so
 // cyclic query graphs apply all cross predicates at once.
-func (g *generator) preds(s1, s2 bitset.Set64) []*query.Predicate {
-	var out []*query.Predicate
-	for _, ei := range g.det.Graph.ConnectingEdges(s1, s2) {
-		out = append(out, g.det.OpForEdge(g.det.Graph.Edges[ei].Payload).Node.Pred)
+func (g *generator[S]) preds(s1, s2 S) []*query.Predicate {
+	// Inlined ConnectingEdges: scanning the edge list directly avoids
+	// materializing the index slice on the per-pair hot path.
+	out := make([]*query.Predicate, 0, 2)
+	for i := range g.det.Graph.Edges {
+		e := &g.det.Graph.Edges[i]
+		if (e.Left.SubsetOf(s1) && e.Right.SubsetOf(s2)) ||
+			(e.Left.SubsetOf(s2) && e.Right.SubsetOf(s1)) {
+			out = append(out, g.det.OpForEdge(e.Payload).Node.Pred)
+		}
 	}
 	return out
 }
@@ -374,7 +464,7 @@ func (g *generator) preds(s1, s2 bitset.Set64) []*query.Predicate {
 // plan list for the result set s. It returns the updated entry and the
 // number of trees built. The table is only ever read here, which is what
 // lets the parallel driver's level workers share it lock-free.
-func (g *generator) buildInto(est *cost.Estimator, entry []*plan.Plan, s, s1, s2 bitset.Set64, op *conflict.Op, topLevel bool) ([]*plan.Plan, int) {
+func (g *generator[S]) buildInto(est *cost.Estimator, entry []*plan.Plan, s, s1, s2 S, op *conflict.Op[S], topLevel bool) ([]*plan.Plan, int) {
 	t1s, ok1 := g.table[s1]
 	t2s, ok2 := g.table[s2]
 	if !ok1 || !ok2 {
@@ -402,7 +492,7 @@ func (g *generator) buildInto(est *cost.Estimator, entry []*plan.Plan, s, s1, s2
 // insert applies the algorithm's retention policy for non-top entries and
 // returns the updated plan list. In the sort/auto physical modes the
 // policy applies per plan class (see phys.go).
-func (g *generator) insert(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) insert(est *cost.Estimator, s S, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	if g.physOn() {
 		return g.insertPhys(est, s, entry, t)
 	}
@@ -436,7 +526,7 @@ func (g *generator) insert(est *cost.Estimator, s bitset.Set64, entry []*plan.Pl
 // plans are always compared by plain cost — physical cost in the
 // sort/auto modes — and only the best one is kept. The final grouping
 // (or its elimination) has already been attached by opTrees.
-func (g *generator) insertTopLevelPlan(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) insertTopLevelPlan(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	if len(entry) == 0 {
 		return []*plan.Plan{t}
 	}
@@ -458,7 +548,7 @@ func (g *generator) insertTopLevelPlan(entry []*plan.Plan, t *plan.Plan) []*plan
 // are plan-dependent — additionally compares the distinct profile of the
 // grouping-relevant attributes (the quantitative counterpart of the FD
 // condition: it is what determines future grouping cardinalities).
-func (g *generator) pruneDominatedPlans(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) pruneDominatedPlans(est *cost.Estimator, s S, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	g.fillProfileWith(est, s, t)
 	for _, old := range entry {
 		if dominates(old, t) {
@@ -477,16 +567,13 @@ func (g *generator) pruneDominatedPlans(est *cost.Estimator, s bitset.Set64, ent
 // profileAttrs returns the attributes whose distinct counts can influence
 // future groupings of a plan over S: grouping attributes and join
 // attributes of S.
-func (g *generator) profileAttrs(s bitset.Set64) bitset.Set64 {
-	attrs := g.q.AttrsOf(s)
-	rel := g.q.GroupBy.Intersect(attrs)
-	for _, pa := range g.predAttrs {
-		rel = rel.Union(pa.Intersect(attrs))
-	}
-	return rel
+func (g *generator[S]) profileAttrs(sv bitset.VSet) bitset.VSet {
+	// ∩ distributes over ∪, so the per-predicate loop collapses onto the
+	// precomputed union: (G ∪ ⋃ᵢ predAttrs[i]) ∩ attrs(S).
+	return g.profAttrs.Intersect(g.q.AttrsOf(sv))
 }
 
-func (g *generator) fillProfile(s bitset.Set64, t *plan.Plan) {
+func (g *generator[S]) fillProfile(s S, t *plan.Plan) {
 	g.fillProfileWith(g.est, s, t)
 }
 
@@ -494,20 +581,46 @@ func (g *generator) fillProfile(s bitset.Set64, t *plan.Plan) {
 // parallel workers can fill profiles through their own clone. Profiles are
 // pure functions of the plan and the query, so every clone produces the
 // same values.
-func (g *generator) fillProfileWith(est *cost.Estimator, s bitset.Set64, t *plan.Plan) {
+func (g *generator[S]) fillProfileWith(est *cost.Estimator, s S, t *plan.Plan) {
 	if t.Profile != nil {
 		return
 	}
-	attrs := g.profileAttrs(s)
-	prof := make([]float64, 0, attrs.Len()+s.Len())
-	attrs.ForEach(func(a int) {
-		prof = append(prof, est.Distinct(a, t))
-	})
+	sv := s.ToV()
+	attrs := g.profileAttrs(sv)
+	prof := make([]float64, 0, attrs.Len()+sv.Len())
+	// One path walk per relation of S instead of one per profile attribute
+	// plus one per relation: for a plan containing rel,
+	// Distinct(a, t) = max(1, min(Q.Distinct[a], RelPathCard(rel(a), t)))
+	// — distinctWalk and RelPathCard traverse the same root-to-scan path
+	// and fold the same cardinalities through an exact float min, so the
+	// identity is bit-for-bit. This loop was the EA-Prune hot spot.
+	pathCard := make([]float64, len(g.q.Relations))
+	for w, nw := 0, sv.NumWords(); w < nw; w++ {
+		for bs := sv.Word(w); bs != 0; bs &= bs - 1 {
+			rel := w*64 + bits.TrailingZeros64(bs)
+			pathCard[rel] = est.RelPathCard(rel, t)
+		}
+	}
+	for w, nw := 0, attrs.NumWords(); w < nw; w++ {
+		for bs := attrs.Word(w); bs != 0; bs &= bs - 1 {
+			a := w*64 + bits.TrailingZeros64(bs)
+			d := g.q.Distinct[a]
+			if pc := pathCard[g.q.AttrRel[a]]; pc < d {
+				d = pc
+			}
+			if d < 1 {
+				d = 1
+			}
+			prof = append(prof, d)
+		}
+	}
 	// Per-relation path cardinalities are a further hidden dimension:
 	// they cap future per-relation grouping contributions.
-	s.ForEach(func(rel int) {
-		prof = append(prof, est.RelPathCard(rel, t))
-	})
+	for w, nw := 0, sv.NumWords(); w < nw; w++ {
+		for bs := sv.Word(w); bs != 0; bs &= bs - 1 {
+			prof = append(prof, pathCard[w*64+bits.TrailingZeros64(bs)])
+		}
+	}
 	t.Profile = prof
 }
 
@@ -545,7 +658,7 @@ func dominates(a, b *plan.Plan) bool {
 // compareAdjustedCosts implements Fig. 12: H2 biases the comparison toward
 // more eager plans using the tolerance factor F. It returns whether t
 // should replace cur.
-func (g *generator) compareAdjustedCosts(t, cur *plan.Plan, topLevel bool) bool {
+func (g *generator[S]) compareAdjustedCosts(t, cur *plan.Plan, topLevel bool) bool {
 	et, ec := t.Eagerness(), cur.Eagerness()
 	f := g.opts.F
 	switch {
@@ -562,7 +675,7 @@ func (g *generator) compareAdjustedCosts(t, cur *plan.Plan, topLevel bool) bool 
 // diversity: a candidate costing the same as a retained plan but with a
 // strictly smaller cardinality replaces it (small results are what future
 // groupings and joins profit from).
-func (g *generator) insertBeam(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) insertBeam(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	k := g.opts.BeamWidth
 	// Insert in cost order.
 	pos := len(entry)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"eagg/internal/aggfn"
+	"eagg/internal/bitset"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 	"eagg/internal/randquery"
@@ -173,7 +174,7 @@ func TestNoGroupingDegeneratesToJoinOrdering(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		q := randquery.Generate(rng, randquery.Params{Relations: 5})
 		q.HasGrouping = false
-		q.GroupBy = 0
+		q.GroupBy = bitset.VSet{}
 		q.Aggregates = nil
 		costs := map[Algorithm]float64{}
 		for _, alg := range []Algorithm{AlgDPhyp, AlgEAAll, AlgEAPrune, AlgH1} {

@@ -53,13 +53,14 @@ func TestPruneCoverageInvariant(t *testing.T) {
 // filled, so dominance can be evaluated post hoc.
 func tableOf(t *testing.T, q *query.Query, alg Algorithm) map[bitset.Set64][]*plan.Plan {
 	t.Helper()
-	g := &generator{
+	g := &generator[bitset.Set64]{
 		q:    q,
-		det:  conflict.Detect(q),
+		det:  conflict.Detect[bitset.Set64](q),
 		est:  cost.NewEstimator(q),
 		opts: Options{Algorithm: alg},
 		all:  bitset.Range64(0, len(q.Relations)),
 	}
+	g.allV = g.all.ToV()
 	g.prepare()
 	if _, err := g.run(); err != nil {
 		t.Fatal(err)

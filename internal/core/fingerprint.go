@@ -43,14 +43,18 @@ func Fingerprint(q *query.Query, opts Options) string {
 			bw = 4
 		}
 	}
-	fmt.Fprintf(&b, "alg=%d f=%g bw=%d fd=%t phys=%d;", opts.Algorithm, f, bw, opts.FDReduceGroups, opts.Phys)
+	// ForceWide and PairBudget are plan-relevant: the wide path is
+	// bit-identical only while the enumeration completes, and the budget
+	// decides where the greedy fallback takes over.
+	fmt.Fprintf(&b, "alg=%d f=%g bw=%d fd=%t phys=%d wide=%t pb=%d;",
+		opts.Algorithm, f, bw, opts.FDReduceGroups, opts.Phys, opts.ForceWide, opts.PairBudget)
 
 	// Relations with their statistics, keys and declared orders.
 	for i := range q.Relations {
 		r := &q.Relations[i]
-		fmt.Fprintf(&b, "R%d=%s c=%g a=%d k=", i, r.Name, r.Card, uint64(r.Attrs))
+		fmt.Fprintf(&b, "R%d=%s c=%g a=%v k=", i, r.Name, r.Card, r.Attrs)
 		for _, k := range r.Keys {
-			fmt.Fprintf(&b, "%d,", uint64(k))
+			fmt.Fprintf(&b, "%v,", k)
 		}
 		fmt.Fprintf(&b, " o=%v;", r.Ordered)
 	}
@@ -62,7 +66,7 @@ func Fingerprint(q *query.Query, opts Options) string {
 	b.WriteString("T=")
 	fingerprintNode(&b, q.Root)
 	// Grouping and the aggregation vector.
-	fmt.Fprintf(&b, ";G=%d hg=%t F=", uint64(q.GroupBy), q.HasGrouping)
+	fmt.Fprintf(&b, ";G=%v hg=%t F=", q.GroupBy, q.HasGrouping)
 	for _, a := range q.Aggregates {
 		fmt.Fprintf(&b, "%s:%d(%s|%s|%s),", a.Out, a.Kind, a.Arg, a.Arg2, a.Weight)
 	}

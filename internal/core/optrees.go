@@ -14,7 +14,7 @@ import (
 // elimination) when the tree completes the query.
 //
 // DPhyp mode and grouping-free queries produce only the base tree.
-func (g *generator) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict.Op, preds []*query.Predicate) []*plan.Plan {
+func (g *generator[S]) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict.Op[S], preds []*query.Predicate) []*plan.Plan {
 	kind := op.Node.Kind
 	out := make([]*plan.Plan, 0, 4)
 	add := func(l, r *plan.Plan) {
@@ -32,7 +32,7 @@ func (g *generator) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict
 			if !est.PhysifyOp(tree, ph) {
 				continue
 			}
-			if tree.Rels != g.all {
+			if tree.Rels != g.allV {
 				out = append(out, tree)
 				continue
 			}
@@ -66,11 +66,11 @@ func (g *generator) opTrees(est *cost.Estimator, t1, t2 *plan.Plan, op *conflict
 // grouping in the default mode, and one plan per enabled physical kind
 // otherwise (hash aggregation and sort-group aggregation are distinct
 // plan-class members: their costs and contractual orders differ).
-func (g *generator) groupVariants(est *cost.Estimator, t *plan.Plan, side bitset.Set64, isLeft bool, kind query.OpKind) []*plan.Plan {
+func (g *generator[S]) groupVariants(est *cost.Estimator, t *plan.Plan, side bitset.VSet, isLeft bool, kind query.OpKind) []*plan.Plan {
 	if !g.validPush(side, isLeft, kind) {
 		return nil
 	}
-	gp := g.gPlus(side)
+	gp := g.gPlus(est, side)
 	if !g.needsGrouping(gp, t) {
 		return nil
 	}
@@ -90,7 +90,7 @@ func (g *generator) groupVariants(est *cost.Estimator, t *plan.Plan, side bitset
 // opPhysKinds returns the physical kinds to enumerate for a binary
 // operator, hash before sort. Operators without a sort-based form (full
 // outerjoin, groupjoin) stay on the hash layer in every mode.
-func (g *generator) opPhysKinds(kind query.OpKind) []plan.PhysKind {
+func (g *generator[S]) opPhysKinds(kind query.OpKind) []plan.PhysKind {
 	switch g.opts.Phys {
 	case PhysModeSort:
 		switch kind {
@@ -109,7 +109,7 @@ func (g *generator) opPhysKinds(kind query.OpKind) []plan.PhysKind {
 }
 
 // groupPhysKinds returns the physical kinds to enumerate for groupings.
-func (g *generator) groupPhysKinds() []plan.PhysKind {
+func (g *generator[S]) groupPhysKinds() []plan.PhysKind {
 	switch g.opts.Phys {
 	case PhysModeSort:
 		return []plan.PhysKind{plan.PhysSortMerge}
@@ -122,14 +122,14 @@ func (g *generator) groupPhysKinds() []plan.PhysKind {
 // maybeFinalize attaches the final grouping to complete plans (Fig. 6,
 // lines 6-8 etc.): a grouping on G, or — when G contains a key of a
 // duplicate-free result — the free projection of Sec. 3.2.
-func (g *generator) maybeFinalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
-	if tree.Rels != g.all {
+func (g *generator[S]) maybeFinalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
+	if tree.Rels != g.allV {
 		return tree
 	}
 	return g.finalize(est, tree)
 }
 
-func (g *generator) finalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
+func (g *generator[S]) finalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
 	if !g.q.HasGrouping {
 		return tree
 	}
@@ -161,7 +161,7 @@ func (g *generator) finalize(est *cost.Estimator, tree *plan.Plan) *plan.Plan {
 // grouping, hash first. The sort-group variant of the top Γ_G is where
 // a contractual order carried this far pays off: when it covers G the
 // final aggregation streams with zero reorganization.
-func (g *generator) finalizeAll(est *cost.Estimator, tree *plan.Plan) []*plan.Plan {
+func (g *generator[S]) finalizeAll(est *cost.Estimator, tree *plan.Plan) []*plan.Plan {
 	if !g.q.HasGrouping {
 		return []*plan.Plan{tree}
 	}
@@ -186,7 +186,7 @@ func (g *generator) finalizeAll(est *cost.Estimator, tree *plan.Plan) []*plan.Pl
 // from predicates that are not yet applied inside the subtree do not hold
 // there, and using them here both skips profitable groupings and breaks
 // the estimator consistency the dominance pruning relies on.
-func (g *generator) needsGrouping(attrs bitset.Set64, t *plan.Plan) bool {
+func (g *generator[S]) needsGrouping(attrs bitset.VSet, t *plan.Plan) bool {
 	return !(t.DupFree && t.HasKeySubsetOf(attrs))
 }
 
@@ -203,7 +203,7 @@ func (g *generator) needsGrouping(attrs bitset.Set64, t *plan.Plan) bool {
 // Aggregates over relations outside the side are re-weighted through the
 // count attribute of the Groupby-Count equivalences; attribute-free
 // count(*) entries never block a push.
-func (g *generator) validPush(side bitset.Set64, isLeft bool, kind query.OpKind) bool {
+func (g *generator[S]) validPush(side bitset.VSet, isLeft bool, kind query.OpKind) bool {
 	if !g.q.HasGrouping {
 		return false
 	}
@@ -231,15 +231,35 @@ func (g *generator) validPush(side bitset.Set64, isLeft bool, kind query.OpKind)
 // every join attribute of predicates not yet applied inside S, restricted
 // to S's attributes (Sec. 3.1: G⁺ᵢ = Gᵢ ∪ Jᵢ, generalized to all
 // predicates that still connect S to the rest of the query).
-func (g *generator) gPlus(s bitset.Set64) bitset.Set64 {
+func (g *generator[S]) gPlus(est *cost.Estimator, s bitset.VSet) bitset.VSet {
+	// Memoized per worker (the estimator is the per-worker object): the
+	// same side sets recur across every pair they participate in. Narrow
+	// sets key a uint64 map, which hashes much faster than the VSet form.
+	lo, narrow := s.Lo()
+	if narrow {
+		if gp, ok := est.GPlusLo[lo]; ok {
+			return gp
+		}
+	} else if gp, ok := est.GPlus[s]; ok {
+		return gp
+	}
 	attrs := g.q.AttrsOf(s)
 	gp := g.q.GroupBy.Intersect(attrs)
-	for i, op := range g.det.Ops {
-		predRels := g.q.RelsOf(g.predAttrs[i])
-		if !predRels.SubsetOf(s) {
+	for i := range g.predAttrs {
+		if !g.predRels[i].SubsetOf(s) {
 			gp = gp.Union(g.predAttrs[i].Intersect(attrs))
 		}
-		_ = op
+	}
+	if narrow {
+		if est.GPlusLo == nil {
+			est.GPlusLo = make(map[uint64]bitset.VSet)
+		}
+		est.GPlusLo[lo] = gp
+	} else {
+		if est.GPlus == nil {
+			est.GPlus = make(map[bitset.VSet]bitset.VSet)
+		}
+		est.GPlus[s] = gp
 	}
 	return gp
 }

@@ -30,9 +30,9 @@ import (
 // of workers rarely collide on a shard lock.
 const tableShards = 64
 
-type tableShard struct {
+type tableShard[S bitset.RelSet[S]] struct {
 	mu      sync.Mutex
-	entries map[bitset.Set64][]*plan.Plan
+	entries map[S][]*plan.Plan
 	// Pad the 8-byte mutex + 8-byte map header to a full 64-byte cache
 	// line so adjacent shard locks don't false-share.
 	_ [48]byte
@@ -41,33 +41,27 @@ type tableShard struct {
 // stagingTable buffers the entries of the level currently being processed.
 // Workers write finished entries under the shard mutex; the sealed main
 // table is never written during a level, so workers read it lock-free.
-type stagingTable struct {
-	shards     [tableShards]tableShard
+type stagingTable[S bitset.RelSet[S]] struct {
+	shards     [tableShards]tableShard[S]
 	contention atomic.Int64
 }
 
-func newStagingTable() *stagingTable {
-	st := &stagingTable{}
+func newStagingTable[S bitset.RelSet[S]]() *stagingTable[S] {
+	st := &stagingTable[S]{}
 	for i := range st.shards {
-		st.shards[i].entries = make(map[bitset.Set64][]*plan.Plan)
+		st.shards[i].entries = make(map[S][]*plan.Plan)
 	}
 	return st
 }
 
 // shardOf hashes the subproblem key to a shard index. The raw bit pattern
-// is heavily clustered (all keys of a level share a popcount), so it is
-// run through a splitmix64-style finalizer first.
-func shardOf(s bitset.Set64) int {
-	x := uint64(s)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int(x & (tableShards - 1))
+// is heavily clustered (all keys of a level share a popcount), so the
+// representation's Hash64 (a splitmix64-style finalizer) spreads it.
+func shardOf[S bitset.RelSet[S]](s S) int {
+	return int(s.Hash64() & (tableShards - 1))
 }
 
-func (st *stagingTable) put(s bitset.Set64, entry []*plan.Plan) {
+func (st *stagingTable[S]) put(s S, entry []*plan.Plan) {
 	sh := &st.shards[shardOf(s)]
 	if !sh.mu.TryLock() {
 		st.contention.Add(1)
@@ -79,7 +73,7 @@ func (st *stagingTable) put(s bitset.Set64, entry []*plan.Plan) {
 
 // sealInto moves every staged entry into the main table and resets the
 // shards for the next level. Runs single-threaded at the level barrier.
-func (st *stagingTable) sealInto(table map[bitset.Set64][]*plan.Plan) {
+func (st *stagingTable[S]) sealInto(table map[S][]*plan.Plan) {
 	for i := range st.shards {
 		sh := &st.shards[i]
 		for s, e := range sh.entries {
@@ -93,24 +87,24 @@ func (st *stagingTable) sealInto(table map[bitset.Set64][]*plan.Plan) {
 // sharing the same result set, in enumeration order. Single ownership per
 // subproblem key is what keeps the retention-policy insertion order — and
 // hence the retained plans — identical to the sequential driver.
-type subsetTask struct {
-	s     bitset.Set64
-	pairs []hypergraph.CsgCmpPair
+type subsetTask[S bitset.RelSet[S]] struct {
+	s     S
+	pairs []hypergraph.CsgCmpPair[S]
 }
 
 // groupBySubset splits a level's pairs into per-result-set tasks,
 // preserving both first-appearance order of the keys and pair order within
 // each key.
-func groupBySubset(chunk []hypergraph.CsgCmpPair) []subsetTask {
-	idx := make(map[bitset.Set64]int, len(chunk))
-	tasks := make([]subsetTask, 0, len(chunk))
+func groupBySubset[S bitset.RelSet[S]](chunk []hypergraph.CsgCmpPair[S]) []subsetTask[S] {
+	idx := make(map[S]int, len(chunk))
+	tasks := make([]subsetTask[S], 0, len(chunk))
 	for _, pr := range chunk {
 		s := pr.S1.Union(pr.S2)
 		i, ok := idx[s]
 		if !ok {
 			i = len(tasks)
 			idx[s] = i
-			tasks = append(tasks, subsetTask{s: s})
+			tasks = append(tasks, subsetTask[S]{s: s})
 		}
 		tasks[i].pairs = append(tasks[i].pairs, pr)
 	}
@@ -120,11 +114,11 @@ func groupBySubset(chunk []hypergraph.CsgCmpPair) []subsetTask {
 // processSubset builds the complete DP-table entry for one subproblem key:
 // the edge loop of Fig. 5 over every pair of the task, folded through the
 // retention policy into a locally owned plan list.
-func (g *generator) processSubset(est *cost.Estimator, task subsetTask) ([]*plan.Plan, int) {
+func (g *generator[S]) processSubset(est *cost.Estimator, task subsetTask[S]) ([]*plan.Plan, int) {
 	topLevel := task.s == g.all
 	var entry []*plan.Plan
 	built := 0
-	apply := func(s1, s2 bitset.Set64, op *conflict.Op) {
+	apply := func(s1, s2 S, op *conflict.Op[S]) {
 		var n int
 		entry, n = g.buildInto(est, entry, task.s, s1, s2, op, topLevel)
 		built += n
@@ -140,14 +134,14 @@ func (g *generator) processSubset(est *cost.Estimator, task subsetTask) ([]*plan
 // through its own estimator clone (the clones share the immutable query
 // analysis but own their cardinality caches, so no estimator lock exists
 // on the hot path).
-func (g *generator) runLevelsParallel(pairs []hypergraph.CsgCmpPair, workers int) {
-	staging := newStagingTable()
+func (g *generator[S]) runLevelsParallel(pairs []hypergraph.CsgCmpPair[S], workers int) {
+	staging := newStagingTable[S]()
 	ests := make([]*cost.Estimator, workers)
 	ests[0] = g.est
 	for i := 1; i < workers; i++ {
 		ests[i] = g.est.Clone()
 	}
-	forEachLevel(pairs, func(level int, chunk []hypergraph.CsgCmpPair) {
+	forEachLevel(pairs, func(level int, chunk []hypergraph.CsgCmpPair[S]) {
 		start := time.Now()
 		tasks := groupBySubset(chunk)
 		nw := workers

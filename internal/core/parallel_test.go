@@ -133,10 +133,10 @@ func TestSingleRelationStats(t *testing.T) {
 // first-appearance order, pair order within a key is preserved, and the
 // tasks partition the chunk.
 func TestGroupBySubset(t *testing.T) {
-	mk := func(a, b uint64) hypergraph.CsgCmpPair {
-		return hypergraph.CsgCmpPair{S1: bitset.Set64(a), S2: bitset.Set64(b)}
+	mk := func(a, b uint64) hypergraph.CsgCmpPair[bitset.Set64] {
+		return hypergraph.CsgCmpPair[bitset.Set64]{S1: bitset.Set64(a), S2: bitset.Set64(b)}
 	}
-	chunk := []hypergraph.CsgCmpPair{
+	chunk := []hypergraph.CsgCmpPair[bitset.Set64]{
 		mk(0b0011, 0b0100), // union 0b0111
 		mk(0b1001, 0b0110), // union 0b1111
 		mk(0b0101, 0b0010), // union 0b0111 again
@@ -179,7 +179,7 @@ func TestShardOf(t *testing.T) {
 // TestStagingTable exercises put/seal round trips including the reset
 // between levels.
 func TestStagingTable(t *testing.T) {
-	st := newStagingTable()
+	st := newStagingTable[bitset.Set64]()
 	table := map[bitset.Set64][]*plan.Plan{}
 	p := &plan.Plan{}
 	for i := 0; i < 100; i++ {

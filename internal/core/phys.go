@@ -19,14 +19,13 @@ package core
 // hash layer and keeps the choice deterministic for the parallel driver.
 
 import (
-	"eagg/internal/bitset"
 	"eagg/internal/cost"
 	"eagg/internal/ordering"
 	"eagg/internal/plan"
 )
 
 // physOn reports whether the sort-based physical layer participates.
-func (g *generator) physOn() bool { return g.opts.Phys != PhysModeHash }
+func (g *generator[S]) physOn() bool { return g.opts.Phys != PhysModeHash }
 
 // sameClass reports whether two plans fall into the same plan class of
 // one DP-table entry: identical collapse state and identical contractual
@@ -37,7 +36,7 @@ func sameClass(a, b *plan.Plan) bool {
 
 // insertPhys is the retention policy of the sort/auto modes, applied per
 // plan class.
-func (g *generator) insertPhys(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) insertPhys(est *cost.Estimator, s S, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	switch g.opts.Algorithm {
 	case AlgEAAll:
 		return append(entry, t)
@@ -72,7 +71,7 @@ func (g *generator) insertPhys(est *cost.Estimator, s bitset.Set64, entry []*pla
 // on physical costs: within a class, more eager plans get the tolerance
 // factor F, exactly like the hash mode's compareAdjustedCosts does on
 // C_out.
-func (g *generator) compareAdjustedPhysCosts(t, cur *plan.Plan) bool {
+func (g *generator[S]) compareAdjustedPhysCosts(t, cur *plan.Plan) bool {
 	et, ec := t.Eagerness(), cur.Eagerness()
 	f := g.opts.F
 	switch {
@@ -101,7 +100,7 @@ func physDominates(a, b *plan.Plan) bool {
 }
 
 // pruneDominatedPlansPhys is Fig. 13 under the extended dominance.
-func (g *generator) pruneDominatedPlansPhys(est *cost.Estimator, s bitset.Set64, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) pruneDominatedPlansPhys(est *cost.Estimator, s S, entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	g.fillProfileWith(est, s, t)
 	for _, old := range entry {
 		if physDominates(old, t) {
@@ -120,7 +119,7 @@ func (g *generator) pruneDominatedPlansPhys(est *cost.Estimator, s bitset.Set64,
 // insertBeamPhys keeps the BeamWidth physically cheapest plans per plan
 // class. Within a class the worst member is evicted; on cost ties the
 // earlier-enumerated plan stays (determinism).
-func (g *generator) insertBeamPhys(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
+func (g *generator[S]) insertBeamPhys(entry []*plan.Plan, t *plan.Plan) []*plan.Plan {
 	k := g.opts.BeamWidth
 	members := 0
 	worst := -1

@@ -11,6 +11,8 @@
 package cost
 
 import (
+	"math/bits"
+
 	"eagg/internal/bitset"
 	"eagg/internal/fd"
 	"eagg/internal/ordering"
@@ -27,9 +29,13 @@ type Estimator struct {
 	Q *query.Query
 
 	// preds caches every predicate of the query with its relation set,
-	// for canonical set-level cardinalities.
-	preds []predInfo
-	canon map[bitset.Set64]float64
+	// for canonical set-level cardinalities. The cache is split by key
+	// width: sets fitting the inline word (every ≤63-relation query) key
+	// a uint64 map, the wide remainder keys the VSet map — struct keys
+	// with a string field hash noticeably slower on the estimate path.
+	preds   []predInfo
+	canonLo map[uint64]float64
+	canon   map[bitset.VSet]float64
 
 	// fds holds the query-level functional dependencies (base keys and
 	// inner equi-join pairs); they hold in every complete plan and are
@@ -54,17 +60,26 @@ type Estimator struct {
 	// physical layer (see phys.go); nil until the first Physify call,
 	// so the default hash mode never builds it.
 	ord *ordering.Info
+
+	// GPlusLo/GPlus are scratch owned by the optimizer core: they memoize
+	// the G⁺ computation per relation set, split by key width like the
+	// canon cache. They ride on the estimator because estimators are
+	// cloned per worker in the parallel driver, so each worker gets a
+	// lock-free cache that persists across DP levels. Lazily initialized
+	// by the core; Clone starts clones empty.
+	GPlusLo map[uint64]bitset.VSet
+	GPlus   map[bitset.VSet]bitset.VSet
 }
 
 type predInfo struct {
-	rels bitset.Set64
+	rels bitset.VSet
 	sel  float64
 }
 
 // NewEstimator returns an estimator for the query using the pure
 // selectivity model (ModelSource) as its cardinality source.
 func NewEstimator(q *query.Query) *Estimator {
-	e := &Estimator{Q: q, canon: map[bitset.Set64]float64{}, Source: ModelSource{}}
+	e := &Estimator{Q: q, canonLo: map[uint64]float64{}, canon: map[bitset.VSet]float64{}, Source: ModelSource{}}
 	var walk func(n *query.OpNode)
 	walk = func(n *query.OpNode) {
 		if n == nil || n.Kind == query.KindScan {
@@ -104,7 +119,8 @@ func (e *Estimator) Clone() *Estimator {
 	c := &Estimator{
 		Q:              e.Q,
 		preds:          e.preds,
-		canon:          make(map[bitset.Set64]float64, len(e.canon)),
+		canonLo:        make(map[uint64]float64, len(e.canonLo)),
+		canon:          make(map[bitset.VSet]float64, len(e.canon)),
 		fds:            e.fds,
 		FDReduceGroups: e.FDReduceGroups,
 		Source:         e.Source,
@@ -120,7 +136,7 @@ func (e *Estimator) Clone() *Estimator {
 // dependencies. Being query-level (not plan-level), it is identical for
 // every plan of the same query, so using it in pruning-relevant decisions
 // cannot break the dominance invariant.
-func (e *Estimator) FDClosure(attrs bitset.Set64) bitset.Set64 {
+func (e *Estimator) FDClosure(attrs bitset.VSet) bitset.VSet {
 	return e.fds.Closure(attrs)
 }
 
@@ -131,20 +147,36 @@ func (e *Estimator) FDClosure(attrs bitset.Set64) bitset.Set64 {
 // semantics depend on the right side's value set, not on how the plan
 // shaped it, and a plan-dependent value would make the antijoin estimate
 // anti-monotone and break the dominance pruning of Sec. 4.6.
-func (e *Estimator) CanonCard(s bitset.Set64) float64 {
+func (e *Estimator) CanonCard(s bitset.VSet) float64 {
+	if lo, narrow := s.Lo(); narrow {
+		if c, ok := e.canonLo[lo]; ok {
+			return c
+		}
+		c := e.canonCardSlow(s)
+		e.canonLo[lo] = c
+		return c
+	}
 	if c, ok := e.canon[s]; ok {
 		return c
 	}
+	c := e.canonCardSlow(s)
+	e.canon[s] = c
+	return c
+}
+
+func (e *Estimator) canonCardSlow(s bitset.VSet) float64 {
 	c := 1.0
-	s.ForEach(func(r int) { c *= e.Q.Relations[r].Card })
+	for w, nw := 0, s.NumWords(); w < nw; w++ {
+		for t := s.Word(w); t != 0; t &= t - 1 {
+			c *= e.Q.Relations[w*64+bits.TrailingZeros64(t)].Card
+		}
+	}
 	for _, p := range e.preds {
 		if p.rels.SubsetOf(s) {
 			c *= p.sel
 		}
 	}
-	c = maxf(1, c)
-	e.canon[s] = c
-	return c
+	return maxf(1, c)
 }
 
 // Scan builds a leaf plan for a base relation. Scanning is free under
@@ -153,7 +185,7 @@ func (e *Estimator) Scan(rel int) *plan.Plan {
 	r := e.Q.Relations[rel]
 	return &plan.Plan{
 		Kind:    plan.NodeScan,
-		Rels:    bitset.Single64(rel),
+		Rels:    bitset.SingleV(rel),
 		Rel:     rel,
 		Card:    r.Card,
 		Cost:    0,
@@ -213,7 +245,7 @@ func selectivity(preds []*query.Predicate) float64 {
 // NeedsGrouping would skip groupings as "waste" that are anything but.
 func (e *Estimator) Op(kind query.OpKind, preds []*query.Predicate, left, right *plan.Plan) *plan.Plan {
 	sel := selectivity(preds)
-	var a1, a2 bitset.Set64
+	var a1, a2 bitset.VSet
 	for _, p := range preds {
 		a1 = a1.Union(p.LeftAttrs())
 		a2 = a2.Union(p.RightAttrs())
@@ -295,8 +327,8 @@ func (e *Estimator) Op(kind query.OpKind, preds []*query.Predicate, left, right 
 }
 
 // opKeys implements the key-inference rules of Sec. 2.3.
-func (e *Estimator) opKeys(kind query.OpKind, preds []*query.Predicate, left, right *plan.Plan) []bitset.Set64 {
-	var a1, a2 bitset.Set64
+func (e *Estimator) opKeys(kind query.OpKind, preds []*query.Predicate, left, right *plan.Plan) []bitset.VSet {
+	var a1, a2 bitset.VSet
 	for _, p := range preds {
 		a1 = a1.Union(p.LeftAttrs())
 		a2 = a2.Union(p.RightAttrs())
@@ -312,7 +344,10 @@ func (e *Estimator) opKeys(kind query.OpKind, preds []*query.Predicate, left, ri
 	case query.KindJoin:
 		switch {
 		case leftKey && rightKey:
-			return capKeys(append(append([]bitset.Set64{}, left.Keys...), right.Keys...))
+			ks := make([]bitset.VSet, 0, len(left.Keys)+len(right.Keys))
+			ks = append(ks, left.Keys...)
+			ks = append(ks, right.Keys...)
+			return capKeys(ks)
 		case leftKey:
 			return capKeys(right.Keys)
 		case rightKey:
@@ -343,7 +378,7 @@ func opDupFree(kind query.OpKind, left, right *plan.Plan) bool {
 }
 
 // Group builds a pushed-down grouping Γ_{G⁺} on top of child.
-func (e *Estimator) Group(child *plan.Plan, groupBy bitset.Set64) *plan.Plan {
+func (e *Estimator) Group(child *plan.Plan, groupBy bitset.VSet) *plan.Plan {
 	card := e.groupCard(child, groupBy)
 	// A grouping's output — the distinct G-combinations over the child's
 	// relation set — is invariant under join order and under groupings
@@ -400,7 +435,7 @@ func (e *Estimator) Project(child *plan.Plan) *plan.Plan {
 // that relation's path-capped row count: the attributes of one relation
 // cannot form more combinations than the relation has surviving rows
 // (c_custkey and c_name never multiply). Grouping on ∅ yields one group.
-func (e *Estimator) groupCard(child *plan.Plan, groupBy bitset.Set64) float64 {
+func (e *Estimator) groupCard(child *plan.Plan, groupBy bitset.VSet) float64 {
 	// With FDReduceGroups, attributes functionally implied by the rest of
 	// G contribute no combinations (c_custkey determines c_name and,
 	// through inner key joins, n_name) and are dropped before
@@ -413,12 +448,19 @@ func (e *Estimator) groupCard(child *plan.Plan, groupBy bitset.Set64) float64 {
 		reduced = e.fds.Reduce(groupBy)
 	}
 	card := 1.0
-	for _, rel := range e.Q.RelsOf(reduced).Elems() {
-		relProd := 1.0
-		reduced.Intersect(e.Q.Relations[rel].Attrs).ForEach(func(a int) {
-			relProd *= e.Distinct(a, child)
-		})
-		card *= minf(relProd, e.RelPathCard(rel, child))
+	rels := e.Q.RelsOf(reduced)
+	for w, nw := 0, rels.NumWords(); w < nw; w++ {
+		for t := rels.Word(w); t != 0; t &= t - 1 {
+			rel := w*64 + bits.TrailingZeros64(t)
+			relProd := 1.0
+			ra := reduced.Intersect(e.Q.Relations[rel].Attrs)
+			for w2, nw2 := 0, ra.NumWords(); w2 < nw2; w2++ {
+				for t2 := ra.Word(w2); t2 != 0; t2 &= t2 - 1 {
+					relProd *= e.Distinct(w2*64+bits.TrailingZeros64(t2), child)
+				}
+			}
+			card *= minf(relProd, e.RelPathCard(rel, child))
+		}
 	}
 	return maxf(1, minf(card, child.Card))
 }
@@ -448,8 +490,8 @@ func (e *Estimator) RelPathCard(rel int, p *plan.Plan) float64 {
 
 // groupKeys: the grouping attributes are a key of the result, and keys of
 // the child contained in G remain keys.
-func groupKeys(child *plan.Plan, groupBy bitset.Set64) []bitset.Set64 {
-	keys := []bitset.Set64{groupBy}
+func groupKeys(child *plan.Plan, groupBy bitset.VSet) []bitset.VSet {
+	keys := []bitset.VSet{groupBy}
 	for _, k := range child.Keys {
 		if k.SubsetOf(groupBy) && k != groupBy {
 			keys = append(keys, k)
@@ -459,8 +501,12 @@ func groupKeys(child *plan.Plan, groupBy bitset.Set64) []bitset.Set64 {
 }
 
 // pairwiseKeys combines keys k1 ∪ k2 per Sec. 2.3's fallback rule.
-func pairwiseKeys(a, b []bitset.Set64) []bitset.Set64 {
-	var out []bitset.Set64
+func pairwiseKeys(a, b []bitset.VSet) []bitset.VSet {
+	n := len(a) * len(b)
+	if n > maxKeys {
+		n = maxKeys
+	}
+	out := make([]bitset.VSet, 0, n)
 	for _, k1 := range a {
 		for _, k2 := range b {
 			out = append(out, k1.Union(k2))
@@ -472,10 +518,14 @@ func pairwiseKeys(a, b []bitset.Set64) []bitset.Set64 {
 	return out
 }
 
-func capKeys(keys []bitset.Set64) []bitset.Set64 {
+func capKeys(keys []bitset.VSet) []bitset.VSet {
 	// Deduplicate and drop dominated keys (a key that is a superset of
 	// another key carries no extra information).
-	var out []bitset.Set64
+	n := len(keys)
+	if n > maxKeys {
+		n = maxKeys
+	}
+	out := make([]bitset.VSet, 0, n)
 	for _, k := range keys {
 		dominated := false
 		for _, o := range out {

@@ -140,7 +140,7 @@ func TestPairwiseKeyUnion(t *testing.T) {
 	// Predicate on non-key attributes: keys must combine pairwise.
 	pred := &query.Predicate{Left: []int{a0}, Right: []int{a1}, Selectivity: 0.2}
 	j := e.Op(query.KindJoin, []*query.Predicate{pred}, e.Scan(0), e.Scan(1))
-	want := bitset.New64(k0, k1)
+	want := bitset.NewV(k0, k1)
 	if len(j.Keys) != 1 || j.Keys[0] != want {
 		t.Errorf("pairwise keys = %v, want [%v]", j.Keys, want)
 	}
@@ -154,19 +154,19 @@ func TestGroupProps(t *testing.T) {
 	q, _ := twoRelQuery()
 	e := NewEstimator(q)
 	s0 := e.Scan(0)
-	g := e.Group(s0, bitset.New64(q.AttrID("g0")))
+	g := e.Group(s0, bitset.NewV(q.AttrID("g0")))
 	if math.Abs(g.Card-10) > 1e-9 {
 		t.Errorf("Γ card = %v, want 10 (distinct g0)", g.Card)
 	}
 	if math.Abs(g.Cost-10) > 1e-9 {
 		t.Errorf("Γ cost = %v", g.Cost)
 	}
-	if !g.DupFree || !g.HasKeySubsetOf(bitset.New64(q.AttrID("g0"))) {
+	if !g.DupFree || !g.HasKeySubsetOf(bitset.NewV(q.AttrID("g0"))) {
 		t.Error("Γ result must be dupfree with G as key")
 	}
 	// Grouping by more attributes than rows: capped at input card.
 	tiny := e.Scan(1) // card 50, distinct(a0)=100 irrelevant here
-	g2 := e.Group(tiny, bitset.New64(q.AttrID("a0")))
+	g2 := e.Group(tiny, bitset.NewV(q.AttrID("a0")))
 	if g2.Card > tiny.Card {
 		t.Errorf("Γ card %v exceeds input %v", g2.Card, tiny.Card)
 	}
@@ -188,24 +188,24 @@ func TestProjectIsFree(t *testing.T) {
 func TestGroupOnEmptyAttrs(t *testing.T) {
 	q, _ := twoRelQuery()
 	e := NewEstimator(q)
-	g := e.Group(e.Scan(0), bitset.Empty64)
+	g := e.Group(e.Scan(0), bitset.VSet{})
 	if g.Card != 1 {
 		t.Errorf("Γ_∅ card = %v, want 1", g.Card)
 	}
 }
 
 func TestCapKeysDropsDominated(t *testing.T) {
-	keys := capKeys([]bitset.Set64{
-		bitset.New64(1, 2),
-		bitset.New64(1),    // subsumes {1,2}
-		bitset.New64(1, 2), // duplicate of a dominated key
-		bitset.New64(3),    // independent
-		bitset.New64(1, 3), // dominated by {1} and {3}
+	keys := capKeys([]bitset.VSet{
+		bitset.NewV(1, 2),
+		bitset.NewV(1),    // subsumes {1,2}
+		bitset.NewV(1, 2), // duplicate of a dominated key
+		bitset.NewV(3),    // independent
+		bitset.NewV(1, 3), // dominated by {1} and {3}
 	})
 	if len(keys) != 2 {
 		t.Fatalf("capKeys = %v", keys)
 	}
-	has := func(k bitset.Set64) bool {
+	has := func(k bitset.VSet) bool {
 		for _, x := range keys {
 			if x == k {
 				return true
@@ -213,7 +213,7 @@ func TestCapKeysDropsDominated(t *testing.T) {
 		}
 		return false
 	}
-	if !has(bitset.New64(1)) || !has(bitset.New64(3)) {
+	if !has(bitset.NewV(1)) || !has(bitset.NewV(3)) {
 		t.Errorf("capKeys = %v", keys)
 	}
 }

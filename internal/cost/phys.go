@@ -152,7 +152,7 @@ func permute(keys, perm []int) []int {
 // attribute id sequences, oriented by which side owns the attribute —
 // the estimator-side counterpart of the executor's joinKeys, so the
 // merge order the optimizer prices is the one the runtime executes.
-func orientPairs(q *query.Query, preds []*query.Predicate, leftRels bitset.Set64) (lk, rk []int) {
+func orientPairs(q *query.Query, preds []*query.Predicate, leftRels bitset.VSet) (lk, rk []int) {
 	for _, pr := range preds {
 		for i := range pr.Left {
 			la, ra := pr.Left[i], pr.Right[i]

@@ -8,7 +8,7 @@ import (
 )
 
 func sharedKey(rel int) CardKey {
-	return CardKey{Rels: bitset.Single64(rel)}
+	return CardKey{Rels: bitset.SingleV(rel)}
 }
 
 // TestSharedOverlayEpochDiscipline pins the epoch semantics the plan
@@ -78,7 +78,7 @@ func TestSharedOverlayConcurrentPublish(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < keys; k++ {
 				prof := NewFeedbackOverlay()
-				prof.Set(CardKey{Rels: bitset.Single64(w % 8), Group: bitset.Single64(k % 16)}, float64(100+k))
+				prof.Set(CardKey{Rels: bitset.SingleV(w % 8), Group: bitset.SingleV(k % 16)}, float64(100+k))
 				s.Publish(prof)
 			}
 		}(w)
@@ -99,7 +99,7 @@ func TestSharedOverlayConcurrentPublish(t *testing.T) {
 	snap, _ := s.Snapshot()
 	for w := 0; w < 8; w++ {
 		for k := 0; k < 16; k++ {
-			key := CardKey{Rels: bitset.Single64(w), Group: bitset.Single64(k)}
+			key := CardKey{Rels: bitset.SingleV(w), Group: bitset.SingleV(k)}
 			if _, ok := snap.Lookup(key); !ok {
 				t.Fatalf("published key %v missing from final state", key)
 			}

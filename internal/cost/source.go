@@ -42,8 +42,8 @@ import (
 // union; a collision only blends two measured cardinalities — it can skew
 // an estimate, never an executed result.
 type CardKey struct {
-	Rels    bitset.Set64
-	Group   bitset.Set64
+	Rels    bitset.VSet
+	Group   bitset.VSet
 	IsGroup bool
 }
 
@@ -150,10 +150,10 @@ func (o *FeedbackOverlay) Keys() []CardKey {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Rels != b.Rels {
-			return a.Rels < b.Rels
+			return a.Rels.Less(b.Rels)
 		}
 		if a.Group != b.Group {
-			return a.Group < b.Group
+			return a.Group.Less(b.Group)
 		}
 		return !a.IsGroup && b.IsGroup
 	})

@@ -36,7 +36,7 @@ func sourceQuery() *query.Query {
 
 func TestFeedbackOverlayFallback(t *testing.T) {
 	o := NewFeedbackOverlay()
-	key := CardKey{Rels: bitset.Range64(0, 2)}
+	key := CardKey{Rels: bitset.Range64(0, 2).ToV()}
 	if got := o.Card(key, 123); got != 123 {
 		t.Fatalf("empty overlay must fall back to the model: got %g", got)
 	}
@@ -44,7 +44,7 @@ func TestFeedbackOverlayFallback(t *testing.T) {
 	if got := o.Card(key, 123); got != 7 {
 		t.Fatalf("overlay must return the measured value: got %g", got)
 	}
-	if got := o.Card(CardKey{Rels: bitset.Range64(0, 2), IsGroup: true}, 55); got != 55 {
+	if got := o.Card(CardKey{Rels: bitset.Range64(0, 2).ToV(), IsGroup: true}, 55); got != 55 {
 		t.Fatalf("distinct key must fall back: got %g", got)
 	}
 	if got, ok := o.Lookup(key); !ok || got != 7 {
@@ -74,14 +74,14 @@ func TestCanonicalKeys(t *testing.T) {
 
 	join := e.Op(query.KindJoin, []*query.Predicate{pred01}, s0, s1)
 	key, ok := KeyOf(join)
-	if !ok || key != (CardKey{Rels: bitset.Range64(0, 2)}) {
+	if !ok || key != (CardKey{Rels: bitset.Range64(0, 2).ToV()}) {
 		t.Fatalf("plain join key = %+v, ok=%v", key, ok)
 	}
 
-	gp := bitset.Empty64.Add(1).Add(2).Add(4) // join attrs + G on R0⨝R1's side
+	gp := bitset.VSet{}.Add(1).Add(2).Add(4) // join attrs + G on R0⨝R1's side
 	grouped := e.Group(join, gp)
 	gkey, ok := KeyOf(grouped)
-	if !ok || gkey != (CardKey{Rels: bitset.Range64(0, 2), Group: gp, IsGroup: true}) {
+	if !ok || gkey != (CardKey{Rels: bitset.Range64(0, 2).ToV(), Group: gp, IsGroup: true}) {
 		t.Fatalf("group key = %+v, ok=%v", gkey, ok)
 	}
 	if grouped.GroupsBelow != gp {
@@ -90,10 +90,10 @@ func TestCanonicalKeys(t *testing.T) {
 
 	// A second grouping on top keys by its own G, ignoring the collapse
 	// state below — the canonical result is the same distinct set.
-	g2 := bitset.Empty64.Add(4)
+	g2 := bitset.VSet{}.Add(4)
 	regrouped := e.Group(grouped, g2)
 	rkey, _ := KeyOf(regrouped)
-	if rkey != (CardKey{Rels: bitset.Range64(0, 2), Group: g2, IsGroup: true}) {
+	if rkey != (CardKey{Rels: bitset.Range64(0, 2).ToV(), Group: g2, IsGroup: true}) {
 		t.Fatalf("re-group key = %+v", rkey)
 	}
 
@@ -102,11 +102,11 @@ func TestCanonicalKeys(t *testing.T) {
 	// under grouping).
 	semi := e.Op(query.KindSemiJoin, []*query.Predicate{predSemi}, grouped, s2)
 	skey, _ := KeyOf(semi)
-	want := CardKey{Rels: bitset.Range64(0, 3), Group: gp}
+	want := CardKey{Rels: bitset.Range64(0, 3).ToV(), Group: gp}
 	if skey != want {
 		t.Fatalf("semijoin key = %+v, want %+v", skey, want)
 	}
-	gr2 := e.Group(s2, bitset.Empty64.Add(3))
+	gr2 := e.Group(s2, bitset.VSet{}.Add(3))
 	semiGR := e.Op(query.KindSemiJoin, []*query.Predicate{predSemi}, grouped, gr2)
 	skey2, _ := KeyOf(semiGR)
 	if skey2 != want {
@@ -148,7 +148,7 @@ func TestSourceOverridesEstimates(t *testing.T) {
 	// Unmeasured keys fall back to the model — which now estimates
 	// against the corrected child (the measured 77 caps the distinct
 	// counts), so the fallback is the model formula, not the old number.
-	gp := bitset.Empty64.Add(1).Add(2).Add(4)
+	gp := bitset.VSet{}.Add(1).Add(2).Add(4)
 	gModel := model.Group(base, gp)
 	gFed := fed.Group(got, gp)
 	if gFed.Card == gModel.Card {

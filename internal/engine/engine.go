@@ -222,13 +222,13 @@ type aggState struct {
 	defaults []aggfn.Default
 	// cover is the relation set whose multiplicity is folded into the
 	// partial.
-	cover bitset.Set64
+	cover bitset.VSet
 }
 
 // weight is one multiplicity attribute with the relation set it covers.
 type weight struct {
 	attr  string
-	cover bitset.Set64
+	cover bitset.VSet
 }
 
 // binder is the representation-independent part of plan compilation: the
@@ -244,7 +244,7 @@ func (e *binder) fresh(prefix string) string {
 	return fmt.Sprintf("§%s%d", prefix, e.seq)
 }
 
-func (e *binder) attrNames(set bitset.Set64) []string {
+func (e *binder) attrNames(set bitset.VSet) []string {
 	var out []string
 	set.ForEach(func(a int) { out = append(out, e.q.AttrNames[a]) })
 	return out
@@ -526,7 +526,7 @@ func (e *executor) compileOp(p *plan.Plan) (*compiled, error) {
 // findGroupJoin locates the original groupjoin node covering exactly the
 // relations the plan node covers (the conflict detector keeps groupjoin
 // operands fixed, so the match is unique).
-func findGroupJoin(n *query.OpNode, rels bitset.Set64) *query.OpNode {
+func findGroupJoin(n *query.OpNode, rels bitset.VSet) *query.OpNode {
 	if n == nil || n.Kind == query.KindScan {
 		return nil
 	}

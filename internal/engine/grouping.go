@@ -26,7 +26,7 @@ func (e *executor) product(tab rtTable, attrs []string) (string, rtTable) {
 	return name, e.rt.product(tab, name, slots)
 }
 
-func weightAttrs(ws []weight, excludeCover bitset.Set64) []string {
+func weightAttrs(ws []weight, excludeCover bitset.VSet) []string {
 	var out []string
 	for _, w := range ws {
 		if !w.cover.Intersects(excludeCover) {
@@ -48,7 +48,7 @@ func (e *executor) group(child *compiled, p *plan.Plan) (*compiled, error) {
 	// Fresh weight: the number of original tuple combinations each
 	// grouped row stands for — Σ over the group of the product of the
 	// existing weights (count(*) when none exist yet).
-	wAll, tab2 := e.product(tab, weightAttrs(child.weights, bitset.Empty64))
+	wAll, tab2 := e.product(tab, weightAttrs(child.weights, bitset.VSet{}))
 	tab = tab2
 	wNew := e.fresh("w")
 	inner := aggfn.Vector{}
@@ -121,7 +121,7 @@ func (e *executor) groupTable(tab rtTable, gNames []string, f aggfn.Vector, p *p
 
 // collapse turns a raw aggregate into a partial state, appending the
 // needed inner aggregates.
-func (e *binder) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
+func (e *binder) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover bitset.VSet) (aggState, error) {
 	switch agg.Kind {
 	case aggfn.Sum:
 		p := e.fresh("p")
@@ -164,7 +164,7 @@ func (e *binder) collapse(agg aggfn.Agg, w string, inner *aggfn.Vector, cover bi
 }
 
 // reaggregate merges an existing partial at a higher grouping.
-func (e *binder) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner *aggfn.Vector, cover bitset.Set64) (aggState, error) {
+func (e *binder) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner *aggfn.Vector, cover bitset.VSet) (aggState, error) {
 	sumLike := func(src string, def aggfn.Default) (string, aggfn.Default) {
 		p := e.fresh("p")
 		if wOther == "" {
@@ -199,7 +199,7 @@ func (e *binder) reaggregate(kind aggfn.Kind, st aggState, wOther string, inner 
 // duplicate-free input, which is exactly when the optimizer chooses the
 // projection). p is the plan node selecting the physical layer; nil (the
 // projection path) aggregates on the hash layer.
-func (e *executor) finalGroup(child *compiled, groupBy bitset.Set64, p *plan.Plan) (*compiled, error) {
+func (e *executor) finalGroup(child *compiled, groupBy bitset.VSet, p *plan.Plan) (*compiled, error) {
 	tab := child.tab
 	final := aggfn.Vector{}
 	srcs := e.q.AggSourceRels()

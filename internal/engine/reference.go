@@ -191,7 +191,7 @@ func (e *refExecutor) group(child *refCompiled, p *plan.Plan) (*refCompiled, err
 	rel := child.rel
 	out := &refCompiled{aggs: make([]aggState, len(e.q.Aggregates))}
 
-	wAll, rel2 := e.refProduct(rel, weightAttrs(child.weights, bitset.Empty64))
+	wAll, rel2 := e.refProduct(rel, weightAttrs(child.weights, bitset.VSet{}))
 	rel = rel2
 	wNew := e.fresh("w")
 	inner := aggfn.Vector{}
@@ -231,7 +231,7 @@ func (e *refExecutor) group(child *refCompiled, p *plan.Plan) (*refCompiled, err
 	return out, nil
 }
 
-func (e *refExecutor) finalGroup(child *refCompiled, groupBy bitset.Set64) (*refCompiled, error) {
+func (e *refExecutor) finalGroup(child *refCompiled, groupBy bitset.VSet) (*refCompiled, error) {
 	rel := child.rel
 	final := aggfn.Vector{}
 	srcs := e.q.AggSourceRels()

@@ -43,15 +43,15 @@ func TestProductHelper(t *testing.T) {
 
 func TestWeightAttrsExclusion(t *testing.T) {
 	ws := []weight{
-		{attr: "w1", cover: bitset.New64(0, 1)},
-		{attr: "w2", cover: bitset.New64(2)},
-		{attr: "w3", cover: bitset.New64(3, 4)},
+		{attr: "w1", cover: bitset.NewV(0, 1)},
+		{attr: "w2", cover: bitset.NewV(2)},
+		{attr: "w3", cover: bitset.NewV(3, 4)},
 	}
-	got := weightAttrs(ws, bitset.New64(2, 3))
+	got := weightAttrs(ws, bitset.NewV(2, 3))
 	if len(got) != 1 || got[0] != "w1" {
 		t.Errorf("weightAttrs = %v, want [w1]", got)
 	}
-	all := weightAttrs(ws, bitset.Empty64)
+	all := weightAttrs(ws, bitset.VSet{})
 	if len(all) != 3 {
 		t.Errorf("weightAttrs(∅) = %v", all)
 	}
@@ -59,13 +59,13 @@ func TestWeightAttrsExclusion(t *testing.T) {
 
 func TestSideDefaults(t *testing.T) {
 	c := &refCompiled{
-		weights: []weight{{attr: "w", cover: bitset.New64(0)}},
+		weights: []weight{{attr: "w", cover: bitset.NewV(0)}},
 		aggs: []aggState{
 			{}, // raw aggregate: no defaults
 			{
 				partial:  []string{"p_sum", "p_cnt"},
 				defaults: []aggfn.Default{aggfn.DefaultNull, aggfn.DefaultZero},
-				cover:    bitset.New64(0),
+				cover:    bitset.NewV(0),
 			},
 		},
 	}
@@ -87,13 +87,13 @@ func TestSideDefaults(t *testing.T) {
 	// row: weights 1, zero-default partials 0, NULL-default partials NULL.
 	sc := &compiled{
 		tab:     algebra.NewTable(algebra.NewSchema([]string{"w", "p_sum", "p_cnt", "x"})),
-		weights: []weight{{attr: "w", cover: bitset.New64(0)}},
+		weights: []weight{{attr: "w", cover: bitset.NewV(0)}},
 		aggs: []aggState{
 			{},
 			{
 				partial:  []string{"p_sum", "p_cnt"},
 				defaults: []aggfn.Default{aggfn.DefaultNull, aggfn.DefaultZero},
-				cover:    bitset.New64(0),
+				cover:    bitset.NewV(0),
 			},
 		},
 	}
@@ -113,7 +113,7 @@ func TestSideDefaults(t *testing.T) {
 func TestCollapseRejectsNonDecomposable(t *testing.T) {
 	e := &executor{}
 	var inner aggfn.Vector
-	_, err := e.collapse(aggfn.Agg{Out: "d", Kind: aggfn.CountDistinct, Arg: "a"}, "", &inner, bitset.New64(0))
+	_, err := e.collapse(aggfn.Agg{Out: "d", Kind: aggfn.CountDistinct, Arg: "a"}, "", &inner, bitset.NewV(0))
 	if err == nil {
 		t.Error("collapsing count(distinct) must error")
 	}

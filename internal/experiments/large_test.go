@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"eagg/internal/algebra"
+)
+
+// TestLargeEval drives the 100-relation chain and star end to end: wide
+// optimization under H1 and beam search, slot-runtime execution on the
+// diagonal data, verification against the canonical evaluation. The
+// modest pair budget routes both shapes through the enumeration-abort +
+// greedy-fallback path quickly — on chains the fallback reaches the
+// same plan cost as the exact DP (the exact-enumeration arm at 100
+// relations lives in the core determinism test); stars exceed any
+// practical budget by construction.
+func TestLargeEval(t *testing.T) {
+	rep := LargeEval(Config{Workers: 2}, []string{"chain100", "star100"}, 20000)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 rows (2 shapes × 2 algorithms), got %d", len(rep.Rows))
+	}
+	if !rep.AllMatch() {
+		t.Fatalf("large-query plans did not reproduce the canonical result:\n%s", rep.Format())
+	}
+	for _, row := range rep.Rows {
+		if row.Relations != 100 {
+			t.Errorf("%s/%s: %d relations, want 100", row.Shape, row.Alg, row.Relations)
+		}
+		if row.ResultRows == 0 {
+			// The diagonal data guarantees a nonempty result; an empty
+			// one means the verification was vacuous.
+			t.Errorf("%s/%s: empty result", row.Shape, row.Alg)
+		}
+		if !row.BudgetHit {
+			t.Errorf("%s/%s: a 20000-pair budget must be exceeded at 100 relations", row.Shape, row.Alg)
+		}
+	}
+	out := rep.Format()
+	for _, want := range []string{"chain100", "star100", "H1", "Beam(4)", "pair budget 20000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLargeDataDiagonal pins the data generator's contract: key and
+// join attributes carry the row index (so fk→pk predicates match on the
+// diagonal and declared pk scan orders stay truthful), and every
+// relation carries the requested number of rows.
+func TestLargeDataDiagonal(t *testing.T) {
+	q := LargeShapes["star100"]()
+	data := LargeData(q, 5)
+	if len(data) != 100 {
+		t.Fatalf("want 100 relations of data, got %d", len(data))
+	}
+	for ri, rel := range data {
+		if len(rel.Tuples) != 5 {
+			t.Fatalf("relation %d: %d rows, want 5", ri, len(rel.Tuples))
+		}
+	}
+	// dim7.pk is a key and fact.fk7 joins it: both must carry the row
+	// index so the predicate matches on the diagonal.
+	for row := 0; row < 5; row++ {
+		if got := data[7].Tuples[row]["dim7.pk"]; got != algebra.Int(int64(row)) {
+			t.Fatalf("dim7.pk row %d: %v, want %d", row, got, row)
+		}
+		if got := data[0].Tuples[row]["fact.fk7"]; got != algebra.Int(int64(row)) {
+			t.Fatalf("fact.fk7 row %d: %v, want %d", row, got, row)
+		}
+	}
+}

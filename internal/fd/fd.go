@@ -19,7 +19,7 @@ import "eagg/internal/bitset"
 
 // FD is a functional dependency Det → Dep.
 type FD struct {
-	Det, Dep bitset.Set64
+	Det, Dep bitset.VSet
 }
 
 // Set is a collection of functional dependencies.
@@ -28,7 +28,7 @@ type Set struct {
 }
 
 // Add appends Det → Dep.
-func (s *Set) Add(det, dep bitset.Set64) {
+func (s *Set) Add(det, dep bitset.VSet) {
 	if dep.SubsetOf(det) || det.IsEmpty() {
 		return // trivial
 	}
@@ -37,8 +37,8 @@ func (s *Set) Add(det, dep bitset.Set64) {
 
 // AddEquiv records a ↔ b (both directions of an inner equi-join pair).
 func (s *Set) AddEquiv(a, b int) {
-	s.Add(bitset.Single64(a), bitset.Single64(b))
-	s.Add(bitset.Single64(b), bitset.Single64(a))
+	s.Add(bitset.SingleV(a), bitset.SingleV(b))
+	s.Add(bitset.SingleV(b), bitset.SingleV(a))
 }
 
 // Len returns the number of stored dependencies.
@@ -46,7 +46,7 @@ func (s *Set) Len() int { return len(s.fds) }
 
 // Closure computes the attribute closure attrs⁺ under the dependency set
 // (the standard fixpoint).
-func (s *Set) Closure(attrs bitset.Set64) bitset.Set64 {
+func (s *Set) Closure(attrs bitset.VSet) bitset.VSet {
 	out := attrs
 	for changed := true; changed; {
 		changed = false
@@ -61,7 +61,7 @@ func (s *Set) Closure(attrs bitset.Set64) bitset.Set64 {
 }
 
 // Implies reports whether attrs → a follows from the set.
-func (s *Set) Implies(attrs bitset.Set64, a int) bool {
+func (s *Set) Implies(attrs bitset.VSet, a int) bool {
 	return s.Closure(attrs).Contains(a)
 }
 
@@ -69,7 +69,7 @@ func (s *Set) Implies(attrs bitset.Set64, a int) bool {
 // ones — a minimal-ish cover of the attribute set (greedy, ascending, so
 // the result is deterministic). Grouping by Reduce(G) produces exactly the
 // groups of G, which is what the cardinality estimator exploits.
-func (s *Set) Reduce(attrs bitset.Set64) bitset.Set64 {
+func (s *Set) Reduce(attrs bitset.VSet) bitset.VSet {
 	if len(s.fds) == 0 {
 		return attrs
 	}

@@ -8,14 +8,14 @@ import (
 
 func TestClosureBasic(t *testing.T) {
 	var s Set
-	s.Add(bitset.New64(0), bitset.New64(1, 2)) // 0 → 1,2
-	s.Add(bitset.New64(1, 2), bitset.New64(3)) // 1,2 → 3
-	got := s.Closure(bitset.New64(0))
-	if got != bitset.New64(0, 1, 2, 3) {
+	s.Add(bitset.NewV(0), bitset.NewV(1, 2)) // 0 → 1,2
+	s.Add(bitset.NewV(1, 2), bitset.NewV(3)) // 1,2 → 3
+	got := s.Closure(bitset.NewV(0))
+	if got != bitset.NewV(0, 1, 2, 3) {
 		t.Errorf("closure = %v", got)
 	}
 	// 1 alone implies nothing.
-	if s.Closure(bitset.New64(1)) != bitset.New64(1) {
+	if s.Closure(bitset.NewV(1)) != bitset.NewV(1) {
 		t.Error("partial determinant must not fire")
 	}
 }
@@ -23,19 +23,19 @@ func TestClosureBasic(t *testing.T) {
 func TestClosureEquiv(t *testing.T) {
 	var s Set
 	s.AddEquiv(0, 5)
-	s.Add(bitset.New64(5), bitset.New64(6))
-	if !s.Implies(bitset.New64(0), 6) {
+	s.Add(bitset.NewV(5), bitset.NewV(6))
+	if !s.Implies(bitset.NewV(0), 6) {
 		t.Error("0 ↔ 5 → 6 must chain")
 	}
-	if !s.Implies(bitset.New64(5), 0) {
+	if !s.Implies(bitset.NewV(5), 0) {
 		t.Error("equivalence must work both ways")
 	}
 }
 
 func TestTrivialFDsIgnored(t *testing.T) {
 	var s Set
-	s.Add(bitset.New64(1), bitset.New64(1))
-	s.Add(bitset.Empty64, bitset.New64(2))
+	s.Add(bitset.NewV(1), bitset.NewV(1))
+	s.Add(bitset.VSet{}, bitset.NewV(2))
 	if s.Len() != 0 {
 		t.Errorf("trivial FDs stored: %d", s.Len())
 	}
@@ -44,24 +44,24 @@ func TestTrivialFDsIgnored(t *testing.T) {
 func TestReduce(t *testing.T) {
 	var s Set
 	// 0 → 1 (key → name), 2 ↔ 3 (join), 3 → 4 (key → name).
-	s.Add(bitset.New64(0), bitset.New64(1))
+	s.Add(bitset.NewV(0), bitset.NewV(1))
 	s.AddEquiv(2, 3)
-	s.Add(bitset.New64(3), bitset.New64(4))
+	s.Add(bitset.NewV(3), bitset.NewV(4))
 	// G = {0, 1, 4} with 0 → 1: 1 drops; 4 not implied by {0}: stays.
-	got := s.Reduce(bitset.New64(0, 1, 4))
-	if got != bitset.New64(0, 4) {
+	got := s.Reduce(bitset.NewV(0, 1, 4))
+	if got != bitset.NewV(0, 4) {
 		t.Errorf("Reduce = %v, want {0, 4}", got)
 	}
 	// G = {2, 3, 4}: 2 ↔ 3 and 3 → 4, so a single representative of the
 	// equivalence class remains (the ascending greedy drops 2 first,
 	// keeping {3}).
-	got = s.Reduce(bitset.New64(2, 3, 4))
-	if got != bitset.New64(3) {
+	got = s.Reduce(bitset.NewV(2, 3, 4))
+	if got != bitset.NewV(3) {
 		t.Errorf("Reduce = %v, want {3}", got)
 	}
 	// Grouping sets are never reduced to ∅.
 	var empty Set
-	if empty.Reduce(bitset.New64(7)) != bitset.New64(7) {
+	if empty.Reduce(bitset.NewV(7)) != bitset.NewV(7) {
 		t.Error("no-FD reduce must be identity")
 	}
 }
@@ -69,13 +69,13 @@ func TestReduce(t *testing.T) {
 func TestReduceDeterministic(t *testing.T) {
 	var s Set
 	s.AddEquiv(1, 2) // either could represent the pair
-	got := s.Reduce(bitset.New64(1, 2))
+	got := s.Reduce(bitset.NewV(1, 2))
 	// Ascending greedy keeps the larger id (1 is dropped first since
 	// {2} → 1 holds).
 	if got.Len() != 1 {
 		t.Errorf("Reduce of an equivalent pair = %v", got)
 	}
-	if got != s.Reduce(bitset.New64(1, 2)) {
+	if got != s.Reduce(bitset.NewV(1, 2)) {
 		t.Error("Reduce must be deterministic")
 	}
 }

@@ -7,59 +7,90 @@
 // containing U with every set containing V. Simple edges are hyperedges
 // with singleton endpoints. Hyperedges arise from the conflict detector's
 // TES sets, which encode reordering restrictions of non-inner joins.
+//
+// The package is generic in the relation-set representation S
+// (bitset.RelSet): bitset.Set64 is the zero-overhead fast path for ≤63
+// relations, bitset.Wide the multi-word path beyond. All enumeration
+// order is defined by S's ascending-subset order, which both
+// representations share, so the emitted pair sequence is independent of
+// the representation.
 package hypergraph
 
 import (
 	"fmt"
-	"sort"
 
 	"eagg/internal/bitset"
 )
 
 // Edge is a hyperedge (Left, Right) with disjoint, non-empty endpoints.
 // Payload carries an opaque operator reference for the plan generator.
-type Edge struct {
-	Left, Right bitset.Set64
+type Edge[S bitset.RelSet[S]] struct {
+	Left, Right S
 	Payload     int
 }
 
 // Graph is a query hypergraph over nodes {0,…,N-1}.
-type Graph struct {
+type Graph[S bitset.RelSet[S]] struct {
 	N     int
-	Edges []Edge
+	Edges []Edge[S]
+
+	// adj[i] is the neighbor mask of node i when every edge is simple;
+	// nil on hypergraphs and until ensureAdj runs. It turns the
+	// per-edge subset tests of IsConnected/neighborhood — four generic
+	// method calls per edge per round — into a handful of word-wide
+	// set operations per node. Built single-threaded at the start of
+	// the DPhyp enumeration, invalidated by AddEdge.
+	adj []S
+}
+
+// ensureAdj builds the simple-graph adjacency masks. Callers guarantee
+// the graph has no hyperedges and no concurrent mutation.
+func (g *Graph[S]) ensureAdj() {
+	if g.adj != nil {
+		return
+	}
+	adj := make([]S, g.N)
+	for i := range g.Edges {
+		u, v := g.Edges[i].Left.Min(), g.Edges[i].Right.Min()
+		adj[u] = adj[u].Add(v)
+		adj[v] = adj[v].Add(u)
+	}
+	g.adj = adj
 }
 
 // New returns an empty hypergraph over n nodes.
-func New(n int) *Graph {
-	if n < 1 || n > 63 {
+func New[S bitset.RelSet[S]](n int) *Graph[S] {
+	var z S
+	if n < 1 || n > z.Cap()-1 {
 		panic(fmt.Sprintf("hypergraph: unsupported node count %d", n))
 	}
-	return &Graph{N: n}
+	return &Graph[S]{N: n}
 }
 
 // AddEdge adds a hyperedge. It panics on overlapping or empty endpoints —
 // such edges are always construction bugs.
-func (g *Graph) AddEdge(left, right bitset.Set64, payload int) {
+func (g *Graph[S]) AddEdge(left, right S, payload int) {
 	if left.IsEmpty() || right.IsEmpty() || left.Intersects(right) {
 		panic("hypergraph: invalid hyperedge endpoints")
 	}
-	g.Edges = append(g.Edges, Edge{Left: left, Right: right, Payload: payload})
+	g.Edges = append(g.Edges, Edge[S]{Left: left, Right: right, Payload: payload})
+	g.adj = nil
 }
 
 // AddSimpleEdge adds the edge ({u},{v}).
-func (g *Graph) AddSimpleEdge(u, v, payload int) {
-	g.AddEdge(bitset.Single64(u), bitset.Single64(v), payload)
+func (g *Graph[S]) AddSimpleEdge(u, v, payload int) {
+	g.AddEdge(bitset.SingleIn[S](u), bitset.SingleIn[S](v), payload)
 }
 
 // All returns the full node set.
-func (g *Graph) All() bitset.Set64 {
-	return bitset.Range64(0, g.N)
+func (g *Graph[S]) All() S {
+	return bitset.RangeIn[S](0, g.N)
 }
 
 // ConnectsSets reports whether some edge connects S1 and S2, i.e. condition
 // 3 of Def. 3: ∃(u,v) ∈ E with u ⊆ S1 ∧ v ⊆ S2 (or the mirror image).
 // It returns the index of a witnessing edge, or -1.
-func (g *Graph) ConnectsSets(s1, s2 bitset.Set64) int {
+func (g *Graph[S]) ConnectsSets(s1, s2 S) int {
 	for i, e := range g.Edges {
 		if (e.Left.SubsetOf(s1) && e.Right.SubsetOf(s2)) ||
 			(e.Left.SubsetOf(s2) && e.Right.SubsetOf(s1)) {
@@ -70,7 +101,7 @@ func (g *Graph) ConnectsSets(s1, s2 bitset.Set64) int {
 }
 
 // ConnectingEdges returns the indices of all edges connecting S1 and S2.
-func (g *Graph) ConnectingEdges(s1, s2 bitset.Set64) []int {
+func (g *Graph[S]) ConnectingEdges(s1, s2 S) []int {
 	var out []int
 	for i, e := range g.Edges {
 		if (e.Left.SubsetOf(s1) && e.Right.SubsetOf(s2)) ||
@@ -88,12 +119,32 @@ func (g *Graph) ConnectingEdges(s1, s2 bitset.Set64) []int {
 // connectedness (Def. 3 / the recursive definition of the DPhyp paper).
 // For hypergraphs it is an approximation used only inside the DPhyp fast
 // path; the definitional notion is Buildable/BuildableSets below.
-func (g *Graph) IsConnected(s bitset.Set64) bool {
+func (g *Graph[S]) IsConnected(s S) bool {
 	if s.IsEmpty() {
 		return false
 	}
 	if s.IsSingleton() {
 		return true
+	}
+	if g.adj != nil {
+		// Simple-graph BFS over the precomputed neighbor masks: one
+		// Union per frontier node instead of four subset tests per edge
+		// per growth round.
+		reach := s.MinSet()
+		frontier := reach
+		for {
+			var nb S
+			for rem := frontier; !rem.IsEmpty(); {
+				i := rem.Min()
+				rem = rem.Remove(i)
+				nb = nb.Union(g.adj[i])
+			}
+			frontier = nb.Intersect(s).Diff(reach)
+			if frontier.IsEmpty() {
+				return reach == s
+			}
+			reach = reach.Union(frontier)
+		}
 	}
 	reach := s.MinSet()
 	for changed := true; changed; {
@@ -115,9 +166,25 @@ func (g *Graph) IsConnected(s bitset.Set64) bool {
 // neighborHyper describes one reachable hypernode: Rep is its minimum
 // element (the DPhyp representative), Full the complete endpoint that must
 // be absorbed together.
-type neighborHyper struct {
+type neighborHyper[S bitset.RelSet[S]] struct {
 	Rep  int
-	Full bitset.Set64
+	Full S
+}
+
+// neighborMask computes 𝒩(S, X) on the simple-graph fast path (g.adj
+// non-nil): every reachable hypernode is a singleton, so the whole
+// neighborhood is one mask union over the members of S. The enumeration
+// recursion consumes the mask directly — reps are the mask itself and
+// growing by a rep subset is a plain union — skipping the hypernode
+// slice the general path materializes.
+func (g *Graph[S]) neighborMask(s, x S) S {
+	var nb S
+	for rem := s; !rem.IsEmpty(); {
+		i := rem.Min()
+		rem = rem.Remove(i)
+		nb = nb.Union(g.adj[i])
+	}
+	return nb.Diff(s).Diff(x)
 }
 
 // neighborhood computes 𝒩(S, X): for every edge with one endpoint inside
@@ -128,19 +195,36 @@ type neighborHyper struct {
 // this only adds reachable steps. When two edges offer hypernodes with the
 // same representative, the smaller one wins — larger supersets remain
 // reachable through subsequent recursion steps.
-func (g *Graph) neighborhood(s, x bitset.Set64) []neighborHyper {
-	byRep := map[int]bitset.Set64{}
-	add := func(v bitset.Set64) {
+func (g *Graph[S]) neighborhood(s, x S) []neighborHyper[S] {
+	if g.adj != nil {
+		nb := g.neighborMask(s, x)
+		out := make([]neighborHyper[S], 0, nb.Len())
+		nb.ForEach(func(v int) {
+			out = append(out, neighborHyper[S]{Rep: v, Full: bitset.SingleIn[S](v)})
+		})
+		return out
+	}
+	// Indexed by representative instead of a map: reps are node ids
+	// < N, so a rep bitset plus a flat array replaces map hashing and
+	// the final sort (ForEach yields reps in ascending order). This
+	// runs once per enumeration step and used to dominate its cost.
+	var repSet S
+	full := make([]S, g.N)
+	add := func(v S) {
 		rem := v.Diff(s)
 		if rem.IsEmpty() || rem.Intersects(x) {
 			return
 		}
 		rep := rem.Min()
-		if old, ok := byRep[rep]; !ok || rem.Len() < old.Len() {
-			byRep[rep] = rem
+		if !repSet.Contains(rep) {
+			repSet = repSet.Add(rep)
+			full[rep] = rem
+		} else if rem.Len() < full[rep].Len() {
+			full[rep] = rem
 		}
 	}
-	for _, e := range g.Edges {
+	for i := range g.Edges {
+		e := &g.Edges[i]
 		if e.Left.SubsetOf(s) {
 			add(e.Right)
 		}
@@ -148,21 +232,20 @@ func (g *Graph) neighborhood(s, x bitset.Set64) []neighborHyper {
 			add(e.Left)
 		}
 	}
-	out := make([]neighborHyper, 0, len(byRep))
-	for rep, full := range byRep {
-		out = append(out, neighborHyper{Rep: rep, Full: full})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Rep < out[j].Rep })
+	out := make([]neighborHyper[S], 0, repSet.Len())
+	repSet.ForEach(func(rep int) {
+		out = append(out, neighborHyper[S]{Rep: rep, Full: full[rep]})
+	})
 	return out
 }
 
 // CsgCmpPair is one enumerated pair per Def. 3.
-type CsgCmpPair struct {
-	S1, S2 bitset.Set64
+type CsgCmpPair[S bitset.RelSet[S]] struct {
+	S1, S2 S
 }
 
 // HasHyperedges reports whether any edge has a non-singleton endpoint.
-func (g *Graph) HasHyperedges() bool {
+func (g *Graph[S]) HasHyperedges() bool {
 	for _, e := range g.Edges {
 		if !e.Left.IsSingleton() || !e.Right.IsSingleton() {
 			return true
@@ -186,43 +269,91 @@ func (g *Graph) HasHyperedges() bool {
 // sets are exactly the closure of singletons under "absorb the remainder
 // of an edge endpoint whose other endpoint is contained", and complements
 // are enumerated the same way within the exterior of each S1.
-func (g *Graph) CsgCmpPairs() []CsgCmpPair {
-	var pairs []CsgCmpPair
-	if g.HasHyperedges() {
-		pairs = g.completePairs()
-	} else {
-		pairs = g.dphypPairs()
-	}
-	sort.SliceStable(pairs, func(i, j int) bool {
-		si := pairs[i].S1.Union(pairs[i].S2).Len()
-		sj := pairs[j].S1.Union(pairs[j].S2).Len()
-		return si < sj
-	})
+func (g *Graph[S]) CsgCmpPairs() []CsgCmpPair[S] {
+	pairs, _ := g.CsgCmpPairsBudget(0)
 	return pairs
+}
+
+// CsgCmpPairsBudget is CsgCmpPairs with an emission budget: once budget
+// pairs have been emitted (budget 0 = unlimited) the enumeration aborts
+// deterministically and returns complete=false. The partial pair list is
+// returned unsorted — a DP driver cannot use it (sub-pairs may be
+// missing), so callers fall back to a heuristic; the budget exists to
+// bound enumeration time on graphs whose connected-subgraph count is
+// exponential (e.g. large stars and cliques).
+func (g *Graph[S]) CsgCmpPairsBudget(budget int) ([]CsgCmpPair[S], bool) {
+	var pairs []CsgCmpPair[S]
+	complete := true
+	if g.HasHyperedges() {
+		_, pairs, complete = g.buildableSets(budget)
+	} else {
+		pairs, complete = g.dphypPairs(budget)
+	}
+	if !complete {
+		return pairs, false
+	}
+	// Stable counting sort by |S1 ∪ S2|: the key range is just [2, N], and
+	// on large graphs the pair list dominates the optimizer's footprint —
+	// O(n) with one Union per pair beats sort.SliceStable's reflection-
+	// driven swapping (which showed up as a top-ten profile entry).
+	lens := make([]int, len(pairs))
+	pos := make([]int, g.N+2)
+	for i, p := range pairs {
+		l := p.S1.Union(p.S2).Len()
+		lens[i] = l
+		pos[l+1]++
+	}
+	for l := 1; l < len(pos); l++ {
+		pos[l] += pos[l-1]
+	}
+	sorted := make([]CsgCmpPair[S], len(pairs))
+	for i, p := range pairs {
+		sorted[pos[lens[i]]] = p
+		pos[lens[i]]++
+	}
+	return sorted, true
 }
 
 // dphypPairs runs the DPhyp enumeration. Exact on simple graphs; on
 // hypergraphs the representative/exclusion-set mechanism can both miss
 // pairs and emit pairs with non-buildable components, so CsgCmpPairs never
-// uses it there.
-func (g *Graph) dphypPairs() []CsgCmpPair {
-	var pairs []CsgCmpPair
-	seen := map[[2]uint64]bool{}
-	emit := func(s1, s2 bitset.Set64) {
-		key := [2]uint64{uint64(s1), uint64(s2)}
-		if !seen[key] {
-			seen[key] = true
-			pairs = append(pairs, CsgCmpPair{S1: s1, S2: s2})
+// uses it there. A positive budget aborts (complete=false) once that many
+// pairs were emitted, with a step cap guarding stretches of the subset
+// enumeration that emit nothing.
+func (g *Graph[S]) dphypPairs(budget int) ([]CsgCmpPair[S], bool) {
+	g.ensureAdj() // no hyperedges on this path; see CsgCmpPairsBudget
+	var pairs []CsgCmpPair[S]
+	seen := map[[2]S]bool{}
+	stop := false
+	steps := 0
+	emit := func(s1, s2 S) {
+		key := [2]S{s1, s2}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		pairs = append(pairs, CsgCmpPair[S]{S1: s1, S2: s2})
+		if budget > 0 && len(pairs) >= budget {
+			stop = true
 		}
 	}
-	// EnumerateCsg: seed with every node, descending, then grow.
-	for i := g.N - 1; i >= 0; i-- {
-		s1 := bitset.Single64(i)
-		below := bitset.Range64(0, i+1)
-		g.emitCsg(s1, emit)
-		g.enumerateCsgRec(s1, below, emit)
+	step := func() bool {
+		if budget > 0 {
+			steps++
+			if steps >= budget*8 {
+				stop = true
+			}
+		}
+		return !stop
 	}
-	return pairs
+	// EnumerateCsg: seed with every node, descending, then grow.
+	for i := g.N - 1; i >= 0 && !stop; i-- {
+		s1 := bitset.SingleIn[S](i)
+		below := bitset.RangeIn[S](0, i+1)
+		g.emitCsg(s1, emit, &stop, step)
+		g.enumerateCsgRec(s1, below, emit, &stop, step)
+	}
+	return pairs, !stop
 }
 
 // BuildableSets computes the family of connected sets under the recursive
@@ -236,19 +367,26 @@ func (g *Graph) dphypPairs() []CsgCmpPair {
 // discovered so far, which makes the enumeration definitionally complete:
 // for any valid pair (A, B), whichever of the two is processed later sees
 // the other already in the family.
-func (g *Graph) BuildableSets() (family []bitset.Set64, pairs []CsgCmpPair) {
-	inFamily := map[uint64]bool{}
-	seenPair := map[[2]uint64]bool{}
-	var queue []bitset.Set64
-	add := func(s bitset.Set64) {
-		if !inFamily[uint64(s)] {
-			inFamily[uint64(s)] = true
+func (g *Graph[S]) BuildableSets() (family []S, pairs []CsgCmpPair[S]) {
+	family, pairs, _ = g.buildableSets(0)
+	return family, pairs
+}
+
+// buildableSets is BuildableSets with an emission budget (0 = unlimited);
+// complete=false means the closure was aborted mid-way.
+func (g *Graph[S]) buildableSets(budget int) (family []S, pairs []CsgCmpPair[S], complete bool) {
+	inFamily := map[S]bool{}
+	seenPair := map[[2]S]bool{}
+	var queue []S
+	add := func(s S) {
+		if !inFamily[s] {
+			inFamily[s] = true
 			family = append(family, s)
 			queue = append(queue, s)
 		}
 	}
 	for i := 0; i < g.N; i++ {
-		add(bitset.Single64(i))
+		add(bitset.SingleIn[S](i))
 	}
 	for head := 0; head < len(queue); head++ {
 		s := queue[head]
@@ -264,38 +402,49 @@ func (g *Graph) BuildableSets() (family []bitset.Set64, pairs []CsgCmpPair) {
 			if a.Min() > b.Min() {
 				a, b = b, a
 			}
-			key := [2]uint64{uint64(a), uint64(b)}
+			key := [2]S{a, b}
 			if !seenPair[key] {
 				seenPair[key] = true
-				pairs = append(pairs, CsgCmpPair{S1: a, S2: b})
+				pairs = append(pairs, CsgCmpPair[S]{S1: a, S2: b})
+				if budget > 0 && len(pairs) >= budget {
+					return family, pairs, false
+				}
 			}
 			add(s.Union(t))
 		}
 	}
-	return family, pairs
-}
-
-// completePairs enumerates all csg-cmp-pairs via the recursive-definition
-// fixpoint. Used for hypergraphs, where the DPhyp representative trick can
-// miss pairs when distinct hypernodes share a minimum element.
-func (g *Graph) completePairs() []CsgCmpPair {
-	_, pairs := g.BuildableSets()
-	return pairs
+	return family, pairs, true
 }
 
 // enumerateCsgRec grows the connected set s1 by subsets of its
 // neighborhood, emitting complements for every grown set.
-func (g *Graph) enumerateCsgRec(s1, x bitset.Set64, emit func(a, b bitset.Set64)) {
-	neighbors := g.neighborhood(s1, x)
-	if len(neighbors) == 0 {
+func (g *Graph[S]) enumerateCsgRec(s1, x S, emit func(a, b S), stop *bool, step func() bool) {
+	if *stop {
 		return
 	}
-	reps := bitset.Empty64
-	for _, n := range neighbors {
-		reps = reps.Add(n.Rep)
+	var reps S
+	var neighbors []neighborHyper[S]
+	if g.adj != nil {
+		// Simple graph: reps are the neighbor mask and growing by a rep
+		// subset is a plain union (every hypernode is a singleton).
+		reps = g.neighborMask(s1, x)
+		if reps.IsEmpty() {
+			return
+		}
+	} else {
+		neighbors = g.neighborhood(s1, x)
+		if len(neighbors) == 0 {
+			return
+		}
+		for _, n := range neighbors {
+			reps = reps.Add(n.Rep)
+		}
 	}
-	expand := func(sub bitset.Set64) bitset.Set64 {
-		full := bitset.Empty64
+	expand := func(sub S) S {
+		if neighbors == nil {
+			return sub
+		}
+		var full S
 		for _, n := range neighbors {
 			if sub.Contains(n.Rep) {
 				full = full.Union(n.Full)
@@ -303,28 +452,54 @@ func (g *Graph) enumerateCsgRec(s1, x bitset.Set64, emit func(a, b bitset.Set64)
 		}
 		return full
 	}
-	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+	reps.SubsetsAsc(func(sub S) bool {
+		if !step() {
+			return false
+		}
 		grown := s1.Union(expand(sub))
 		if g.IsConnected(grown) {
-			g.emitCsg(grown, emit)
+			g.emitCsg(grown, emit, stop, step)
 		}
-		return true
+		return !*stop
 	})
 	newX := x.Union(reps)
-	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+	reps.SubsetsAsc(func(sub S) bool {
+		if !step() {
+			return false
+		}
 		grown := s1.Union(expand(sub))
 		if g.IsConnected(grown) {
-			g.enumerateCsgRec(grown, newX, emit)
+			g.enumerateCsgRec(grown, newX, emit, stop, step)
 		}
-		return true
+		return !*stop
 	})
 }
 
 // emitCsg enumerates the complements of the connected set s1.
-func (g *Graph) emitCsg(s1 bitset.Set64, emit func(a, b bitset.Set64)) {
-	x := s1.Union(bitset.Range64(0, s1.Min()+1))
+func (g *Graph[S]) emitCsg(s1 S, emit func(a, b S), stop *bool, step func() bool) {
+	if *stop {
+		return
+	}
+	x := s1.Union(bitset.RangeIn[S](0, s1.Min()+1))
+	if g.adj != nil {
+		// Simple graph: complements seed from single neighbors, visited
+		// in descending order as below; the lower-representative
+		// exclusion is a range mask over the neighbor set.
+		nb := g.neighborMask(s1, x)
+		for rem := nb; !rem.IsEmpty() && !*stop; {
+			v := rem.Max()
+			rem = rem.Remove(v)
+			s2 := bitset.SingleIn[S](v)
+			if g.ConnectsSets(s1, s2) >= 0 {
+				emit(s1, s2)
+			}
+			lower := nb.Intersect(bitset.RangeIn[S](0, v+1))
+			g.enumerateCmpRec(s1, s2, x.Union(lower), emit, stop, step)
+		}
+		return
+	}
 	neighbors := g.neighborhood(s1, x)
-	for i := len(neighbors) - 1; i >= 0; i-- {
+	for i := len(neighbors) - 1; i >= 0 && !*stop; i-- {
 		n := neighbors[i]
 		s2 := n.Full
 		if g.IsConnected(s2) && g.ConnectsSets(s1, s2) >= 0 {
@@ -332,28 +507,42 @@ func (g *Graph) emitCsg(s1 bitset.Set64, emit func(a, b bitset.Set64)) {
 		}
 		// Exclude smaller representatives so each complement is grown
 		// from exactly one seed.
-		var lower bitset.Set64
+		var lower S
 		for _, m := range neighbors {
 			if m.Rep <= n.Rep {
 				lower = lower.Add(m.Rep)
 			}
 		}
-		g.enumerateCmpRec(s1, s2, x.Union(lower), emit)
+		g.enumerateCmpRec(s1, s2, x.Union(lower), emit, stop, step)
 	}
 }
 
 // enumerateCmpRec grows the complement s2 within the exclusion set x.
-func (g *Graph) enumerateCmpRec(s1, s2, x bitset.Set64, emit func(a, b bitset.Set64)) {
-	neighbors := g.neighborhood(s2, x)
-	if len(neighbors) == 0 {
+func (g *Graph[S]) enumerateCmpRec(s1, s2, x S, emit func(a, b S), stop *bool, step func() bool) {
+	if *stop {
 		return
 	}
-	reps := bitset.Empty64
-	for _, n := range neighbors {
-		reps = reps.Add(n.Rep)
+	var reps S
+	var neighbors []neighborHyper[S]
+	if g.adj != nil {
+		reps = g.neighborMask(s2, x)
+		if reps.IsEmpty() {
+			return
+		}
+	} else {
+		neighbors = g.neighborhood(s2, x)
+		if len(neighbors) == 0 {
+			return
+		}
+		for _, n := range neighbors {
+			reps = reps.Add(n.Rep)
+		}
 	}
-	expand := func(sub bitset.Set64) bitset.Set64 {
-		full := bitset.Empty64
+	expand := func(sub S) S {
+		if neighbors == nil {
+			return sub
+		}
+		var full S
 		for _, n := range neighbors {
 			if sub.Contains(n.Rep) {
 				full = full.Union(n.Full)
@@ -361,20 +550,26 @@ func (g *Graph) enumerateCmpRec(s1, s2, x bitset.Set64, emit func(a, b bitset.Se
 		}
 		return full
 	}
-	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+	reps.SubsetsAsc(func(sub S) bool {
+		if !step() {
+			return false
+		}
 		grown := s2.Union(expand(sub))
 		if !grown.Intersects(s1) && g.IsConnected(grown) && g.ConnectsSets(s1, grown) >= 0 {
 			emit(s1, grown)
 		}
-		return true
+		return !*stop
 	})
 	newX := x.Union(reps)
-	reps.SubsetsAsc(func(sub bitset.Set64) bool {
+	reps.SubsetsAsc(func(sub S) bool {
+		if !step() {
+			return false
+		}
 		grown := s2.Union(expand(sub))
 		if !grown.Intersects(s1) && g.IsConnected(grown) {
-			g.enumerateCmpRec(s1, grown, newX, emit)
+			g.enumerateCmpRec(s1, grown, newX, emit, stop, step)
 		}
-		return true
+		return !*stop
 	})
 }
 
@@ -382,24 +577,24 @@ func (g *Graph) enumerateCmpRec(s1, s2, x bitset.Set64, emit func(a, b bitset.Se
 // definition, computed top-down with memoization. Exponential in |S| —
 // intended for tests and small diagnostics; the production path uses
 // BuildableSets.
-func (g *Graph) Buildable(s bitset.Set64) bool {
-	return g.buildableMemo(s, map[uint64]bool{})
+func (g *Graph[S]) Buildable(s S) bool {
+	return g.buildableMemo(s, map[S]bool{})
 }
 
-func (g *Graph) buildableMemo(s bitset.Set64, memo map[uint64]bool) bool {
+func (g *Graph[S]) buildableMemo(s S, memo map[S]bool) bool {
 	if s.IsSingleton() {
 		return true
 	}
 	if s.IsEmpty() {
 		return false
 	}
-	if v, ok := memo[uint64(s)]; ok {
+	if v, ok := memo[s]; ok {
 		return v
 	}
-	memo[uint64(s)] = false // guard against re-entry
+	memo[s] = false // guard against re-entry
 	result := false
 	rest := s.Remove(s.Min())
-	rest.SubsetsAsc(func(sub bitset.Set64) bool {
+	rest.SubsetsAsc(func(sub S) bool {
 		s2 := sub
 		s1 := s.Diff(s2)
 		if s1.IsEmpty() {
@@ -411,22 +606,22 @@ func (g *Graph) buildableMemo(s bitset.Set64, memo map[uint64]bool) bool {
 		}
 		return true
 	})
-	memo[uint64(s)] = result
+	memo[s] = result
 	return result
 }
 
 // CountCsgCmpPairsBrute counts csg-cmp-pairs by brute force over all
 // subsets using the recursive connectedness definition; used to validate
 // the enumerators in tests. Exponential — callers keep N small.
-func (g *Graph) CountCsgCmpPairsBrute() int {
+func (g *Graph[S]) CountCsgCmpPairsBrute() int {
 	count := 0
-	memo := map[uint64]bool{}
+	memo := map[S]bool{}
 	all := g.All()
-	all.SubsetsAsc(func(s bitset.Set64) bool {
+	all.SubsetsAsc(func(s S) bool {
 		if s.IsSingleton() {
 			return true
 		}
-		s.SubsetsAsc(func(s1 bitset.Set64) bool {
+		s.SubsetsAsc(func(s1 S) bool {
 			s2 := s.Diff(s1)
 			if s2.IsEmpty() || s1.Min() > s2.Min() {
 				return true

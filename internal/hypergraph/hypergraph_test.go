@@ -7,30 +7,30 @@ import (
 	"eagg/internal/bitset"
 )
 
-func chain(n int) *Graph {
-	g := New(n)
+func chain(n int) *Graph[bitset.Set64] {
+	g := New[bitset.Set64](n)
 	for i := 0; i+1 < n; i++ {
 		g.AddSimpleEdge(i, i+1, i)
 	}
 	return g
 }
 
-func cycle(n int) *Graph {
+func cycle(n int) *Graph[bitset.Set64] {
 	g := chain(n)
 	g.AddSimpleEdge(n-1, 0, n-1)
 	return g
 }
 
-func star(n int) *Graph {
-	g := New(n)
+func star(n int) *Graph[bitset.Set64] {
+	g := New[bitset.Set64](n)
 	for i := 1; i < n; i++ {
 		g.AddSimpleEdge(0, i, i-1)
 	}
 	return g
 }
 
-func clique(n int) *Graph {
-	g := New(n)
+func clique(n int) *Graph[bitset.Set64] {
+	g := New[bitset.Set64](n)
 	e := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -60,7 +60,7 @@ func TestIsConnected(t *testing.T) {
 func TestIsConnectedHyperedge(t *testing.T) {
 	// Hyperedge ({0,1},{2,3}): {0,1,2,3} is connected only together with
 	// the simple edges making each endpoint internally connected.
-	g := New(4)
+	g := New[bitset.Set64](4)
 	g.AddSimpleEdge(0, 1, 0)
 	g.AddSimpleEdge(2, 3, 1)
 	g.AddEdge(bitset.New64(0, 1), bitset.New64(2, 3), 2)
@@ -74,7 +74,7 @@ func TestIsConnectedHyperedge(t *testing.T) {
 }
 
 func TestConnectsSets(t *testing.T) {
-	g := New(4)
+	g := New[bitset.Set64](4)
 	g.AddEdge(bitset.New64(0, 1), bitset.New64(2), 7)
 	if g.ConnectsSets(bitset.New64(0, 1), bitset.New64(2, 3)) < 0 {
 		t.Error("edge with u ⊆ S1, v ⊆ S2 must connect")
@@ -175,7 +175,7 @@ func TestRandomGraphsAgainstBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	for trial := 0; trial < 400; trial++ {
 		n := 3 + rng.Intn(5)
-		g := New(n)
+		g := New[bitset.Set64](n)
 		// Random spanning tree keeps the graph connected.
 		for i := 1; i < n; i++ {
 			g.AddSimpleEdge(rng.Intn(i), i, len(g.Edges))
@@ -216,7 +216,7 @@ func TestTreeCcpEqualsBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 40; trial++ {
 		n := 2 + rng.Intn(7)
-		g := New(n)
+		g := New[bitset.Set64](n)
 		for i := 1; i < n; i++ {
 			g.AddSimpleEdge(rng.Intn(i), i, i)
 		}
@@ -227,7 +227,7 @@ func TestTreeCcpEqualsBrute(t *testing.T) {
 }
 
 func TestAddEdgePanics(t *testing.T) {
-	g := New(3)
+	g := New[bitset.Set64](3)
 	for _, c := range []struct{ l, r bitset.Set64 }{
 		{bitset.Empty64, bitset.New64(1)},
 		{bitset.New64(0), bitset.Empty64},
@@ -245,7 +245,7 @@ func TestAddEdgePanics(t *testing.T) {
 }
 
 func TestConnectingEdges(t *testing.T) {
-	g := New(3)
+	g := New[bitset.Set64](3)
 	g.AddSimpleEdge(0, 1, 10)
 	g.AddSimpleEdge(1, 2, 11)
 	g.AddSimpleEdge(0, 2, 12)

@@ -12,8 +12,8 @@ import (
 // node contributes one hyperedge whose endpoints are supersets of the
 // original predicate's two relations, confined to the node's left and
 // right subtree leaf sets (like TES extensions).
-func genLaminarTES(rng *rand.Rand, n int) *Graph {
-	g := New(n)
+func genLaminarTES(rng *rand.Rand, n int) *Graph[bitset.Set64] {
+	g := New[bitset.Set64](n)
 	// Random binary tree shape: repeatedly merge two random forests.
 	type node struct{ leaves bitset.Set64 }
 	forest := make([]node, n)
@@ -98,7 +98,7 @@ func TestBuildableVsReachOnSimple(t *testing.T) {
 	rng := rand.New(rand.NewSource(63))
 	for trial := 0; trial < 100; trial++ {
 		n := 2 + rng.Intn(6)
-		g := New(n)
+		g := New[bitset.Set64](n)
 		for i := 1; i < n; i++ {
 			g.AddSimpleEdge(rng.Intn(i), i, i)
 		}

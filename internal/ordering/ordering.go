@@ -103,21 +103,21 @@ type Info struct {
 	// over S apply every predicate internal to S.
 	innerPairs []attrPair
 
-	equivs map[bitset.Set64]*unionFind
-	fds    map[bitset.Set64]*fd.Set
+	equivs map[bitset.VSet]*unionFind
+	fds    map[bitset.VSet]*fd.Set
 }
 
 type attrPair struct {
 	a, b int
-	rels bitset.Set64
+	rels bitset.VSet
 }
 
 // NewInfo analyses the query once.
 func NewInfo(q *query.Query) *Info {
 	in := &Info{
 		q:      q,
-		equivs: map[bitset.Set64]*unionFind{},
-		fds:    map[bitset.Set64]*fd.Set{},
+		equivs: map[bitset.VSet]*unionFind{},
+		fds:    map[bitset.VSet]*fd.Set{},
 	}
 	var walk func(n *query.OpNode)
 	walk = func(n *query.OpNode) {
@@ -132,7 +132,7 @@ func NewInfo(q *query.Query) *Info {
 				a, b := n.Pred.Left[i], n.Pred.Right[i]
 				in.innerPairs = append(in.innerPairs, attrPair{
 					a: a, b: b,
-					rels: bitset.Single64(q.AttrRel[a]).Union(bitset.Single64(q.AttrRel[b])),
+					rels: bitset.SingleV(q.AttrRel[a]).Union(bitset.SingleV(q.AttrRel[b])),
 				})
 			}
 		}
@@ -149,8 +149,8 @@ func (in *Info) Clone() *Info {
 	return &Info{
 		q:          in.q,
 		innerPairs: in.innerPairs,
-		equivs:     map[bitset.Set64]*unionFind{},
-		fds:        map[bitset.Set64]*fd.Set{},
+		equivs:     map[bitset.VSet]*unionFind{},
+		fds:        map[bitset.VSet]*fd.Set{},
 	}
 }
 
@@ -161,7 +161,7 @@ func (in *Info) ScanOrder(rel int) Order {
 
 // equivFor returns the value-equivalence classes valid inside a subplan
 // over rels: the union-find over inner-join pairs internal to the set.
-func (in *Info) equivFor(rels bitset.Set64) *unionFind {
+func (in *Info) equivFor(rels bitset.VSet) *unionFind {
 	if uf, ok := in.equivs[rels]; ok {
 		return uf
 	}
@@ -181,7 +181,7 @@ func (in *Info) equivFor(rels bitset.Set64) *unionFind {
 // grouping under the NULL-equality convention of Sec. 2.3 (padded rows
 // are NULL on both sides of every internal dependency; grouping
 // representatives carry the attribute combinations of real rows).
-func (in *Info) fdsFor(rels bitset.Set64) *fd.Set {
+func (in *Info) fdsFor(rels bitset.VSet) *fd.Set {
 	if s, ok := in.fds[rels]; ok {
 		return s
 	}
@@ -207,7 +207,7 @@ func (in *Info) fdsFor(rels bitset.Set64) *fd.Set {
 // against the order prefix: position i of the order must be value-
 // equivalent to some not-yet-used key; the returned perm maps merge
 // position → index into keys. ok is false when no permutation works.
-func (in *Info) CoversKeys(rels bitset.Set64, ord Order, keys []int) (perm []int, ok bool) {
+func (in *Info) CoversKeys(rels bitset.VSet, ord Order, keys []int) (perm []int, ok bool) {
 	if len(keys) == 0 {
 		return nil, true
 	}
@@ -237,7 +237,7 @@ func (in *Info) CoversKeys(rels bitset.Set64, ord Order, keys []int) (perm []int
 // CoversKeysInOrder reports whether the order covers exactly the given
 // key sequence — no permutation freedom, used for the second input of a
 // merge join once the first input's match has fixed the pair order.
-func (in *Info) CoversKeysInOrder(rels bitset.Set64, ord Order, keys []int) bool {
+func (in *Info) CoversKeysInOrder(rels bitset.VSet, ord Order, keys []int) bool {
 	if len(keys) == 0 {
 		return true
 	}
@@ -267,7 +267,7 @@ func (in *Info) CoversKeysInOrder(rels bitset.Set64, ord Order, keys []int) bool
 // underlying order claim while streaming (the runs argument is only as
 // good as the scan-order declaration it rests on). Grouping on ∅ (one
 // global group) is trivially covered, with an empty prefix.
-func (in *Info) CoversGrouping(rels bitset.Set64, ord Order, groupBy bitset.Set64) (prefix Order, ok bool) {
+func (in *Info) CoversGrouping(rels bitset.VSet, ord Order, groupBy bitset.VSet) (prefix Order, ok bool) {
 	if groupBy.IsEmpty() {
 		return nil, true
 	}
@@ -276,7 +276,7 @@ func (in *Info) CoversGrouping(rels bitset.Set64, ord Order, groupBy bitset.Set6
 	}
 	fds := in.fdsFor(rels)
 	gClosure := fds.Closure(groupBy)
-	var p bitset.Set64
+	var p bitset.VSet
 	for i, a := range ord {
 		if !gClosure.Contains(a) {
 			return nil, false // prefix stops being contained in closure(G)
@@ -295,7 +295,7 @@ func (in *Info) CoversGrouping(rels bitset.Set64, ord Order, groupBy bitset.Set6
 // — an attribute survives if it is value-equivalent to a grouping
 // attribute (equal values, so the grouping column carries the same
 // sequence). The mapped order stops at the first non-survivor.
-func (in *Info) GroupOutputOrder(rels bitset.Set64, ord Order, groupBy bitset.Set64) Order {
+func (in *Info) GroupOutputOrder(rels bitset.VSet, ord Order, groupBy bitset.VSet) Order {
 	if len(ord) == 0 {
 		return nil
 	}

@@ -38,8 +38,8 @@ func testQuery(t *testing.T) (q *query.Query, ck, ock, ok, lk, odate int) {
 	return q, ck, ock, ok, lk, odate
 }
 
-func rels(ids ...int) bitset.Set64 {
-	var s bitset.Set64
+func rels(ids ...int) bitset.VSet {
+	var s bitset.VSet
 	for _, r := range ids {
 		s = s.Add(r)
 	}
@@ -99,7 +99,7 @@ func TestCoversGroupingFD(t *testing.T) {
 	q, _, _, ok, lk, odate := testQuery(t)
 	in := NewInfo(q)
 	s := rels(0, 1, 2)
-	g := bitset.Single64(lk).Add(odate)
+	g := bitset.SingleV(lk).Add(odate)
 
 	// Order on o.ok covers grouping {l.ok, o.date}: ok ↔ lk makes equal
 	// groups equal runs, and ok → o.date via the orders key. The
@@ -117,7 +117,7 @@ func TestCoversGroupingFD(t *testing.T) {
 	if _, covered := in.CoversGrouping(s, nil, g); covered {
 		t.Fatal("empty order must not cover a non-empty grouping")
 	}
-	if _, covered := in.CoversGrouping(s, nil, bitset.Empty64); !covered {
+	if _, covered := in.CoversGrouping(s, nil, bitset.VSet{}); !covered {
 		t.Fatal("the global group is trivially covered")
 	}
 }
@@ -126,7 +126,7 @@ func TestGroupOutputOrder(t *testing.T) {
 	q, _, _, ok, lk, odate := testQuery(t)
 	in := NewInfo(q)
 	s := rels(0, 1, 2)
-	g := bitset.Single64(lk).Add(odate)
+	g := bitset.SingleV(lk).Add(odate)
 
 	// The grouped output keeps the input order mapped into grouping
 	// columns: o.ok maps to its equivalent l.ok.

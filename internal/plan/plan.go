@@ -51,7 +51,7 @@ const (
 type Plan struct {
 	Kind NodeKind
 	// Rels is the set of base relations covered, T(T) in the paper.
-	Rels bitset.Set64
+	Rels bitset.VSet
 
 	// Scan fields.
 	Rel int
@@ -63,14 +63,14 @@ type Plan struct {
 
 	// Group fields: the grouping attributes (G⁺ for pushed groupings, G
 	// for the final grouping). Child is Left.
-	GroupBy bitset.Set64
+	GroupBy bitset.VSet
 	// Final marks the query's top grouping (aggregates finalized here).
 	Final bool
 
 	// Logical properties (filled by the estimator).
 	Card    float64
 	Cost    float64
-	Keys    []bitset.Set64
+	Keys    []bitset.VSet
 	DupFree bool
 
 	// GroupsBelow is the union of the grouping-attribute sets of the
@@ -83,7 +83,7 @@ type Plan struct {
 	// the canonical (relation-set, grouping-attrs) keys the cardinality
 	// feedback loop records and looks up measured cardinalities under
 	// (internal/cost.KeyOf).
-	GroupsBelow bitset.Set64
+	GroupsBelow bitset.VSet
 
 	// Physical properties, filled by the estimator only when the
 	// optimizer runs with the sort-based physical layer enabled
@@ -148,7 +148,7 @@ func (p *Plan) Eagerness() int {
 
 // HasKeySubsetOf reports whether some candidate key is contained in attrs
 // — the key test of NeedsGrouping (Fig. 7).
-func (p *Plan) HasKeySubsetOf(attrs bitset.Set64) bool {
+func (p *Plan) HasKeySubsetOf(attrs bitset.VSet) bool {
 	for _, k := range p.Keys {
 		if k.SubsetOf(attrs) {
 			return true

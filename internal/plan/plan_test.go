@@ -9,10 +9,10 @@ import (
 )
 
 func samplePlans() (*Plan, *Plan, *Plan) {
-	s0 := &Plan{Kind: NodeScan, Rels: bitset.New64(0), Rel: 0, Card: 100}
-	s1 := &Plan{Kind: NodeScan, Rels: bitset.New64(1), Rel: 1, Card: 10}
-	g := &Plan{Kind: NodeGroup, Rels: s0.Rels, GroupBy: bitset.New64(2), Left: s0, Card: 5, DupFree: true}
-	j := &Plan{Kind: NodeOp, Op: query.KindJoin, Rels: bitset.New64(0, 1), Left: g, Right: s1, Card: 50, Cost: 55}
+	s0 := &Plan{Kind: NodeScan, Rels: bitset.NewV(0), Rel: 0, Card: 100}
+	s1 := &Plan{Kind: NodeScan, Rels: bitset.NewV(1), Rel: 1, Card: 10}
+	g := &Plan{Kind: NodeGroup, Rels: s0.Rels, GroupBy: bitset.NewV(2), Left: s0, Card: 5, DupFree: true}
+	j := &Plan{Kind: NodeOp, Op: query.KindJoin, Rels: bitset.NewV(0, 1), Left: g, Right: s1, Card: 50, Cost: 55}
 	return s0, s1, j
 }
 
@@ -36,11 +36,11 @@ func TestEagerness(t *testing.T) {
 }
 
 func TestHasKeySubsetOf(t *testing.T) {
-	p := &Plan{Keys: []bitset.Set64{bitset.New64(1, 2)}}
-	if !p.HasKeySubsetOf(bitset.New64(1, 2, 3)) {
+	p := &Plan{Keys: []bitset.VSet{bitset.NewV(1, 2)}}
+	if !p.HasKeySubsetOf(bitset.NewV(1, 2, 3)) {
 		t.Error("superset of a key must qualify")
 	}
-	if p.HasKeySubsetOf(bitset.New64(1)) {
+	if p.HasKeySubsetOf(bitset.NewV(1)) {
 		t.Error("partial key must not qualify")
 	}
 }
@@ -78,7 +78,7 @@ func TestStringWithQuery(t *testing.T) {
 	q.AddAttr(1, "o.y", 5)
 	a2 := q.AddAttr(0, "l.g", 5)
 	_, _, j := samplePlans()
-	j.Left.GroupBy = bitset.New64(a2)
+	j.Left.GroupBy = bitset.NewV(a2)
 	s := j.StringWithQuery(q)
 	if !strings.Contains(s, "lineitem") || !strings.Contains(s, "l.g") {
 		t.Errorf("StringWithQuery misses names:\n%s", s)

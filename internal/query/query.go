@@ -4,17 +4,31 @@
 // initial operator tree produced by the parser, and the query's grouping
 // attributes G plus aggregation vector F.
 //
-// Attribute ids are query-global and capped at 64 so that every attribute
-// set — grouping sets, join attribute sets, keys, functional dependencies —
-// is a bitset.Set64. Only attributes actually referenced by the query
-// (predicates, group-by, aggregates, keys) need to be registered.
+// Attribute ids are query-global and every attribute set — grouping sets,
+// join attribute sets, keys, functional dependencies — is an adaptive-width
+// bitset.VSet, so the universe is bounded only by the MaxAttrs sanity cap.
+// Only attributes actually referenced by the query (predicates, group-by,
+// aggregates, keys) need to be registered.
 package query
 
 import (
 	"fmt"
+	"math/bits"
 
 	"eagg/internal/aggfn"
 	"eagg/internal/bitset"
+)
+
+const (
+	// MaxRelations is the relation capacity of the wide enumeration path
+	// (bitset.WideBits with the same one-element headroom Set64 kept for
+	// its 63-relation cap).
+	MaxRelations = bitset.WideBits - 1
+	// MaxAttrs caps the attribute universe. Attribute sets are
+	// adaptive-width VSets with no intrinsic limit, so this is only a
+	// sanity bound against absurd universes; it comfortably admits a
+	// 100-relation clique (~10k predicate attributes).
+	MaxAttrs = 1 << 14
 )
 
 // OpKind enumerates the operators of Sec. 2.2 that can appear in the
@@ -72,11 +86,11 @@ type Relation struct {
 	Name string
 	Card float64
 	// Attrs is the set of registered attribute ids owned by the relation.
-	Attrs bitset.Set64
+	Attrs bitset.VSet
 	// Keys lists candidate keys (attribute sets). A relation with at
 	// least one key is duplicate-free (SQL primary key / uniqueness
 	// remark in Sec. 3.2).
-	Keys []bitset.Set64
+	Keys []bitset.VSet
 	// Ordered declares the physical row order the relation's data
 	// arrives in: attribute ids in significance order, ascending under
 	// the runtime's value comparison with NULLs first. It is a promise
@@ -96,8 +110,8 @@ type Predicate struct {
 }
 
 // Attrs returns all attribute ids the predicate references, F(q).
-func (p *Predicate) Attrs() bitset.Set64 {
-	var s bitset.Set64
+func (p *Predicate) Attrs() bitset.VSet {
+	var s bitset.VSet
 	for _, a := range p.Left {
 		s = s.Add(a)
 	}
@@ -108,8 +122,8 @@ func (p *Predicate) Attrs() bitset.Set64 {
 }
 
 // LeftAttrs returns the attribute ids on the left side.
-func (p *Predicate) LeftAttrs() bitset.Set64 {
-	var s bitset.Set64
+func (p *Predicate) LeftAttrs() bitset.VSet {
+	var s bitset.VSet
 	for _, a := range p.Left {
 		s = s.Add(a)
 	}
@@ -117,8 +131,8 @@ func (p *Predicate) LeftAttrs() bitset.Set64 {
 }
 
 // RightAttrs returns the attribute ids on the right side.
-func (p *Predicate) RightAttrs() bitset.Set64 {
-	var s bitset.Set64
+func (p *Predicate) RightAttrs() bitset.VSet {
+	var s bitset.VSet
 	for _, a := range p.Right {
 		s = s.Add(a)
 	}
@@ -137,12 +151,12 @@ type OpNode struct {
 }
 
 // Rels returns the set of relations in the subtree.
-func (n *OpNode) Rels() bitset.Set64 {
+func (n *OpNode) Rels() bitset.VSet {
 	if n == nil {
-		return bitset.Empty64
+		return bitset.VSet{}
 	}
 	if n.Kind == KindScan {
-		return bitset.Single64(n.Rel)
+		return bitset.SingleV(n.Rel)
 	}
 	return n.Left.Rels().Union(n.Right.Rels())
 }
@@ -161,7 +175,7 @@ type Query struct {
 	// GroupBy is the grouping attribute set G; Aggregates the vector F.
 	// A query without grouping has an empty GroupBy and nil Aggregates
 	// and degenerates to plain join ordering.
-	GroupBy    bitset.Set64
+	GroupBy    bitset.VSet
 	Aggregates aggfn.Vector
 	// HasGrouping distinguishes "group by ∅ with aggregates" (a single
 	// global group) from "no grouping at all".
@@ -194,13 +208,14 @@ func (q *Query) fail(err error) {
 func (q *Query) Err() error { return q.err }
 
 // AddRelation registers a relation and returns its id. Relation ids are
-// bitset positions, so a query holds at most 63 relations; adding more
-// records an error (surfaced by Validate, core.Optimize and the eagg
-// facade) and returns the last valid id so fluent construction can
-// continue without crashing.
+// bitset positions; queries with ≤63 relations take the Set64 fast path
+// of the enumerator and larger ones (up to MaxRelations) the wide path.
+// Adding more records an error (surfaced by Validate, core.Optimize and
+// the eagg facade) and returns the last valid id so fluent construction
+// can continue without crashing.
 func (q *Query) AddRelation(name string, card float64) int {
-	if len(q.Relations) >= 63 {
-		q.fail(fmt.Errorf("query: too many relations (relation %q exceeds the max of 63)", name))
+	if len(q.Relations) >= MaxRelations {
+		q.fail(fmt.Errorf("query: too many relations (relation %q exceeds the max of %d)", name, MaxRelations))
 		return len(q.Relations) - 1
 	}
 	q.Relations = append(q.Relations, Relation{Name: name, Card: card})
@@ -209,12 +224,13 @@ func (q *Query) AddRelation(name string, card float64) int {
 
 // AddAttr registers an attribute of a relation with a distinct-value count
 // and returns its id. Attribute names are query-global (qualify them like
-// "s.nationkey" when needed). Attribute ids are bitset positions, capped
-// at 64 per query; overflow records an error (surfaced by Validate) and
+// "s.nationkey" when needed). Attribute ids are bitset positions in
+// adaptive-width sets; the MaxAttrs sanity cap guards against absurd
+// universes, and overflow records an error (surfaced by Validate) and
 // returns the last valid id instead of panicking.
 func (q *Query) AddAttr(rel int, name string, distinct float64) int {
-	if len(q.AttrNames) >= 64 {
-		q.fail(fmt.Errorf("query: too many attributes (attribute %q exceeds the max of 64 registered attributes per query)", name))
+	if len(q.AttrNames) >= MaxAttrs {
+		q.fail(fmt.Errorf("query: too many attributes (attribute %q exceeds the max of %d registered attributes per query)", name, MaxAttrs))
 		return len(q.AttrNames) - 1
 	}
 	if _, dup := q.attrByName[name]; dup {
@@ -244,7 +260,7 @@ func (q *Query) AttrID(name string) int {
 
 // AddKey declares a candidate key on a relation.
 func (q *Query) AddKey(rel int, attrs ...int) {
-	var s bitset.Set64
+	var s bitset.VSet
 	for _, a := range attrs {
 		s = s.Add(a)
 	}
@@ -261,7 +277,7 @@ func (q *Query) SetScanOrder(rel int, attrs ...int) {
 
 // SetGrouping installs the top grouping Γ_G;F.
 func (q *Query) SetGrouping(groupBy []int, f aggfn.Vector) {
-	q.GroupBy = bitset.Empty64
+	q.GroupBy = bitset.VSet{}
 	for _, a := range groupBy {
 		q.GroupBy = q.GroupBy.Add(a)
 	}
@@ -270,20 +286,26 @@ func (q *Query) SetGrouping(groupBy []int, f aggfn.Vector) {
 }
 
 // RelsOf returns the set of relations owning the given attributes.
-func (q *Query) RelsOf(attrs bitset.Set64) bitset.Set64 {
-	var out bitset.Set64
-	attrs.ForEach(func(a int) {
-		out = out.Add(q.AttrRel[a])
-	})
+func (q *Query) RelsOf(attrs bitset.VSet) bitset.VSet {
+	// Word-level iteration instead of ForEach: the closure would force the
+	// accumulator onto the heap, and this runs on the optimizer's hot path.
+	var out bitset.VSet
+	for w, nw := 0, attrs.NumWords(); w < nw; w++ {
+		for t := attrs.Word(w); t != 0; t &= t - 1 {
+			out = out.Add(q.AttrRel[w*64+bits.TrailingZeros64(t)])
+		}
+	}
 	return out
 }
 
 // AttrsOf returns the union of attribute sets of the given relations.
-func (q *Query) AttrsOf(rels bitset.Set64) bitset.Set64 {
-	var out bitset.Set64
-	rels.ForEach(func(r int) {
-		out = out.Union(q.Relations[r].Attrs)
-	})
+func (q *Query) AttrsOf(rels bitset.VSet) bitset.VSet {
+	var out bitset.VSet
+	for w, nw := 0, rels.NumWords(); w < nw; w++ {
+		for t := rels.Word(w); t != 0; t &= t - 1 {
+			out = out.Union(q.Relations[w*64+bits.TrailingZeros64(t)].Attrs)
+		}
+	}
 	return out
 }
 
@@ -291,10 +313,10 @@ func (q *Query) AttrsOf(rels bitset.Set64) bitset.Set64 {
 // arguments come from (empty for count(*)). Aggregates referencing
 // groupjoin outputs are attributed to the groupjoin's source relations via
 // the extra attribute registrations done by AddGroupJoinOutput.
-func (q *Query) AggSourceRels() []bitset.Set64 {
-	out := make([]bitset.Set64, len(q.Aggregates))
+func (q *Query) AggSourceRels() []bitset.VSet {
+	out := make([]bitset.VSet, len(q.Aggregates))
 	for i, a := range q.Aggregates {
-		var s bitset.Set64
+		var s bitset.VSet
 		for _, arg := range a.Args() {
 			s = s.Add(q.AttrRel[q.AttrID(arg)])
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -59,13 +60,13 @@ func TestValidateCatchesErrors(t *testing.T) {
 
 func TestRelsAndAttrs(t *testing.T) {
 	q := buildValid()
-	if q.Root.Rels() != bitset.New64(0, 1) {
+	if q.Root.Rels() != bitset.NewV(0, 1) {
 		t.Errorf("Rels = %v", q.Root.Rels())
 	}
-	if got := q.RelsOf(bitset.New64(q.AttrID("a0"), q.AttrID("b1"))); got != bitset.New64(0, 1) {
+	if got := q.RelsOf(bitset.NewV(q.AttrID("a0"), q.AttrID("b1"))); got != bitset.NewV(0, 1) {
 		t.Errorf("RelsOf = %v", got)
 	}
-	attrs0 := q.AttrsOf(bitset.New64(0))
+	attrs0 := q.AttrsOf(bitset.NewV(0))
 	if !attrs0.Contains(q.AttrID("a0")) || attrs0.Contains(q.AttrID("b1")) {
 		t.Errorf("AttrsOf = %v", attrs0)
 	}
@@ -81,17 +82,17 @@ func TestAggSourceRels(t *testing.T) {
 	if !src[0].IsEmpty() {
 		t.Errorf("count(*) source = %v", src[0])
 	}
-	if src[1] != bitset.New64(1) {
+	if src[1] != bitset.NewV(1) {
 		t.Errorf("sum(b1) source = %v", src[1])
 	}
 }
 
 func TestPredicateAttrSets(t *testing.T) {
 	p := &Predicate{Left: []int{1, 3}, Right: []int{5}, Selectivity: 0.5}
-	if p.LeftAttrs() != bitset.New64(1, 3) || p.RightAttrs() != bitset.New64(5) {
+	if p.LeftAttrs() != bitset.NewV(1, 3) || p.RightAttrs() != bitset.NewV(5) {
 		t.Error("predicate attr sets broken")
 	}
-	if p.Attrs() != bitset.New64(1, 3, 5) {
+	if p.Attrs() != bitset.NewV(1, 3, 5) {
 		t.Error("Attrs broken")
 	}
 }
@@ -146,11 +147,11 @@ func TestDistinctFloor(t *testing.T) {
 
 func TestTooManyRelationsIsError(t *testing.T) {
 	q := New()
-	for i := 0; i < 70; i++ {
-		q.AddRelation("r", 10) // must not panic past the 63-relation cap
+	for i := 0; i < MaxRelations+10; i++ {
+		q.AddRelation("r", 10) // must not panic past the relation cap
 	}
-	if len(q.Relations) != 63 {
-		t.Fatalf("want the catalog capped at 63 relations, got %d", len(q.Relations))
+	if len(q.Relations) != MaxRelations {
+		t.Fatalf("want the catalog capped at %d relations, got %d", MaxRelations, len(q.Relations))
 	}
 	if q.Err() == nil || !strings.Contains(q.Err().Error(), "too many relations") {
 		t.Fatalf("want a too-many-relations error, got %v", q.Err())
@@ -163,11 +164,11 @@ func TestTooManyRelationsIsError(t *testing.T) {
 func TestTooManyAttrsIsError(t *testing.T) {
 	q := New()
 	r := q.AddRelation("r", 10)
-	for i := 0; i < 70; i++ {
-		q.AddAttr(r, "a"+string(rune('A'+i)), 2) // must not panic past the 64-attr cap
+	for i := 0; i < MaxAttrs+10; i++ {
+		q.AddAttr(r, fmt.Sprintf("a%d", i), 2) // must not panic past the attr cap
 	}
-	if len(q.AttrNames) != 64 {
-		t.Fatalf("want the universe capped at 64 attributes, got %d", len(q.AttrNames))
+	if len(q.AttrNames) != MaxAttrs {
+		t.Fatalf("want the universe capped at %d attributes, got %d", MaxAttrs, len(q.AttrNames))
 	}
 	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "too many attributes") {
 		t.Fatalf("Validate must surface the attribute overflow, got %v", err)

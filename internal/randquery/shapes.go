@@ -1,0 +1,141 @@
+package randquery
+
+// Deterministic large-query shapes. Unlike Generate, these take no rng:
+// the same n always yields the same catalog, predicates and statistics,
+// which is what the large-query tests and benchmarks need to pin plans
+// across runs. All three shapes scale past the 63-relation fast path —
+// they are the workloads of the wide set representation.
+//
+// Every relation declares a primary key and declares it as the physical
+// scan order. The declaration is truthful under engine.RandomData (key
+// columns count up in row order), and key-to-foreign-key join predicates
+// keep intermediate results bounded by the probe side, so even the
+// 100-relation shapes execute end-to-end in tests.
+
+import (
+	"fmt"
+
+	"eagg/internal/aggfn"
+	"eagg/internal/query"
+)
+
+// Chain builds a deterministic n-relation chain
+// R0 ⋈ R1 ⋈ … ⋈ R(n-1), each join a foreign-key lookup into the next
+// relation's primary key, grouped on attributes of both endpoints.
+// Chains keep the csg-cmp-pair count quadratic, so they stay exactly
+// enumerable far past 63 relations.
+func Chain(n int) *query.Query {
+	if n < 2 {
+		panic("randquery: need at least two relations")
+	}
+	q := query.New()
+	cards := make([]float64, n)
+	pks := make([]int, n)
+	for i := 0; i < n; i++ {
+		cards[i] = float64(1000 * (1 + (i*7919)%97))
+		q.AddRelation(fmt.Sprintf("R%d", i), cards[i])
+		pks[i] = q.AddAttr(i, fmt.Sprintf("R%d.pk", i), cards[i])
+		q.AddKey(i, pks[i])
+		q.SetScanOrder(i, pks[i])
+	}
+	root := &query.OpNode{Kind: query.KindScan, Rel: 0}
+	for i := 1; i < n; i++ {
+		fk := q.AddAttr(i-1, fmt.Sprintf("R%d.fk", i-1), cards[i])
+		root = &query.OpNode{
+			Kind:  query.KindJoin,
+			Left:  root,
+			Right: &query.OpNode{Kind: query.KindScan, Rel: i},
+			Pred:  &query.Predicate{Left: []int{fk}, Right: []int{pks[i]}, Selectivity: 1 / cards[i]},
+		}
+	}
+	q.Root = root
+	g0 := q.AddAttr(0, "R0.g", 20)
+	gn := q.AddAttr(n-1, fmt.Sprintf("R%d.g", n-1), 20)
+	v := q.AddAttr(0, "R0.v", cards[0])
+	q.SetGrouping([]int{g0, gn}, aggfn.Vector{
+		{Out: "cnt", Kind: aggfn.CountStar},
+		{Out: "total", Kind: aggfn.Sum, Arg: q.AttrNames[v]},
+	})
+	return q
+}
+
+// Star builds a deterministic n-relation star: a fact relation joined to
+// n-1 dimensions through foreign-key predicates, grouped on a fact
+// attribute. Every subset containing the hub is connected, so the exact
+// pair count is exponential — stars are the shape that exercises the
+// enumeration budget and the greedy fallback.
+func Star(n int) *query.Query {
+	if n < 2 {
+		panic("randquery: need at least two relations")
+	}
+	q := query.New()
+	fact := q.AddRelation("fact", 1_000_000)
+	fpk := q.AddAttr(fact, "fact.pk", 1_000_000)
+	q.AddKey(fact, fpk)
+	q.SetScanOrder(fact, fpk)
+	g := q.AddAttr(fact, "fact.g", 50)
+	v := q.AddAttr(fact, "fact.v", 500_000)
+	root := &query.OpNode{Kind: query.KindScan, Rel: fact}
+	for i := 1; i < n; i++ {
+		card := float64(100 * i)
+		d := q.AddRelation(fmt.Sprintf("dim%d", i), card)
+		pk := q.AddAttr(d, fmt.Sprintf("dim%d.pk", i), card)
+		q.AddKey(d, pk)
+		q.SetScanOrder(d, pk)
+		fk := q.AddAttr(fact, fmt.Sprintf("fact.fk%d", i), card)
+		root = &query.OpNode{
+			Kind:  query.KindJoin,
+			Left:  root,
+			Right: &query.OpNode{Kind: query.KindScan, Rel: d},
+			Pred:  &query.Predicate{Left: []int{fk}, Right: []int{pk}, Selectivity: 1 / card},
+		}
+	}
+	q.Root = root
+	q.SetGrouping([]int{g}, aggfn.Vector{
+		{Out: "cnt", Kind: aggfn.CountStar},
+		{Out: "total", Kind: aggfn.Sum, Arg: q.AttrNames[v]},
+	})
+	return q
+}
+
+// Clique builds a deterministic n-relation clique in the
+// attribute-connectivity sense: every pair of relations shares a join
+// conjunct, n(n-1)/2 conjuncts in total. The query model carries one
+// predicate per operator node, so the conjuncts are distributed over
+// n-1 multi-attribute predicates: the join that introduces relation j
+// equates one attribute of every earlier relation with an attribute of
+// j. Those predicates become hyperedges of growing width, routing the
+// enumeration through the buildable-sets path rather than plain DPhyp —
+// the third topology the wide representation has to handle.
+func Clique(n int) *query.Query {
+	if n < 2 {
+		panic("randquery: need at least two relations")
+	}
+	q := query.New()
+	cards := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cards[i] = float64(100 * (1 + (i*31)%17))
+		q.AddRelation(fmt.Sprintf("C%d", i), cards[i])
+		pk := q.AddAttr(i, fmt.Sprintf("C%d.pk", i), cards[i])
+		q.AddKey(i, pk)
+		q.SetScanOrder(i, pk)
+	}
+	root := &query.OpNode{Kind: query.KindScan, Rel: 0}
+	for j := 1; j < n; j++ {
+		var left, right []int
+		for i := 0; i < j; i++ {
+			left = append(left, q.AddAttr(i, fmt.Sprintf("C%d.j%d", i, j), cards[i]/2))
+			right = append(right, q.AddAttr(j, fmt.Sprintf("C%d.j%d", j, i), cards[j]/2))
+		}
+		root = &query.OpNode{
+			Kind:  query.KindJoin,
+			Left:  root,
+			Right: &query.OpNode{Kind: query.KindScan, Rel: j},
+			Pred:  &query.Predicate{Left: left, Right: right, Selectivity: 1 / cards[j]},
+		}
+	}
+	q.Root = root
+	g0 := q.AddAttr(0, "C0.g", 10)
+	q.SetGrouping([]int{g0}, aggfn.Vector{{Out: "cnt", Kind: aggfn.CountStar}})
+	return q
+}

@@ -1,0 +1,102 @@
+package randquery
+
+import (
+	"reflect"
+	"testing"
+
+	"eagg/internal/query"
+)
+
+// TestShapesValidatePast63 pins the point of the deterministic shapes:
+// they build valid queries well past the old 63-relation cap, with every
+// relation declaring a key and a physical scan order.
+func TestShapesValidatePast63(t *testing.T) {
+	shapes := map[string]func(int) *query.Query{
+		"chain": Chain, "star": Star, "clique": Clique,
+	}
+	for name, build := range shapes {
+		for _, n := range []int{2, 8, 64, 100} {
+			q := build(n)
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s(%d): %v", name, n, err)
+			}
+			if len(q.Relations) != n {
+				t.Fatalf("%s(%d): %d relations", name, n, len(q.Relations))
+			}
+			for ri, rel := range q.Relations {
+				if len(rel.Keys) == 0 {
+					t.Fatalf("%s(%d): relation %d has no key", name, n, ri)
+				}
+				if len(rel.Ordered) == 0 {
+					t.Fatalf("%s(%d): relation %d has no declared scan order", name, n, ri)
+				}
+			}
+		}
+	}
+}
+
+// TestShapesDeterministic pins reproducibility: the same n must build
+// the same catalog and tree, call after call.
+func TestShapesDeterministic(t *testing.T) {
+	for name, build := range map[string]func(int) *query.Query{
+		"chain": Chain, "star": Star, "clique": Clique,
+	} {
+		a, b := build(20), build(20)
+		if !reflect.DeepEqual(a.AttrNames, b.AttrNames) || !reflect.DeepEqual(a.Distinct, b.Distinct) {
+			t.Fatalf("%s: catalogs differ across calls", name)
+		}
+		var sig func(n *query.OpNode) string
+		sig = func(n *query.OpNode) string {
+			if n.Kind == query.KindScan {
+				return "R" + itoa(n.Rel)
+			}
+			return "(" + sig(n.Left) + " " + sig(n.Right) + ")"
+		}
+		if sig(a.Root) != sig(b.Root) {
+			t.Fatalf("%s: trees differ across calls", name)
+		}
+	}
+}
+
+// TestShapeTopology spot-checks what makes each shape that shape: a
+// chain's predicates link consecutive relations, a star's predicates all
+// touch the hub, and a clique's predicate at relation j spans all of
+// relations 0…j.
+func TestShapeTopology(t *testing.T) {
+	preds := func(q *query.Query) []*query.Predicate {
+		var out []*query.Predicate
+		var walk func(n *query.OpNode)
+		walk = func(n *query.OpNode) {
+			if n == nil || n.Kind == query.KindScan {
+				return
+			}
+			out = append(out, n.Pred)
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(q.Root)
+		return out
+	}
+
+	chain := Chain(70)
+	for _, p := range preds(chain) {
+		rels := chain.RelsOf(p.Attrs())
+		if rels.Len() != 2 || rels.Max()-rels.Min() != 1 {
+			t.Fatalf("chain predicate spans %v, want consecutive relations", rels)
+		}
+	}
+	star := Star(70)
+	for _, p := range preds(star) {
+		rels := star.RelsOf(p.Attrs())
+		if rels.Len() != 2 || !rels.Contains(0) {
+			t.Fatalf("star predicate spans %v, want hub + dimension", rels)
+		}
+	}
+	clique := Clique(70)
+	for _, p := range preds(clique) {
+		rels := clique.RelsOf(p.Attrs())
+		if rels.Min() != 0 || rels.Len() != rels.Max()+1 {
+			t.Fatalf("clique predicate spans %v, want the full prefix", rels)
+		}
+	}
+}
