@@ -624,12 +624,15 @@ func BenchmarkBatchVsRow(b *testing.B) {
 					b.ReportAllocs()
 					var rows float64
 					for i := 0; i < b.N; i++ {
-						tab, stats, err := engine.ExecProfiledOpts(q, res.Plan, tables, c.opts)
+						_, stats, err := engine.ExecProfiledOpts(q, res.Plan, tables, c.opts)
 						if err != nil {
 							b.Fatal(err)
 						}
-						if tab.Card() == 0 {
-							b.Fatal("empty result")
+						// The final result can be legitimately empty at a
+						// small scale factor (Q5's filters at sf 1); zero
+						// rows at every operator means it didn't run.
+						if stats.ActualCout == 0 {
+							b.Fatal("plan produced no rows at any operator")
 						}
 						rows += stats.ActualCout
 					}

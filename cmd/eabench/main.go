@@ -17,6 +17,7 @@
 //	eabench -serve -sessions 8 -requests 100 -feedback -sf 1
 //	eabench -large                   # 100-relation shapes on the wide set representation
 //	eabench -large -shape star100 -pair-budget 50000
+//	eabench -exec -sf 50 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // The flags mirror the feasibility limits reported in the paper: EA-All is
 // only run up to -maxn-exhaustive relations and EA-Prune up to -maxn-prune.
@@ -66,6 +67,13 @@
 // the beam search on the 100-relation chain; -pair-budget 50000 brings
 // it under a minute.
 //
+// -cpuprofile and -memprofile write pprof profiles covering whatever
+// mode runs (any mode: the optimizer benchmarks, -exec, -serve, -large),
+// so hot-path work is measurable without editing code: the CPU profile
+// spans the whole run, the heap profile is captured after the workload
+// finishes (post-GC, so it shows live retention, not transient garbage).
+// An unwritable profile path is misuse and exits 2 before any work runs.
+//
 // -feedback (requires -exec) closes the cardinality feedback loop: each
 // query is optimized, executed, the measured per-operator cardinalities
 // are overlaid on the estimator, and the query is re-optimized — until
@@ -81,6 +89,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"eagg/internal/core"
@@ -93,8 +102,10 @@ func main() {
 }
 
 // run is main with its environment injected, so the flag-hygiene rules
-// (exit 2 on misuse, exit 1 on verification failures) are testable.
-func run(args []string, stdout, stderr io.Writer) int {
+// (exit 2 on misuse, exit 1 on verification failures) are testable. The
+// named return lets the deferred heap-profile write both see the final
+// code and degrade it on write failure.
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("eabench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	fig := fs.Int("fig", 0, "figure to reproduce (15, 16, 17, 18); 0 = all")
@@ -117,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pairBudget := fs.Int("pair-budget", 0, "with -large: csg-cmp-pair enumeration budget (0 = the optimizer default; exceeding it switches to the deterministic greedy fallback)")
 	sessions := fs.Int("sessions", 0, "with -serve: concurrent sessions driving the engine (default 4, must be > 0)")
 	requests := fs.Int("requests", 0, "with -serve: requests served per query shape across all sessions (default 20, must be > 0)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-GC, live retention) to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / --help is a request, not misuse
@@ -191,6 +204,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "eabench: -sessions and -requests must be > 0, got %d/%d\n", *sessions, *requests)
 			return 2
 		}
+	}
+
+	// Profile setup runs after every flag check above: a misused flag
+	// combination exits 2 without creating profile files, and a profile
+	// path that cannot be created (or a CPU profile that cannot start) is
+	// itself misuse — exit 2 before any workload runs.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "eabench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "eabench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil && code == 0 {
+				fmt.Fprintf(stderr, "eabench: -cpuprofile: %v\n", err)
+				code = 1
+			}
+		}()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "eabench: -memprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			// Post-GC heap: live retention at exit, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && code == 0 {
+				fmt.Fprintf(stderr, "eabench: -memprofile: %v\n", err)
+				code = 1
+			}
+			if err := f.Close(); err != nil && code == 0 {
+				fmt.Fprintf(stderr, "eabench: -memprofile: %v\n", err)
+				code = 1
+			}
+		}()
 	}
 
 	cfg := experiments.Config{

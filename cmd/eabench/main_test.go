@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,8 @@ func TestFlagHygiene(t *testing.T) {
 		{"unknown shape", []string{"-large", "-shape", "ring100"}, "unknown -shape"},
 		{"large with feedback", []string{"-large", "-feedback"}, "-feedback requires -exec"},
 		{"large with query", []string{"-large", "-query", "Q3"}, "use -shape with -large"},
+		{"unwritable cpuprofile", []string{"-table", "1", "-cpuprofile", "no-such-dir/cpu.prof"}, "-cpuprofile"},
+		{"unwritable memprofile", []string{"-table", "1", "-memprofile", "no-such-dir/mem.prof"}, "-memprofile"},
 	}
 	for _, tc := range cases {
 		var out, errOut bytes.Buffer
@@ -127,6 +130,40 @@ func TestLargeRuns(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-large: report missing %q\n%s", want, out.String())
 		}
+	}
+}
+
+// TestProfileFlags drives a run with both profile flags on the smallest
+// workload: exit 0 and non-empty pprof files. Also pins that a bad
+// profile path exits 2 before any workload runs (the cases in
+// TestFlagHygiene cover the message; this covers "no partial output").
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.prof", dir+"/mem.prof"
+	var out, errOut bytes.Buffer
+	args := []string{"-table", "1", "-cpuprofile", cpu, "-memprofile", mem}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d\nstderr: %s", args, code, errOut.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// Misuse (a mode-flag error) must not leave profile files behind:
+	// validation runs before profile setup.
+	bad := dir + "/never.prof"
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-phys", "sort", "-cpuprofile", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("misuse with -cpuprofile: want exit 2, got %d", code)
+	}
+	if _, err := os.Stat(bad); err == nil {
+		t.Fatalf("misuse created profile file %s", bad)
 	}
 }
 

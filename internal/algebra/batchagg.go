@@ -187,13 +187,13 @@ type batchGrouper struct {
 	groupSlots []int
 	bound      []BoundAgg
 	folds      []foldKind
-	groups     map[string]int32
-	intGroups  map[int64]int32 // single-ColInt key fast path (addInts)
-	nullGid    int32           // the NULL key's group id on that path; -1 until seen
-	firsts     []int32         // per group: physical index of its first row
-	cells      []bCell         // len(firsts) * len(bound), group-major
-	gids       []int32         // scratch: per batch row, its group id
-	scratch    []byte          // distinct-key scratch of the generic kernel
+	groups     *bytesIndex // encoded-key group index (hashtable.go)
+	intGroups  *intIndex   // single-ColInt key fast path (addInts)
+	nullGid    int32       // the NULL key's group id on that path; -1 until seen
+	firsts     []int32     // per group: physical index of its first row
+	cells      []bCell     // len(firsts) * len(bound), group-major
+	gids       []int32     // scratch: per batch row, its group id
+	scratch    []byte      // distinct-key scratch of the generic kernel
 }
 
 func newBatchGrouper(t *ColTable, groupSlots []int, bound []BoundAgg) *batchGrouper {
@@ -202,7 +202,6 @@ func newBatchGrouper(t *ColTable, groupSlots []int, bound []BoundAgg) *batchGrou
 		groupSlots: groupSlots,
 		bound:      bound,
 		folds:      make([]foldKind, len(bound)),
-		groups:     map[string]int32{},
 		nullGid:    -1,
 	}
 	for i := range bound {
@@ -214,13 +213,27 @@ func newBatchGrouper(t *ColTable, groupSlots []int, bound []BoundAgg) *batchGrou
 // add folds one batch: rows are physical indices, keys their grouping
 // encodings (aligned with rows).
 func (g *batchGrouper) add(rows []int32, keys [][]byte) {
+	g.addKeys(rows, keys, nil)
+}
+
+// addKeys is add with optionally precomputed key hashes (aligned with
+// rows) — the parallel path cached them during the partition scatter.
+// Ids are assigned in first-encounter order either way.
+func (g *batchGrouper) addKeys(rows []int32, keys [][]byte, hashes []uint64) {
 	nb := len(g.bound)
+	if g.groups == nil {
+		g.groups = newBytesIndex(groupIndexSeedCap)
+	}
 	g.gids = g.gids[:0]
 	for k, i := range rows {
-		id, ok := g.groups[string(keys[k])]
-		if !ok {
-			id = int32(len(g.firsts))
-			g.groups[string(keys[k])] = id
+		var h uint64
+		if hashes != nil {
+			h = hashes[k]
+		} else {
+			h = hashKey(keys[k])
+		}
+		id, added := g.groups.lookupOrAdd(h, keys[k], int32(len(g.firsts)))
+		if added {
 			g.firsts = append(g.firsts, i)
 		}
 		g.gids = append(g.gids, id)
@@ -228,6 +241,19 @@ func (g *batchGrouper) add(rows []int32, keys [][]byte) {
 	g.growCells(nb)
 	for j := range g.bound {
 		g.fold(j, rows)
+	}
+}
+
+// recordStats reports the group indexes' final geometry.
+func (g *batchGrouper) recordStats(hs *HashStats) {
+	if hs == nil {
+		return
+	}
+	if g.groups != nil {
+		g.groups.record(hs)
+	}
+	if g.intGroups != nil {
+		g.intGroups.record(hs)
 	}
 }
 
@@ -254,7 +280,7 @@ func (g *batchGrouper) growCells(nb int) {
 func (g *batchGrouper) addInts(rows []int32, col *Vector) {
 	nb := len(g.bound)
 	if g.intGroups == nil {
-		g.intGroups = map[int64]int32{}
+		g.intGroups = newIntIndex(groupIndexSeedCap)
 	}
 	g.gids = g.gids[:0]
 	for _, i := range rows {
@@ -266,11 +292,8 @@ func (g *batchGrouper) addInts(rows []int32, col *Vector) {
 			}
 			id = g.nullGid
 		} else {
-			v := col.Ints[i]
-			gid, ok := g.intGroups[v]
-			if !ok {
-				gid = int32(len(g.firsts))
-				g.intGroups[v] = gid
+			gid, added := g.intGroups.lookupOrAdd(col.Ints[i], int32(len(g.firsts)))
+			if added {
 				g.firsts = append(g.firsts, i)
 			}
 			id = gid
@@ -619,6 +642,7 @@ func (e *Exec) BatchHashGroup(t *ColTable, groupBy []string, f aggfn.Vector) *Co
 				g.add(rows, kb.keys)
 			})
 		}
+		g.recordStats(e.hashStats())
 		return g.emitTable(outSchema)
 	}
 
@@ -630,8 +654,9 @@ func (e *Exec) BatchHashGroup(t *ColTable, groupBy []string, f aggfn.Vector) *Co
 				off := len(s.arena)
 				s.arena = append(s.arena, kb.keys[k]...)
 				key := s.arena[off:]
-				p := hashKey(key) & (partitions - 1)
-				s.buckets[p] = append(s.buckets[p], scatterEntry{row: i, off: int32(off), len: int32(len(key))})
+				h := hashKey(key)
+				p := h & (partitions - 1)
+				s.buckets[p] = append(s.buckets[p], scatterEntry{row: i, off: int32(off), len: int32(len(key)), hash: h})
 			}
 		})
 		scatters[m] = s
@@ -642,10 +667,11 @@ func (e *Exec) BatchHashGroup(t *ColTable, groupBy []string, f aggfn.Vector) *Co
 		g := newBatchGrouper(t, groupSlots, bound)
 		rows := make([]int32, 0, bs)
 		keys := make([][]byte, 0, bs)
+		hashes := make([]uint64, 0, bs)
 		flush := func() {
 			if len(rows) > 0 {
-				g.add(rows, keys)
-				rows, keys = rows[:0], keys[:0]
+				g.addKeys(rows, keys, hashes)
+				rows, keys, hashes = rows[:0], keys[:0], hashes[:0]
 			}
 		}
 		// Walking scatter entries in morsel order feeds every group in
@@ -655,12 +681,14 @@ func (e *Exec) BatchHashGroup(t *ColTable, groupBy []string, f aggfn.Vector) *Co
 			for _, en := range sc.buckets[p] {
 				rows = append(rows, en.row)
 				keys = append(keys, sc.arena[en.off:en.off+en.len])
+				hashes = append(hashes, en.hash)
 				if len(rows) == bs {
 					flush()
 				}
 			}
 		}
 		flush()
+		g.recordStats(e.hashStats())
 		partOuts[p] = g.emit()
 	})
 

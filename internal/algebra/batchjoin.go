@@ -55,58 +55,80 @@ func batchKeys(t *ColTable, lo, hi, bs int, slots []int, join bool, fn func(rows
 	batchScratchPool.Put(sc)
 }
 
-// batchBuild is a hashed build side. Joins on a single int column — the
-// overwhelmingly common equi-join shape — skip byte encoding entirely and
-// hash the int64 payloads themselves; everything else uses the canonical
-// key encoding. Posting lists are identical either way: same keys, same
-// build-input order (integral floats probe the int64 table through the
-// same normalization the encoding applies).
+// batchBuild is a hashed build side over the flat tables of
+// hashtable.go. Joins on a single int column — the overwhelmingly common
+// equi-join shape — skip byte encoding entirely and hash the int64
+// payloads themselves; everything else uses the canonical key encoding.
+// Posting lists are identical either way: same keys, same build-input
+// order (integral floats probe the int64 table through the same
+// normalization the encoding applies). bloom, when non-nil, pre-filters
+// probe keys by their cached hashes: negatives are exact (an absent key
+// resolves to nil postings either way) and false positives just fall
+// through to the table probe, so the filter never changes results.
 type batchBuild struct {
-	ints map[int64][]int32  // single-ColInt fast path (sequential)
-	strs map[string][]int32 // encoded keys, sequential
-	pt   *partTable         // encoded keys, parallel
+	it    *intTable   // single-ColInt fast path (sequential)
+	bt    *bytesTable // encoded keys, sequential
+	pt    *partTable  // encoded keys, parallel
+	bloom *bloomFilter
 }
 
-// look resolves an encoded key on the general paths.
-func (b *batchBuild) look(key []byte) []int32 {
-	if b.strs != nil {
-		return b.strs[string(key)]
+// lookHashed resolves an encoded key under its precomputed hash on the
+// general paths.
+func (b *batchBuild) lookHashed(h uint64, key []byte) []int32 {
+	if b.bt != nil {
+		return b.bt.lookupHashed(h, key)
 	}
-	return b.pt.lookup(key)
+	return b.pt.lookupHashed(h, key)
 }
 
 // batchBuildSide hashes the build input's join keys: the columnar
 // buildSide (sequential) or buildPartitioned (parallel). Posting lists
 // are identical to the row runtime's up to physical renumbering under a
-// selection — same keys, same order.
-func (e *Exec) batchBuildSide(r *ColTable, rk []int, par bool) *batchBuild {
+// selection — same keys, same order. probeCard is the probe input's
+// cardinality, used only to gate the optional Bloom filter; pass -1 to
+// disable it (operators that emit every probe row regardless).
+func (e *Exec) batchBuildSide(r *ColTable, rk []int, par bool, probeCard int) *batchBuild {
 	bs := e.batchSize()
+	hs := e.hashStats()
+	n := r.Card()
 	if !par && len(rk) == 1 && rk[0] >= 0 && r.Cols[rk[0]].Kind == ColInt {
 		col := &r.Cols[rk[0]]
-		n := r.Card()
-		m := make(map[int64][]int32, n)
+		t := newIntTable(n)
 		for li := 0; li < n; li++ {
 			i := r.phys(li)
 			if col.IsNull(int(i)) {
 				continue // NULL keys match nothing
 			}
-			m[col.Ints[i]] = append(m[col.Ints[i]], i)
+			t.insert(col.Ints[i], i)
 		}
-		return &batchBuild{ints: m}
+		t.finalize()
+		t.record(hs)
+		b := &batchBuild{it: t}
+		if f := buildBloom(t.n, probeCard); f != nil {
+			t.fillBloom(f)
+			b.bloom = f
+		}
+		return b
 	}
 	if !par {
-		m := make(map[string][]int32, r.Card())
-		batchKeys(r, 0, r.Card(), bs, rk, true, func(rows []int32, kb *keyBatch) {
+		t := newBytesTable(n)
+		batchKeys(r, 0, n, bs, rk, true, func(rows []int32, kb *keyBatch) {
 			for k, i := range rows {
 				if kb.dead[k] {
 					continue
 				}
-				m[string(kb.keys[k])] = append(m[string(kb.keys[k])], i)
+				t.insert(hashKey(kb.keys[k]), kb.keys[k], i)
 			}
 		})
-		return &batchBuild{strs: m}
+		t.finalize()
+		t.record(hs)
+		b := &batchBuild{bt: t}
+		if f := buildBloom(t.n, probeCard); f != nil {
+			t.fillBloom(f)
+			b.bloom = f
+		}
+		return b
 	}
-	n := r.Card()
 	scatters := make([]*morselScatter, e.morselCount(n))
 	e.forMorsels(n, func(m, lo, hi int) {
 		s := &morselScatter{}
@@ -118,24 +140,33 @@ func (e *Exec) batchBuildSide(r *ColTable, rk []int, par bool) *batchBuild {
 				off := len(s.arena)
 				s.arena = append(s.arena, kb.keys[k]...)
 				key := s.arena[off:]
-				p := hashKey(key) & (partitions - 1)
-				s.buckets[p] = append(s.buckets[p], scatterEntry{row: i, off: int32(off), len: int32(len(key))})
+				h := hashKey(key)
+				p := h & (partitions - 1)
+				s.buckets[p] = append(s.buckets[p], scatterEntry{row: i, off: int32(off), len: int32(len(key)), hash: h})
 			}
 		})
 		scatters[m] = s
 	})
-	pt := &partTable{}
-	e.forParts(func(p int) {
-		mp := map[string][]int32{}
-		for _, sc := range scatters {
-			for _, en := range sc.buckets[p] {
-				key := sc.arena[en.off : en.off+en.len]
-				mp[string(key)] = append(mp[string(key)], en.row)
+	pt := e.buildParts(scatters)
+	b := &batchBuild{pt: pt}
+	keys := 0
+	for _, t := range pt.parts {
+		if t != nil {
+			keys += t.n
+		}
+	}
+	if f := buildBloom(keys, probeCard); f != nil {
+		// The per-partition tables cache every distinct key's hash, so
+		// the filter fills from them in one sequential pass — no racing
+		// bit-sets inside the partition fan-out.
+		for _, t := range pt.parts {
+			if t != nil {
+				t.fillBloom(f)
 			}
 		}
-		pt.parts[p] = mp
-	})
-	return &batchBuild{pt: pt}
+		b.bloom = f
+	}
+	return b
 }
 
 // probePostings iterates probe rows [lo, hi) of l in batches, resolving
@@ -147,7 +178,9 @@ func (e *Exec) batchBuildSide(r *ColTable, rk []int, par bool) *batchBuild {
 // retain it.
 func (e *Exec) probePostings(l *ColTable, lk []int, b *batchBuild, lo, hi int, fn func(rows []int32, posts [][]int32)) {
 	bs := e.batchSize()
-	if b.ints == nil {
+	bloomChecks, bloomPasses := 0, 0
+	defer func() { e.hashStats().recordBloom(bloomChecks, bloomPasses) }()
+	if b.it == nil {
 		sc := batchScratchPool.Get().(*batchScratch)
 		posts := sc.posts
 		batchKeys(l, lo, hi, bs, lk, true, func(rows []int32, kb *keyBatch) {
@@ -158,15 +191,37 @@ func (e *Exec) probePostings(l *ColTable, lk []int, b *batchBuild, lo, hi int, f
 			for k := range rows {
 				if kb.dead[k] {
 					posts[k] = nil
-				} else {
-					posts[k] = b.look(kb.keys[k])
+					continue
 				}
+				h := hashKey(kb.keys[k])
+				if b.bloom != nil {
+					bloomChecks++
+					if !b.bloom.mayContain(h) {
+						posts[k] = nil
+						continue
+					}
+					bloomPasses++
+				}
+				posts[k] = b.lookHashed(h, kb.keys[k])
 			}
 			fn(rows, posts)
 		})
 		sc.posts = posts
 		batchScratchPool.Put(sc)
 		return
+	}
+	// Single-int build: the probe key is the raw int64 payload, one
+	// column-kind dispatch per batch.
+	look := func(v int64) []int32 {
+		h := hashInt64(v)
+		if b.bloom != nil {
+			bloomChecks++
+			if !b.bloom.mayContain(h) {
+				return nil
+			}
+			bloomPasses++
+		}
+		return b.it.lookupHashed(h, v)
 	}
 	sc := batchScratchPool.Get().(*batchScratch)
 	slot := lk[0]
@@ -192,7 +247,7 @@ func (e *Exec) probePostings(l *ColTable, lk []int, b *batchBuild, lo, hi int, f
 				if col.IsNull(int(i)) {
 					posts[k] = nil
 				} else {
-					posts[k] = b.ints[col.Ints[i]]
+					posts[k] = look(col.Ints[i])
 				}
 			}
 		case col.Kind == ColFloat:
@@ -206,7 +261,7 @@ func (e *Exec) probePostings(l *ColTable, lk []int, b *batchBuild, lo, hi int, f
 				// round-trip check and match nothing.
 				f := col.Floats[i]
 				if n := int64(f); float64(n) == f {
-					posts[k] = b.ints[n]
+					posts[k] = look(n)
 				}
 			}
 		case col.Kind == ColStr:
@@ -218,13 +273,13 @@ func (e *Exec) probePostings(l *ColTable, lk []int, b *batchBuild, lo, hi int, f
 				posts[k] = nil
 				switch v := col.Vals[i]; v.Kind {
 				case KindInt:
-					posts[k] = b.ints[v.I]
+					posts[k] = look(v.I)
 				case KindFloat:
 					if math.IsNaN(v.F) {
 						continue
 					}
 					if n := int64(v.F); float64(n) == v.F {
-						posts[k] = b.ints[n]
+						posts[k] = look(n)
 					}
 				}
 			}
@@ -299,7 +354,7 @@ func selTable(t *ColTable, sel []int32) *ColTable {
 // BatchHashJoin is the inner equi-join l ⋈ r on the batch runtime.
 func (e *Exec) BatchHashJoin(l, r *ColTable, lk, rk []int) *ColTable {
 	par := e.parFor(max(l.Card(), r.Card()))
-	bld := e.batchBuildSide(r, rk, par)
+	bld := e.batchBuildSide(r, rk, par, l.Card())
 	n := l.Card()
 	nm := 1
 	if par {
@@ -331,7 +386,7 @@ func (e *Exec) BatchHashJoin(l, r *ColTable, lk, rk []int) *ColTable {
 // operation, zero row copies.
 func (e *Exec) BatchHashSemiJoin(l, r *ColTable, lk, rk []int) *ColTable {
 	par := e.parFor(max(l.Card(), r.Card()))
-	bld := e.batchBuildSide(r, rk, par)
+	bld := e.batchBuildSide(r, rk, par, l.Card())
 	n := l.Card()
 	nm := 1
 	if par {
@@ -366,7 +421,7 @@ func (e *Exec) BatchHashSemiJoin(l, r *ColTable, lk, rk []int) *ColTable {
 // them to nothing).
 func (e *Exec) BatchHashAntiJoin(l, r *ColTable, lk, rk []int) *ColTable {
 	par := e.parFor(max(l.Card(), r.Card()))
-	bld := e.batchBuildSide(r, rk, par)
+	bld := e.batchBuildSide(r, rk, par, l.Card())
 	n := l.Card()
 	nm := 1
 	if par {
@@ -402,7 +457,7 @@ func (e *Exec) BatchHashAntiJoin(l, r *ColTable, lk, rk []int) *ColTable {
 // be a full row over r's schema.
 func (e *Exec) BatchHashLeftOuter(l, r *ColTable, lk, rk []int, pad Row) *ColTable {
 	par := e.parFor(max(l.Card(), r.Card()))
-	bld := e.batchBuildSide(r, rk, par)
+	bld := e.batchBuildSide(r, rk, par, -1)
 	n := l.Card()
 	nm := 1
 	if par {
@@ -441,7 +496,7 @@ func (e *Exec) BatchHashLeftOuter(l, r *ColTable, lk, rk []int, pad Row) *ColTab
 // after the probe barrier in build-input order.
 func (e *Exec) BatchHashFullOuter(l, r *ColTable, lk, rk []int, lpad, rpad Row) *ColTable {
 	par := e.parFor(max(l.Card(), r.Card()))
-	bld := e.batchBuildSide(r, rk, par)
+	bld := e.batchBuildSide(r, rk, par, -1)
 	n := l.Card()
 	nm := 1
 	if par {
@@ -491,7 +546,7 @@ func (e *Exec) BatchHashGroupJoin(l, r *ColTable, lk, rk []int, f aggfn.Vector) 
 	bound := BindVector(f, r.Schema)
 	names := append(append([]string(nil), l.Schema.Names()...), f.Outs()...)
 	par := e.parFor(max(l.Card(), r.Card()))
-	bld := e.batchBuildSide(r, rk, par)
+	bld := e.batchBuildSide(r, rk, par, -1)
 	lc := l.Compact() // output appends dense agg columns alongside l's
 	n := lc.Card()
 	aggRows := make([][]Value, n)

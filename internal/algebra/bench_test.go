@@ -64,6 +64,90 @@ func BenchmarkHashGroupRuntimes(b *testing.B) {
 	}
 }
 
+// BenchmarkHashTable is the backend shootout behind every batch join and
+// aggregation: the flat open-addressing tables against the Go maps they
+// replaced, build + full probe, on int and encoded byte keys. The flat
+// tables must win on allocations by construction (slab postings, no
+// per-key list headers) — this benchmark keeps the rows/s and allocs/op
+// numbers visible in CI.
+func BenchmarkHashTable(b *testing.B) {
+	const nBuild, nProbe, dups = 1 << 12, 1 << 14, 4
+	ikeys := make([]int64, nBuild)
+	for i := range ikeys {
+		ikeys[i] = int64(i/dups) * 2654435761
+	}
+	bkeys := make([][]byte, nBuild)
+	for i := range bkeys {
+		bkeys[i] = []byte(fmt.Sprintf("key-%06d", i/dups))
+	}
+	b.Run("keys=int/backend=flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := newIntTable(nBuild)
+			for r, k := range ikeys {
+				t.insert(k, int32(r))
+			}
+			t.finalize()
+			hits := 0
+			for p := 0; p < nProbe; p++ {
+				hits += len(t.lookup(ikeys[p%nBuild]))
+			}
+			if hits != nProbe*dups {
+				b.Fatalf("hits %d, want %d", hits, nProbe*dups)
+			}
+		}
+	})
+	b.Run("keys=int/backend=map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[int64][]int32, nBuild)
+			for r, k := range ikeys {
+				m[k] = append(m[k], int32(r))
+			}
+			hits := 0
+			for p := 0; p < nProbe; p++ {
+				hits += len(m[ikeys[p%nBuild]])
+			}
+			if hits != nProbe*dups {
+				b.Fatalf("hits %d, want %d", hits, nProbe*dups)
+			}
+		}
+	})
+	b.Run("keys=bytes/backend=flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := newBytesTable(nBuild)
+			for r, k := range bkeys {
+				t.insert(hashKey(k), k, int32(r))
+			}
+			t.finalize()
+			hits := 0
+			for p := 0; p < nProbe; p++ {
+				hits += len(t.lookup(bkeys[p%nBuild]))
+			}
+			if hits != nProbe*dups {
+				b.Fatalf("hits %d, want %d", hits, nProbe*dups)
+			}
+		}
+	})
+	b.Run("keys=bytes/backend=map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := make(map[string][]int32, nBuild)
+			for r, k := range bkeys {
+				m[string(k)] = append(m[string(k)], int32(r))
+			}
+			hits := 0
+			for p := 0; p < nProbe; p++ {
+				hits += len(m[string(bkeys[p%nBuild])])
+			}
+			if hits != nProbe*dups {
+				b.Fatalf("hits %d, want %d", hits, nProbe*dups)
+			}
+		}
+	})
+}
+
 // BenchmarkBatchHashJoin measures the batch join pair (build + probe +
 // typed gather) against the row operator on a fk-pk shape with int keys.
 func BenchmarkBatchHashJoin(b *testing.B) {

@@ -234,7 +234,9 @@ func TestPartitionedBuildMatchesBuildSide(t *testing.T) {
 
 		total := 0
 		for _, mp := range pt.parts {
-			total += len(mp)
+			if mp != nil {
+				total += mp.n
+			}
 		}
 		if total != len(want) {
 			t.Fatalf("partitioned table has %d keys, sequential %d", total, len(want))

@@ -75,3 +75,34 @@ func TestBatchParallelDeterminism(t *testing.T) {
 		t.Fatalf("workload too small: %d queries", queries)
 	}
 }
+
+// TestExecStatsHashTelemetry pins that hash-table telemetry flows
+// through ExecProfiledOpts: the batch runtime builds flat tables (so
+// Builds > 0 with a sane load factor), while the sequential row runtime
+// stays on Go maps and reports zero builds.
+func TestExecStatsHashTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(90218))
+	q := randquery.Generate(rng, randquery.Params{Relations: 4})
+	data := RandomData(rng, q, 14).Tables()
+	res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, batch, err := ExecProfiledOpts(q, res.Plan, data, ExecOptions{Workers: 1, Runtime: RuntimeBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Hash.Builds == 0 || batch.Hash.Entries == 0 {
+		t.Fatalf("batch runtime reported no flat-table builds: %+v", batch.Hash)
+	}
+	if lf := batch.Hash.LoadFactor(); lf <= 0 || lf > 0.75 {
+		t.Fatalf("batch load factor %v outside (0, 0.75]", lf)
+	}
+	_, row, err := ExecProfiledOpts(q, res.Plan, data, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Hash.Builds != 0 {
+		t.Fatalf("sequential row runtime built flat tables: %+v", row.Hash)
+	}
+}

@@ -134,6 +134,10 @@ type ExecStats struct {
 	// operator in compile (bottom-up) order. Relation bitsets survive
 	// the binder, so keys are recorded at operator-completion time.
 	Ops []OpCard
+	// Hash aggregates the flat hash-table telemetry of the execution
+	// (batch-runtime builds and bloom-filtered probes; zero-valued under
+	// the row runtime's map-based sequential operators).
+	Hash algebra.HashTableStats
 }
 
 // OpCard is one operator's measured output cardinality with its canonical
@@ -303,7 +307,8 @@ func ExecProfiled(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table,
 // driver goroutine after each operator's barrier — no synchronization
 // on ExecStats is needed, and the profile itself is deterministic.
 func ExecProfiledOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOptions) (*algebra.Table, *ExecStats, error) {
-	ex := opts.exec()
+	hs := &algebra.HashStats{}
+	ex := opts.exec().WithHashStats(hs)
 	rt := opts.runtime(ex)
 	stats := &ExecStats{EstimatedCout: p.Cost, Workers: ex.Workers()}
 	e := &executor{binder: binder{q: q}, data: data, stats: stats, rt: rt}
@@ -313,6 +318,7 @@ func ExecProfiledOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOpt
 	}
 	res := rt.result(c.tab)
 	stats.ResultRows = res.Card()
+	stats.Hash = hs.Snapshot()
 	return res, stats, nil
 }
 
