@@ -23,6 +23,7 @@ import (
 	"eagg/internal/core"
 	"eagg/internal/engine"
 	"eagg/internal/experiments"
+	"eagg/internal/obs"
 	"eagg/internal/query"
 	"eagg/internal/randquery"
 	"eagg/internal/service"
@@ -872,5 +873,41 @@ func BenchmarkServiceThroughput(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkTraceOverhead measures the cost of the observability layer on
+// plan execution: the tracing=off arm is the PR 9 baseline hot path (one
+// nil-pointer test per operator) and must stay within 2% of it — the CI
+// benchmark lane records both arms so a regression of the off arm is
+// visible as a plain ns/op jump. The tracing=on arm bounds the opt-in
+// cost: spans are recorded per operator barrier by the driver goroutine,
+// so overhead is O(plan nodes), not O(rows).
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, name := range []string{"Q3", "Q5"} {
+		q := tpch.Queries()[name]
+		tables := tpch.GenerateTables(rand.New(rand.NewSource(1)), q, tpch.ExecutionScaleAt(name, 4))
+		res, err := core.Optimize(q, core.Options{Algorithm: core.AlgEAPrune})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("query=%s/tracing=off", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.ExecProfiledOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("query=%s/tracing=on", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := obs.NewTrace()
+				if _, _, err := engine.ExecProfiledOpts(q, res.Plan, tables, engine.ExecOptions{Workers: 1, Trace: tr}); err != nil {
+					b.Fatal(err)
+				}
+				if tr.Len() == 0 {
+					b.Fatal("no spans recorded")
+				}
+			}
+		})
 	}
 }

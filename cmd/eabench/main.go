@@ -13,8 +13,11 @@
 //	eabench -exec -feedback -sf 1    # cardinality feedback loop report
 //	eabench -exec -phys auto -sf 10  # sort-based physical layer competing
 //	eabench -exec -runtime batch     # batch-at-a-time columnar execution
+//	eabench -exec -query Q3 -trace trace.json   # Chrome trace-event JSON (Perfetto)
+//	eabench -exec -json              # machine-readable JSON report
 //	eabench -serve -sf 1             # service layer: concurrent sessions, shared engine
 //	eabench -serve -sessions 8 -requests 100 -feedback -sf 1
+//	eabench -serve -metrics-addr 127.0.0.1:9090   # scrapeable /metrics during the run
 //	eabench -large                   # 100-relation shapes on the wide set representation
 //	eabench -large -shape star100 -pair-budget 50000
 //	eabench -exec -sf 50 -cpuprofile cpu.prof -memprofile mem.prof
@@ -80,6 +83,24 @@
 // the chosen plan is stable. The report compares the plan-level and
 // worst-operator q-errors of the first (pure model) and final rounds,
 // whether feedback changed the plan, and the measured C_out delta.
+//
+// -trace (requires -exec; composes with -feedback) records a structured
+// trace of the run — per-query spans, optimizer phases with dp-level
+// timing, executor operators with rows in/out and wall time — and writes
+// it as Chrome trace-event JSON, openable in Perfetto (ui.perfetto.dev)
+// or chrome://tracing. An unwritable path is misuse and exits 2 before
+// any work runs.
+//
+// -json (requires -exec; composes with -feedback) replaces the aligned
+// text report with machine-readable JSON on stdout — same rows, same
+// quantities, enums rendered as strings.
+//
+// -metrics-addr (requires -serve) binds an HTTP listener for the
+// duration of the serving phase: /metrics serves the engine's registry
+// in the Prometheus text exposition (counters, gauges, latency
+// histograms), /debug/vars the same registry through expvar. An address
+// that cannot be bound is misuse and exits 2 before any work runs; the
+// bound address (useful with :0) is printed to stderr.
 package main
 
 import (
@@ -87,6 +108,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -95,6 +117,7 @@ import (
 	"eagg/internal/core"
 	"eagg/internal/engine"
 	"eagg/internal/experiments"
+	"eagg/internal/obs"
 )
 
 func main() {
@@ -130,6 +153,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	requests := fs.Int("requests", 0, "with -serve: requests served per query shape across all sessions (default 20, must be > 0)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-GC, live retention) to this file at exit")
+	tracePath := fs.String("trace", "", "with -exec: write a Chrome trace-event JSON file of the run (optimizer phases, executor operators; open in Perfetto or chrome://tracing)")
+	jsonOut := fs.Bool("json", false, "with -exec: print the report as machine-readable JSON instead of the aligned table (composes with -feedback)")
+	metricsAddr := fs.String("metrics-addr", "", "with -serve: serve the engine's metrics on this address for the duration of the run — /metrics (Prometheus text) and /debug/vars (expvar); the bound address is printed to stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / --help is a request, not misuse
@@ -205,6 +231,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 2
 		}
 	}
+	if *tracePath != "" && !*execMode {
+		fmt.Fprintln(stderr, "eabench: -trace requires -exec (the trace records one run's optimizer phases and executor operators)")
+		return 2
+	}
+	if *jsonOut && !*execMode {
+		fmt.Fprintln(stderr, "eabench: -json requires -exec (only the -exec and -exec -feedback reports have a JSON form)")
+		return 2
+	}
+	if *metricsAddr != "" && !*serve {
+		fmt.Fprintln(stderr, "eabench: -metrics-addr requires -serve (the metrics endpoint scrapes a running engine)")
+		return 2
+	}
 
 	// Profile setup runs after every flag check above: a misused flag
 	// combination exits 2 without creating profile files, and a profile
@@ -229,6 +267,28 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}
 		}()
 	}
+	// Like the profiles: create the trace file and bind the metrics
+	// listener up front, so a path or address that cannot work is misuse
+	// (exit 2) before any workload runs.
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "eabench: -trace: %v\n", err)
+			return 2
+		}
+		traceFile = f
+	}
+	var metricsLn net.Listener
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "eabench: -metrics-addr: %v\n", err)
+			return 2
+		}
+		metricsLn = ln
+		fmt.Fprintf(stderr, "eabench: metrics on http://%s/metrics\n", ln.Addr())
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -249,6 +309,28 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}()
 	}
 
+	var trace *obs.Trace
+	if traceFile != nil {
+		trace = obs.NewTrace()
+	}
+	// writeTrace flushes the collected spans as Chrome trace-event JSON;
+	// it runs after the report so a verification failure still leaves the
+	// trace on disk for diagnosis.
+	writeTrace := func() int {
+		if traceFile == nil {
+			return 0
+		}
+		err := trace.WriteChrome(traceFile)
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "eabench: -trace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	cfg := experiments.Config{
 		Queries:        *queries,
 		Seed:           *seed,
@@ -258,6 +340,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		Workers:        *workers,
 		Phys:           physMode,
 		Runtime:        execRuntime,
+		Trace:          trace,
 	}
 
 	var names []string
@@ -291,7 +374,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		return 0
 	}
 	if *serve {
-		rep := experiments.ServeEval(cfg, *sf, names, *sessions, *requests, *feedback)
+		rep := experiments.ServeEvalMetrics(cfg, *sf, names, *sessions, *requests, *feedback, metricsLn)
 		fmt.Fprint(stdout, rep.Format())
 		if !rep.AllMatch() {
 			fmt.Fprintln(stderr, "eabench: some served responses did not reproduce the canonical result")
@@ -303,7 +386,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *execMode {
 		if *feedback {
 			rep := experiments.FeedbackEval(cfg, *sf, names)
-			fmt.Fprint(stdout, rep.Format())
+			if *jsonOut {
+				if err := rep.WriteJSON(stdout); err != nil {
+					fmt.Fprintf(stderr, "eabench: -json: %v\n", err)
+					return 1
+				}
+			} else {
+				fmt.Fprint(stdout, rep.Format())
+			}
+			if c := writeTrace(); c != 0 {
+				return c
+			}
 			if !rep.AllMatch() {
 				fmt.Fprintln(stderr, "eabench: some re-optimized plans did not reproduce the canonical result")
 				return 1
@@ -311,7 +404,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 0
 		}
 		rep := experiments.ExecEval(cfg, *sf, names)
-		fmt.Fprint(stdout, rep.Format())
+		if *jsonOut {
+			if err := rep.WriteJSON(stdout); err != nil {
+				fmt.Fprintf(stderr, "eabench: -json: %v\n", err)
+				return 1
+			}
+		} else {
+			fmt.Fprint(stdout, rep.Format())
+		}
+		if c := writeTrace(); c != 0 {
+			return c
+		}
 		if !rep.AllMatch() {
 			fmt.Fprintln(stderr, "eabench: some optimized plans did not reproduce the canonical result")
 			return 1

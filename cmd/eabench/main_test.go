@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -40,6 +41,14 @@ func TestFlagHygiene(t *testing.T) {
 		{"large with query", []string{"-large", "-query", "Q3"}, "use -shape with -large"},
 		{"unwritable cpuprofile", []string{"-table", "1", "-cpuprofile", "no-such-dir/cpu.prof"}, "-cpuprofile"},
 		{"unwritable memprofile", []string{"-table", "1", "-memprofile", "no-such-dir/mem.prof"}, "-memprofile"},
+		{"trace without exec", []string{"-trace", "out.json"}, "-trace requires -exec"},
+		{"trace with serve", []string{"-serve", "-trace", "out.json"}, "-trace requires -exec"},
+		{"unwritable trace", []string{"-exec", "-query", "Q3", "-trace", "no-such-dir/out.json"}, "-trace"},
+		{"json without exec", []string{"-json"}, "-json requires -exec"},
+		{"json with serve", []string{"-serve", "-json"}, "-json requires -exec"},
+		{"metrics-addr without serve", []string{"-metrics-addr", "127.0.0.1:0"}, "-metrics-addr requires -serve"},
+		{"metrics-addr with exec", []string{"-exec", "-metrics-addr", "127.0.0.1:0"}, "-metrics-addr requires -serve"},
+		{"unbindable metrics-addr", []string{"-serve", "-metrics-addr", "256.0.0.1:1"}, "-metrics-addr"},
 	}
 	for _, tc := range cases {
 		var out, errOut bytes.Buffer
@@ -175,5 +184,139 @@ func TestHelpExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "-phys") {
 		t.Fatal("usage output missing -phys")
+	}
+}
+
+// TestTraceMode drives -exec -trace end to end: exit 0 and a valid
+// Chrome trace-event JSON file with the span categories of the run —
+// per-query spans, optimizer phases with dp-levels, executor operators.
+// -trace also composes with -feedback (round spans appear).
+func TestTraceMode(t *testing.T) {
+	type chromeTrace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	load := func(path string) chromeTrace {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr chromeTrace
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("trace is not valid JSON: %v", err)
+		}
+		return tr
+	}
+
+	dir := t.TempDir()
+	path := dir + "/trace.json"
+	var out, errOut bytes.Buffer
+	args := []string{"-exec", "-query", "Q3", "-sf", "0.2", "-trace", path}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d\nstderr: %s", args, code, errOut.String())
+	}
+	tr := load(path)
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats := map[string]int{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", e.Ph)
+		}
+		cats[e.Cat]++
+	}
+	for _, want := range []string{"query", "optimize", "dp-level", "op"} {
+		if cats[want] == 0 {
+			t.Errorf("trace has no %q spans (got %v)", want, cats)
+		}
+	}
+
+	fbPath := dir + "/feedback.json"
+	out.Reset()
+	errOut.Reset()
+	args = []string{"-exec", "-feedback", "-query", "Q3", "-sf", "0.2", "-trace", fbPath}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d\nstderr: %s", args, code, errOut.String())
+	}
+	rounds := 0
+	for _, e := range load(fbPath).TraceEvents {
+		if e.Cat == "feedback" {
+			rounds++
+		}
+	}
+	if rounds == 0 {
+		t.Error("feedback trace has no round spans")
+	}
+}
+
+// TestJSONMode drives -exec -json (and the -feedback composition): exit
+// 0 and parseable JSON with the mode marker, string-rendered enums and
+// the verification verdict.
+func TestJSONMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-exec", "-query", "Q3", "-sf", "0.2", "-json"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d\nstderr: %s", args, code, errOut.String())
+	}
+	var execRep struct {
+		Mode     string `json:"mode"`
+		Phys     string `json:"phys"`
+		Runtime  string `json:"runtime"`
+		AllMatch bool   `json:"all_match"`
+		Rows     []struct {
+			Query string
+			Plan  string
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &execRep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if execRep.Mode != "exec" || execRep.Phys != "hash" || execRep.Runtime != "row" {
+		t.Errorf("unexpected header: %+v", execRep)
+	}
+	if !execRep.AllMatch || len(execRep.Rows) != 2 {
+		t.Errorf("want all_match with 2 rows, got %+v", execRep)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	args = []string{"-exec", "-feedback", "-query", "Q3", "-sf", "0.2", "-json"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d\nstderr: %s", args, code, errOut.String())
+	}
+	var fbRep struct {
+		Mode     string `json:"mode"`
+		AllMatch bool   `json:"all_match"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &fbRep); err != nil {
+		t.Fatalf("-feedback -json output is not valid JSON: %v", err)
+	}
+	if fbRep.Mode != "feedback" || !fbRep.AllMatch {
+		t.Errorf("unexpected feedback report: %+v", fbRep)
+	}
+}
+
+// TestServeMetricsAddr drives -serve -metrics-addr end to end: the bound
+// address goes to stderr before the run, and the report records that the
+// endpoint was served. (Live scraping under concurrency is covered by
+// the service package's endpoint test.)
+func TestServeMetricsAddr(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-serve", "-sf", "0.2", "-query", "Q3", "-sessions", "2", "-requests", "4", "-metrics-addr", "127.0.0.1:0"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("%v: exit %d\nstderr: %s", args, code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "metrics on http://127.0.0.1:") {
+		t.Errorf("stderr does not announce the bound address: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "metrics: served on http://127.0.0.1:") {
+		t.Errorf("report does not record the metrics endpoint:\n%s", out.String())
 	}
 }

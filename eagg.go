@@ -39,6 +39,7 @@ import (
 	"eagg/internal/core"
 	"eagg/internal/cost"
 	"eagg/internal/engine"
+	"eagg/internal/obs"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 	"eagg/internal/service"
@@ -135,6 +136,31 @@ type FeedbackResult = engine.FeedbackResult
 // for every value, mirroring how Options.Workers behaves for the
 // optimizer.
 type ExecOptions = engine.ExecOptions
+
+// Trace is a per-query structured trace: optimizer phases (dp levels,
+// feedback rounds, plan-cache outcome) and executor operators (wall
+// time, rows in/out) recorded as spans at operator barriers, so
+// collection never perturbs results. Pass one via ExecOptions.Trace or
+// Request.Exec.Trace; a Trace is single-goroutine (one query at a
+// time). Render with ExplainAnalyze or Trace.WriteChrome (Perfetto /
+// chrome://tracing).
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace ready to record one query.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// MetricsRegistry is an engine-wide registry of counters, gauges and
+// latency histograms; Engine.Registry() exposes the engine's, and
+// Registry.Handler serves it as Prometheus text (see the README's
+// metrics-endpoint section).
+type MetricsRegistry = obs.Registry
+
+// ExplainAnalyze joins a traced execution with its plan: the plan tree
+// annotated per operator with estimated vs measured cardinality,
+// q-error and wall time. The trace must come from executing exactly p.
+func ExplainAnalyze(q *Query, p *Plan, tr *Trace) string {
+	return engine.ExplainAnalyze(q, p, tr)
+}
 
 // Engine is the embedded query service: one shared worker pool, plan
 // cache and (optionally) global feedback overlay serving many concurrent

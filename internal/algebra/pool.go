@@ -67,6 +67,7 @@ type Pool struct {
 	jobCount    atomic.Int64
 	workerTasks atomic.Int64 // tasks executed by pool workers
 	helperTasks atomic.Int64 // tasks executed by submitting goroutines
+	maxQueued   atomic.Int64 // high-water mark of concurrently open jobs
 }
 
 // NewPool starts a pool with the given number of worker goroutines
@@ -149,6 +150,9 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		return
 	}
 	p.jobs = append(p.jobs, j)
+	if depth := int64(len(p.jobs)); depth > p.maxQueued.Load() {
+		p.maxQueued.Store(depth) // exact: updated under mu
+	}
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	p.jobCount.Add(1)
@@ -177,6 +181,10 @@ type PoolStats struct {
 	Jobs        int64 // fan-outs submitted
 	WorkerTasks int64 // tasks executed by pool workers
 	HelperTasks int64 // tasks executed by submitting goroutines
+	// MaxQueued is the high-water mark of concurrently open jobs — how
+	// many queries' fan-outs the round-robin rotation was multiplexing at
+	// the busiest moment (the per-query-fairness pressure gauge).
+	MaxQueued int64
 }
 
 // Stats returns the pool's lifetime counters.
@@ -185,5 +193,16 @@ func (p *Pool) Stats() PoolStats {
 		Jobs:        p.jobCount.Load(),
 		WorkerTasks: p.workerTasks.Load(),
 		HelperTasks: p.helperTasks.Load(),
+		MaxQueued:   p.maxQueued.Load(),
 	}
+}
+
+// QueueDepth returns the number of currently open jobs — the live gauge
+// behind the metrics endpoint (MaxQueued is the lifetime high-water
+// mark). Exhausted-but-unpruned jobs count until a worker prunes them;
+// the value is a scheduling snapshot, not a promise.
+func (p *Pool) QueueDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.jobs)
 }

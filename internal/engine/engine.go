@@ -36,6 +36,7 @@ import (
 	"eagg/internal/algebra"
 	"eagg/internal/bitset"
 	"eagg/internal/cost"
+	"eagg/internal/obs"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 )
@@ -88,6 +89,16 @@ type ExecOptions struct {
 	// runtime (0 = algebra.DefaultBatchSize). Results are identical for
 	// every size.
 	BatchSize int
+	// Trace, when set, records one span per plan node (operator wall
+	// time, rows in/out, estimates, hash/sort telemetry) into the given
+	// trace. Spans are recorded by the driver goroutine at the operator
+	// barriers the profiler already uses, so collection never perturbs
+	// results: the deterministic span fields (structure, names, row
+	// counts — obs.Trace.Fingerprint) are bit-identical for every worker
+	// count, and timing lives in separate fields excluded from the
+	// determinism comparisons. Nil (the default) skips all recording; the
+	// only residue is one pointer test per operator.
+	Trace *obs.Trace
 }
 
 // exec resolves the options into operator execution settings.
@@ -286,7 +297,7 @@ func ExecTables(q *query.Query, p *plan.Plan, data TableData) (*algebra.Table, e
 // worker count.
 func ExecTablesOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOptions) (*algebra.Table, error) {
 	rt := opts.runtime(opts.exec())
-	e := &executor{binder: binder{q: q}, data: data, rt: rt}
+	e := &executor{binder: binder{q: q}, data: data, rt: rt, tr: opts.Trace}
 	c, err := e.compile(p)
 	if err != nil {
 		return nil, err
@@ -311,7 +322,7 @@ func ExecProfiledOpts(q *query.Query, p *plan.Plan, data TableData, opts ExecOpt
 	ex := opts.exec().WithHashStats(hs)
 	rt := opts.runtime(ex)
 	stats := &ExecStats{EstimatedCout: p.Cost, Workers: ex.Workers()}
-	e := &executor{binder: binder{q: q}, data: data, stats: stats, rt: rt}
+	e := &executor{binder: binder{q: q}, data: data, stats: stats, rt: rt, tr: opts.Trace, hs: hs}
 	c, err := e.compile(p)
 	if err != nil {
 		return nil, nil, err
@@ -327,6 +338,8 @@ type executor struct {
 	data  TableData
 	stats *ExecStats
 	rt    runtimeOps
+	tr    *obs.Trace         // nil = no tracing
+	hs    *algebra.HashStats // live hash telemetry, for per-span deltas
 }
 
 // record accumulates one operator's actual output cardinality, both into
@@ -344,7 +357,44 @@ func (e *executor) record(p *plan.Plan, t rtTable) {
 	}
 }
 
+// compile executes one plan node (children first), wrapped in a trace
+// span when tracing is on. The span is opened before the children
+// compile and closed at the node's operator barrier, so spans nest by
+// plan structure and a span's duration is the node's inclusive wall
+// time — exactly what EXPLAIN ANALYZE prints. All recording happens on
+// the driver goroutine; the morsel fan-outs inside operators never see
+// the trace.
 func (e *executor) compile(p *plan.Plan) (*compiled, error) {
+	if e.tr == nil {
+		return e.compileNode(p)
+	}
+	var before algebra.HashTableStats
+	if e.hs != nil {
+		before = e.hs.Snapshot()
+	}
+	sid := e.tr.Begin(spanName(e.q, p), "op")
+	c, err := e.compileNode(p)
+	if err != nil {
+		e.tr.End(sid)
+		return nil, err
+	}
+	// Rows in = the outputs of the direct child spans (none for scans).
+	rowsIn := int64(-1)
+	for _, sp := range e.tr.Spans() {
+		if sp.Parent == sid {
+			if rowsIn < 0 {
+				rowsIn = 0
+			}
+			rowsIn += sp.RowsOut
+		}
+	}
+	e.tr.SetRows(sid, rowsIn, int64(c.tab.Card()))
+	annotateSpan(e.tr, sid, p, e.hs, before)
+	e.tr.End(sid)
+	return c, nil
+}
+
+func (e *executor) compileNode(p *plan.Plan) (*compiled, error) {
 	switch p.Kind {
 	case plan.NodeScan:
 		tab, ok := e.data[p.Rel]

@@ -111,13 +111,26 @@ func Reoptimize(q *query.Query, data TableData, opts FeedbackOptions) (*Feedback
 	}
 	out := &FeedbackResult{Profile: overlay}
 	prevSig := ""
+	// With a trace attached to the execution options, every round gets a
+	// "feedback" span; the optimizer spans (TraceOptimize) and the
+	// executor's operator spans nest under it through the trace's open-
+	// span stack, so a Reoptimize run opens in Perfetto as rounds of
+	// optimize → execute bars.
+	tr := opts.Exec.Trace
 	for round := 0; round < maxRounds; round++ {
+		rid := -1
+		if tr != nil {
+			rid = tr.Begin(fmt.Sprintf("feedback round %d", round+1), "feedback")
+		}
 		o := opts.Opt
 		if round > 0 {
 			o.Stats = overlay
 		}
-		res, err := core.Optimize(q, o)
+		res, err := TraceOptimize(tr, "optimize", func() (*core.Result, error) { return core.Optimize(q, o) })
 		if err != nil {
+			if rid >= 0 {
+				tr.End(rid)
+			}
 			return nil, fmt.Errorf("engine: feedback round %d: %w", round+1, err)
 		}
 		sig := res.Plan.Signature()
@@ -128,20 +141,34 @@ func Reoptimize(q *query.Query, data TableData, opts FeedbackOptions) (*Feedback
 				Stats: statsFromOverlay(res.Plan, overlay, prev),
 			})
 			out.Converged = true
+			if rid >= 0 {
+				tr.Annotate(rid, "converged", "plan stable; stats assembled from the overlay, no re-execution")
+				tr.End(rid)
+			}
 			break
 		}
 		tab, stats, err := ExecProfiledOpts(q, res.Plan, data, opts.Exec)
 		if err != nil {
+			if rid >= 0 {
+				tr.End(rid)
+			}
 			return nil, fmt.Errorf("engine: feedback round %d: %w", round+1, err)
 		}
 		stats.HarvestInto(overlay)
+		changed := round > 0 && sig != prevSig
 		out.Rounds = append(out.Rounds, FeedbackRound{
 			Plan:        res.Plan,
 			Stats:       stats,
-			PlanChanged: round > 0 && sig != prevSig,
+			PlanChanged: changed,
 		})
 		out.Result = tab
 		prevSig = sig
+		if rid >= 0 {
+			if changed {
+				tr.Annotate(rid, "plan_changed", "feedback changed the chosen plan")
+			}
+			tr.End(rid)
+		}
 	}
 	return out, nil
 }

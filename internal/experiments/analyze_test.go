@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeEvalQ5 runs the EXPLAIN ANALYZE evaluation on Q5 end to
+// end: both plan generators, results verified, and the rendered report
+// carrying est-vs-actual annotations for the before-feedback tree.
+func TestAnalyzeEvalQ5(t *testing.T) {
+	rep := AnalyzeEval(Config{}, 1, "Q5")
+	if len(rep.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if !c.Match {
+			t.Errorf("%s: final round does not match the canonical result", c.Plan)
+		}
+		if c.Rounds < 1 {
+			t.Errorf("%s: no executed rounds", c.Plan)
+		}
+		for _, part := range []string{"est=", "act=", "q=", "time=", "rows="} {
+			if !strings.Contains(c.Before, part) {
+				t.Errorf("%s: before-tree missing %q:\n%s", c.Plan, part, c.Before)
+			}
+		}
+		if c.QErrBefore < 1 || c.QErrAfter < 1 {
+			t.Errorf("%s: q-errors below 1: %v → %v", c.Plan, c.QErrBefore, c.QErrAfter)
+		}
+	}
+	text := rep.Format()
+	for _, want := range []string{"EXPLAIN ANALYZE: Q5", "before feedback (round 1", "=== lazy/DPhyp ===", "=== eager/EA-Prune ==="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

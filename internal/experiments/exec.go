@@ -119,20 +119,36 @@ func execSetup(cfg Config, factor float64, name string) (q *query.Query, data en
 // for every worker count.
 func ExecEval(cfg Config, factor float64, names []string) *ExecReport {
 	cfg = cfg.Defaults()
-	execOpts := engine.ExecOptions{Workers: cfg.Workers, Runtime: cfg.Runtime}
+	execOpts := engine.ExecOptions{Workers: cfg.Workers, Runtime: cfg.Runtime, Trace: cfg.Trace}
 	rep := &ExecReport{Factor: factor, Workers: cfg.Workers, Phys: cfg.Phys, Runtime: cfg.Runtime, CanonMillis: map[string]float64{}}
 	for _, name := range execQueryNames(names) {
 		q, data, wantRel, attrs, canonMillis := execSetup(cfg, factor, name)
 		rep.CanonMillis[name] = canonMillis
 
 		for _, alg := range execAlgs {
-			res := mustOptimizePhys(q, alg.alg, 0, cfg.Workers, cfg.Phys)
+			// With a trace attached, each (query, plan) cell gets one
+			// "query" span; the optimizer phases (TraceOptimize) and the
+			// executor's operator spans nest under it.
+			cid := -1
+			if cfg.Trace != nil {
+				cid = cfg.Trace.Begin(name+" "+alg.label, "query")
+			}
+			res, err := engine.TraceOptimize(cfg.Trace, "optimize", func() (*core.Result, error) {
+				return core.Optimize(q, core.Options{Algorithm: alg.alg, Workers: cfg.Workers, Phys: cfg.Phys})
+			})
+			if err != nil {
+				panic(fmt.Sprintf("experiments: optimize %s/%s: %v", name, alg.label, err))
+			}
 			start := time.Now()
 			tab, stats, err := engine.ExecProfiledOpts(q, res.Plan, data, execOpts)
 			if err != nil {
 				panic(fmt.Sprintf("experiments: exec %s/%s: %v", name, alg.label, err))
 			}
 			elapsed := time.Since(start)
+			if cid >= 0 {
+				cfg.Trace.SetRows(cid, -1, int64(stats.ResultRows))
+				cfg.Trace.End(cid)
+			}
 			secs := elapsed.Seconds()
 			row := ExecRow{
 				Query:         name,

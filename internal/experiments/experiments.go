@@ -13,6 +13,7 @@ import (
 
 	"eagg/internal/core"
 	"eagg/internal/engine"
+	"eagg/internal/obs"
 	"eagg/internal/query"
 	"eagg/internal/randquery"
 )
@@ -49,6 +50,12 @@ type Config struct {
 	// batch-at-a-time columnar vectors. Results are bit-identical; only
 	// the runtime figures change.
 	Runtime engine.Runtime
+	// Trace, when non-nil, collects spans from the -exec and -feedback
+	// evaluations: one "query" span per (query, plan-generator) cell with
+	// the optimizer phases and executor operators nested under it — the
+	// tree eabench -trace writes as Chrome trace-event JSON. Nil (the
+	// default) keeps every experiment on the untraced hot path.
+	Trace *obs.Trace
 }
 
 // Defaults fills unset fields.

@@ -58,13 +58,24 @@ func FeedbackEval(cfg Config, factor float64, names []string) *FeedbackReport {
 		q, data, wantRel, attrs, _ := execSetup(cfg, factor, name)
 
 		for _, alg := range execAlgs {
+			// With a trace attached, each cell's feedback rounds (and the
+			// optimize/operator spans within them) nest under one "query"
+			// span — the Perfetto view of the loop converging.
+			cid := -1
+			if cfg.Trace != nil {
+				cid = cfg.Trace.Begin(name+" "+alg.label, "query")
+			}
 			start := time.Now()
 			res, err := engine.Reoptimize(q, data, engine.FeedbackOptions{
 				Opt:  core.Options{Algorithm: alg.alg, Workers: cfg.Workers, Phys: cfg.Phys},
-				Exec: engine.ExecOptions{Workers: cfg.Workers, Runtime: cfg.Runtime},
+				Exec: engine.ExecOptions{Workers: cfg.Workers, Runtime: cfg.Runtime, Trace: cfg.Trace},
 			})
 			if err != nil {
 				panic(fmt.Sprintf("experiments: feedback %s/%s: %v", name, alg.label, err))
+			}
+			if cid >= 0 {
+				cfg.Trace.SetRows(cid, -1, int64(res.Final().Stats.ResultRows))
+				cfg.Trace.End(cid)
 			}
 			first, final := res.First().Stats, res.Final().Stats
 			row := FeedbackRow{

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"expvar"
 	"fmt"
+	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -51,6 +54,9 @@ type ServeReport struct {
 	// Metrics is the engine's final state (cache hit/miss, feedback
 	// epoch, pool task counts).
 	Metrics service.Metrics
+	// MetricsAddr is the bound address of the metrics endpoint ("" when
+	// none was requested).
+	MetricsAddr string
 }
 
 // ServeEval stands up a service engine over synthetic TPC-H data and
@@ -61,6 +67,17 @@ type ServeReport struct {
 // the engine's cache/feedback metrics make up the report. A nil or
 // empty names list selects every TPC-H query.
 func ServeEval(cfg Config, factor float64, names []string, sessions, requests int, feedback bool) *ServeReport {
+	return ServeEvalMetrics(cfg, factor, names, sessions, requests, feedback, nil)
+}
+
+// ServeEvalMetrics is ServeEval with a live metrics endpoint: for the
+// duration of the serving phase, the engine's registry is scrapeable on
+// ln at /metrics (Prometheus text exposition) and /debug/vars (expvar,
+// registry published under "eagg"). The caller owns creating the
+// listener — a bad address is then a flag-validation error, not a
+// mid-run surprise — and the server closes it on the way out. A nil ln
+// is plain ServeEval.
+func ServeEvalMetrics(cfg Config, factor float64, names []string, sessions, requests int, feedback bool, ln net.Listener) *ServeReport {
 	cfg = cfg.Defaults()
 	if sessions < 1 {
 		sessions = 1
@@ -87,6 +104,19 @@ func ServeEval(cfg Config, factor float64, names []string, sessions, requests in
 		SharedFeedback: feedback,
 	})
 	defer eng.Close()
+
+	metricsAddr := ""
+	if ln != nil {
+		metricsAddr = ln.Addr().String()
+		eng.Registry().PublishExpvar("eagg")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", eng.Registry().Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
 	for i, name := range names {
 		q, data, wantRel, attrs, _ := execSetup(cfg, factor, name)
 		eng.Register(name, data)
@@ -141,13 +171,14 @@ func ServeEval(cfg Config, factor float64, names []string, sessions, requests in
 	wall := time.Since(start)
 
 	rep := &ServeReport{
-		Factor:     factor,
-		Sessions:   sessions,
-		Workers:    cfg.Workers,
-		Feedback:   feedback,
-		Phys:       cfg.Phys,
-		WallMillis: float64(wall.Microseconds()) / 1000,
-		Metrics:    eng.Metrics(),
+		Factor:      factor,
+		Sessions:    sessions,
+		Workers:     cfg.Workers,
+		Feedback:    feedback,
+		Phys:        cfg.Phys,
+		WallMillis:  float64(wall.Microseconds()) / 1000,
+		Metrics:     eng.Metrics(),
+		MetricsAddr: metricsAddr,
 	}
 	total := 0
 	secs := wall.Seconds()
@@ -220,8 +251,11 @@ func (r *ServeReport) Format() string {
 	}
 	m := r.Metrics
 	fmt.Fprintf(&b, "total: %.1f qps over %.0f ms wall\n", r.TotalQPS, r.WallMillis)
-	fmt.Fprintf(&b, "engine: cache %d hits / %d misses (%d cached), feedback epoch %d (%d keys), pool %d worker + %d helper tasks over %d jobs, %d admission waits\n",
-		m.PlanCacheHits, m.PlanCacheMiss, m.PlanCacheSize, m.Epoch, m.FeedbackKeys,
-		m.Pool.WorkerTasks, m.Pool.HelperTasks, m.Pool.Jobs, m.AdmissionWaits)
+	fmt.Fprintf(&b, "engine: cache %d hits / %d misses (%d cached, %d evicted), feedback epoch %d (%d keys), pool %d worker + %d helper tasks over %d jobs (max %d queued), %d admission waits\n",
+		m.PlanCacheHits, m.PlanCacheMiss, m.PlanCacheSize, m.PlanCacheEvictions, m.Epoch, m.FeedbackKeys,
+		m.Pool.WorkerTasks, m.Pool.HelperTasks, m.Pool.Jobs, m.Pool.MaxQueued, m.AdmissionWaits)
+	if r.MetricsAddr != "" {
+		fmt.Fprintf(&b, "metrics: served on http://%s/metrics (Prometheus) and /debug/vars (expvar) during the run\n", r.MetricsAddr)
+	}
 	return b.String()
 }

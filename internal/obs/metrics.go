@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 — counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the current value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets are the default histogram bounds for latencies in
+// milliseconds: roughly logarithmic from 50µs to 10s, enough resolution
+// for a p99 on both sub-millisecond cache hits and multi-second scans.
+var DefLatencyBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+}
+
+// Histogram is a fixed-bucket histogram with a lock-free hot path: one
+// atomic add on the bucket counter, one on the total count, and a CAS
+// loop folding the value into the float sum. Bucket bounds are fixed at
+// construction (upper bounds, ascending; an implicit +Inf bucket is
+// appended), so observation never allocates and scrapes never block
+// observers. Quantiles are estimated from the cumulative bucket counts —
+// exact enough for p50/p99 dashboards, by construction never off by more
+// than one bucket width.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last = +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound ≥ v; the +Inf bucket catches the
+	// rest. Bounds are few and fixed, so this is a handful of compares.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) as the upper bound of
+// the first bucket whose cumulative count reaches q·total (the +Inf
+// bucket reports the largest finite bound). NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind tags how a metric renders in the Prometheus exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	hist *Histogram
+	read func() float64 // counters and gauges (owned or collected)
+}
+
+// Registry holds named metrics. Registration takes a lock; reads and
+// updates of the registered instruments are lock-free. Names follow
+// Prometheus conventions (snake_case, _total suffix on counters);
+// registering a duplicate name panics — metric names are program
+// constants, so a collision is a bug, not input.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.metrics[m.name] = m
+}
+
+// Counter registers and returns a new owned counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, read: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// Gauge registers and returns a new owned gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, read: func() float64 { return float64(g.Value()) }})
+	return g
+}
+
+// CounterFunc registers a counter whose value is collected from fn at
+// scrape time — the bridge to counters a subsystem already maintains
+// (pool task counts, cache hits). fn must be safe for concurrent calls
+// and monotone non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, read: fn})
+}
+
+// GaugeFunc registers a gauge collected from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, read: fn})
+}
+
+// Histogram registers and returns a fixed-bucket histogram. bounds are
+// ascending bucket upper bounds (nil = DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// snapshot returns the registered metrics sorted by name.
+func (r *Registry) snapshot() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatValue renders a sample the way Prometheus expects (no exponent
+// for integral values, Inf spelled +Inf).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, counters and gauges as
+// single samples, histograms as cumulative _bucket series plus _sum and
+// _count.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, m := range r.snapshot() {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", m.name, m.name, formatValue(m.read()))
+		case kindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", m.name, m.name, formatValue(m.read()))
+		case kindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", m.name)
+			h := m.hist
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatValue(bound), cum)
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatValue(h.Sum()))
+			fmt.Fprintf(w, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+}
+
+// Prometheus returns the full exposition as a string.
+func (r *Registry) Prometheus() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the Prometheus text exposition
+// — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Prometheus())
+	})
+}
+
+// Expvar returns the registry as one expvar.Func rendering a name→value
+// map (histograms appear as {count, sum, p50, p99}).
+func (r *Registry) Expvar() expvar.Func {
+	return func() any {
+		out := map[string]any{}
+		for _, m := range r.snapshot() {
+			if m.kind == kindHistogram {
+				h := m.hist
+				entry := map[string]any{"count": h.Count(), "sum": h.Sum()}
+				if h.Count() > 0 {
+					entry["p50"], entry["p99"] = h.Quantile(0.5), h.Quantile(0.99)
+				}
+				out[m.name] = entry
+				continue
+			}
+			out[m.name] = m.read()
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registry into the process-global expvar
+// namespace under name, once — republishing (or racing tests creating
+// several registries) keeps the first registration, since expvar has no
+// unpublish.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.Expvar())
+}

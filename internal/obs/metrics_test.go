@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryPrometheusText pins the exposition format: TYPE headers,
+// counter/gauge samples, cumulative histogram buckets with _sum/_count.
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "requests served")
+	c.Add(3)
+	g := r.Gauge("test_depth", "queue depth")
+	g.Set(7)
+	r.GaugeFunc("test_epoch", "feedback epoch", func() float64 { return 2 })
+	h := r.Histogram("test_latency_ms", "latency", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000) // lands in +Inf
+
+	text := r.Prometheus()
+	for _, want := range []string{
+		"# TYPE test_requests_total counter",
+		"test_requests_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 7",
+		"test_epoch 2",
+		"# TYPE test_latency_ms histogram",
+		`test_latency_ms_bucket{le="1"} 1`,
+		`test_latency_ms_bucket{le="10"} 2`,
+		`test_latency_ms_bucket{le="100"} 2`,
+		`test_latency_ms_bucket{le="+Inf"} 3`,
+		"test_latency_ms_sum 5005.5",
+		"test_latency_ms_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Metrics render sorted by name — scrapes are diffable.
+	if strings.Index(text, "test_depth") > strings.Index(text, "test_epoch") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+// TestHistogramQuantile pins the bucket-bound quantile estimate.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram should report NaN")
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5) // ≤1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(7) // ≤8
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("p99 = %g, want 8", got)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+}
+
+// TestRegistryHandler serves the exposition over HTTP and checks the
+// content type Prometheus scrapers negotiate.
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_h_total", "h").Add(1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "test_h_total 1") {
+		t.Errorf("scrape body missing counter:\n%s", body)
+	}
+}
+
+// TestMetricsRegistryConcurrent is the registry's race test (it rides
+// the CI concurrency-stress lane): counters, gauges and histograms are
+// hammered from many goroutines while the exposition is scraped
+// concurrently, then the final totals must be exact — atomics lose
+// nothing, including the CAS-folded histogram sum.
+func TestMetricsRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "")
+	g := r.Gauge("stress_gauge", "")
+	h := r.Histogram("stress_ms", "", []float64{1, 10, 100})
+
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(goroutines + 2)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 20))
+			}
+		}(i)
+	}
+	// Concurrent scrapers: text exposition and expvar snapshot.
+	for k := 0; k < 2; k++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = r.Prometheus()
+				_ = r.Expvar()()
+			}
+		}()
+	}
+	wg.Wait()
+
+	const n = goroutines * perG
+	if c.Value() != n {
+		t.Errorf("counter = %d, want %d", c.Value(), n)
+	}
+	if g.Value() != n {
+		t.Errorf("gauge = %d, want %d", g.Value(), n)
+	}
+	if h.Count() != n {
+		t.Errorf("histogram count = %d, want %d", h.Count(), n)
+	}
+	wantSum := float64(goroutines) * float64(perG/20) * (19 * 20 / 2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+	// The cumulative +Inf bucket of the exposition must equal the count.
+	text := r.Prometheus()
+	m := regexp.MustCompile(`stress_ms_bucket\{le="\+Inf"\} (\d+)`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no +Inf bucket in exposition:\n%s", text)
+	}
+	if inf, _ := strconv.Atoi(m[1]); inf != n {
+		t.Errorf("+Inf bucket = %d, want %d", inf, n)
+	}
+}
+
+// TestRegistryDuplicatePanics pins that name collisions are bugs.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "")
+}
+
+// TestPublishExpvar covers the publish-once guard (expvar is process
+// global and has no unpublish).
+func TestPublishExpvar(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("pub_total", "").Add(5)
+	name := fmt.Sprintf("obs_test_%p", r1)
+	r1.PublishExpvar(name)
+	r2.PublishExpvar(name) // must not panic, keeps r1
+	r1.PublishExpvar(name) // idempotent
+}

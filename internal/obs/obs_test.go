@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceNesting pins the Begin/End LIFO discipline: parents enclose
+// children, ids are creation-ordered, the stack unwinds correctly.
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Begin("query", "exec")
+	a := tr.Begin("scan", "op")
+	tr.SetRows(a, -1, 100)
+	tr.End(a)
+	b := tr.Begin("join", "op")
+	c := tr.Begin("scan", "op")
+	tr.End(c)
+	tr.End(b)
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("want 4 spans, got %d", len(spans))
+	}
+	wantParents := []int{-1, 0, 0, 2}
+	for i, sp := range spans {
+		if sp.Parent != wantParents[i] {
+			t.Errorf("span %d (%s): parent %d, want %d", i, sp.Name, sp.Parent, wantParents[i])
+		}
+		if sp.DurNS < 0 {
+			t.Errorf("span %d (%s): still open (dur %d)", i, sp.Name, sp.DurNS)
+		}
+	}
+	if spans[1].RowsOut != 100 || spans[1].RowsIn != -1 {
+		t.Errorf("scan rows: got in=%d out=%d", spans[1].RowsIn, spans[1].RowsOut)
+	}
+}
+
+// TestTraceFingerprintMasksTiming pins the determinism contract: two
+// traces with identical structure and row counts but different timing
+// and annotations fingerprint identically; a structural difference shows.
+func TestTraceFingerprintMasksTiming(t *testing.T) {
+	build := func(sleep bool, annotate string) *Trace {
+		tr := NewTrace()
+		root := tr.Begin("query", "exec")
+		op := tr.Begin("join", "op")
+		if sleep {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if annotate != "" {
+			tr.Annotate(op, "note", annotate)
+		}
+		tr.SetRows(op, 10, 5)
+		tr.End(op)
+		tr.End(root)
+		return tr
+	}
+	a, b := build(false, ""), build(true, "different args")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ on timing/args only:\n%s\nvs\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	c := NewTrace()
+	root := c.Begin("query", "exec")
+	op := c.Begin("join", "op")
+	c.SetRows(op, 10, 6) // different row count
+	c.End(op)
+	c.End(root)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint did not distinguish differing row counts")
+	}
+}
+
+// TestWriteChrome validates the trace-event JSON shape Perfetto expects:
+// a traceEvents array of complete ("X") events with µs timestamps and
+// the row counts in args.
+func TestWriteChrome(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Begin("query", "exec")
+	op := tr.Begin("join", "op")
+	tr.SetRows(op, 10, 5)
+	tr.Annotate(op, "est", "7")
+	tr.End(op)
+	tr.End(root)
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("want 2 events, got %d", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q: ph %q, want X", ev.Name, ev.Ph)
+		}
+	}
+	join := doc.TraceEvents[1]
+	if join.Name != "join" || join.Args["rows_out"] != float64(5) || join.Args["est"] != "7" {
+		t.Errorf("join event malformed: %+v", join)
+	}
+}
+
+// TestEmitDerivedSpans covers the post-hoc span hook used for DP levels.
+func TestEmitDerivedSpans(t *testing.T) {
+	tr := NewTrace()
+	opt := tr.Begin("optimize", "optimize")
+	tr.End(opt)
+	lvl := tr.Emit(opt, "level 2", "dp-level", 0, 1000, -1, 42)
+	if got := tr.Spans()[lvl]; got.Parent != opt || got.RowsOut != 42 {
+		t.Errorf("emitted span malformed: %+v", got)
+	}
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(tr.Spans()))
+	}
+}

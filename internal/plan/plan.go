@@ -198,13 +198,13 @@ func (p *Plan) render(b *strings.Builder, depth int, q *query.Query) {
 		}
 		fmt.Fprintf(b, "%sscan %s (card=%.6g)\n", indent, name, p.Card)
 	case NodeOp:
-		fmt.Fprintf(b, "%s%v%s %v (card=%.6g cost=%.6g)\n", indent, p.Op, p.physTag(), p.Rels, p.Card, p.Cost)
+		fmt.Fprintf(b, "%s%v%s %v (card=%.6g cost=%.6g)\n", indent, p.Op, p.PhysTag(), p.Rels, p.Card, p.Cost)
 		p.Left.render(b, depth+1, q)
 		p.Right.render(b, depth+1, q)
 	case NodeGroup:
-		label := "Γ" + p.physTag()
+		label := "Γ" + p.PhysTag()
 		if p.Final {
-			label = "Γ(final)" + p.physTag()
+			label = "Γ(final)" + p.PhysTag()
 		}
 		attrs := p.GroupBy.String()
 		if q != nil {
@@ -278,19 +278,19 @@ func (p *Plan) Signature() string {
 	case NodeScan:
 		return fmt.Sprintf("R%d", p.Rel)
 	case NodeOp:
-		return fmt.Sprintf("(%s %v%s %s)", p.Left.Signature(), p.Op, p.physTag(), p.Right.Signature())
+		return fmt.Sprintf("(%s %v%s %s)", p.Left.Signature(), p.Op, p.PhysTag(), p.Right.Signature())
 	case NodeGroup:
-		return fmt.Sprintf("Γ%s%v[%s]", p.physTag(), p.GroupBy, p.Left.Signature())
+		return fmt.Sprintf("Γ%s%v[%s]", p.PhysTag(), p.GroupBy, p.Left.Signature())
 	case NodeProject:
 		return fmt.Sprintf("Π[%s]", p.Left.Signature())
 	}
 	return "?"
 }
 
-// physTag renders the physical choice into signatures and trees: empty
+// PhysTag renders the physical choice into signatures and trees: empty
 // for hash (keeping default-mode signatures stable), "∘sort" for the
 // sort-based layer with per-input sort/reuse marks.
-func (p *Plan) physTag() string {
+func (p *Plan) PhysTag() string {
 	if p.Phys != PhysSortMerge {
 		return ""
 	}

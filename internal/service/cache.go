@@ -38,8 +38,9 @@ type planCache struct {
 	max int
 	m   map[cacheKey]*cacheEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64 // capacity evictions + stale-epoch prunes
 }
 
 func newPlanCache(max int) *planCache {
@@ -101,6 +102,7 @@ func (c *planCache) evictLocked(keep cacheKey) {
 			return
 		}
 		delete(c.m, victim)
+		c.evictions.Add(1)
 	}
 }
 
@@ -114,6 +116,7 @@ func (c *planCache) pruneBelow(epoch uint64) {
 	for k := range c.m {
 		if k.epoch < epoch {
 			delete(c.m, k)
+			c.evictions.Add(1)
 		}
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"eagg/internal/core"
 	"eagg/internal/cost"
 	"eagg/internal/engine"
+	"eagg/internal/obs"
 	"eagg/internal/plan"
 	"eagg/internal/query"
 )
@@ -89,6 +90,16 @@ type Engine struct {
 
 	requests       atomic.Int64
 	admissionWaits atomic.Int64
+
+	// Observability: the registry is always on (atomic instruments, no
+	// hot-path locks); Registry() exposes it for scraping.
+	reg           *obs.Registry
+	optimizeMS    *obs.Histogram
+	execMS        *obs.Histogram
+	epochAdvances *obs.Counter
+	resultRows    *obs.Counter
+	interRows     *obs.Counter
+	errorsTotal   *obs.Counter
 }
 
 // NewEngine starts a service engine: the shared worker pool is running
@@ -105,8 +116,69 @@ func NewEngine(opts EngineOptions) *Engine {
 	if opts.SharedFeedback {
 		e.stats = cost.NewSharedOverlay()
 	}
+	e.instrument()
 	return e
 }
+
+// instrument builds the engine's metrics registry. Counters the
+// subsystems already maintain (cache hits, pool tasks) are bridged as
+// collected functions — the scrape reads the live atomics, nothing is
+// double-counted; quantities only the request path knows (latencies,
+// row totals) get owned instruments observed inline.
+func (e *Engine) instrument() {
+	r := obs.NewRegistry()
+	e.reg = r
+
+	r.CounterFunc("eagg_requests_total", "queries executed (or failed) through the engine",
+		func() float64 { return float64(e.requests.Load()) })
+	r.CounterFunc("eagg_admission_waits_total", "queries that blocked on the admission semaphore",
+		func() float64 { return float64(e.admissionWaits.Load()) })
+	r.GaugeFunc("eagg_sessions", "sessions created",
+		func() float64 { return float64(e.sessions.Load()) })
+
+	r.CounterFunc("eagg_plan_cache_hits_total", "plan cache hits (including single-flight waiters)",
+		func() float64 { return float64(e.cache.hits.Load()) })
+	r.CounterFunc("eagg_plan_cache_misses_total", "plan cache misses (DP optimizations run)",
+		func() float64 { return float64(e.cache.misses.Load()) })
+	r.CounterFunc("eagg_plan_cache_evictions_total", "plans dropped by capacity eviction or stale-epoch pruning",
+		func() float64 { return float64(e.cache.evictions.Load()) })
+	r.GaugeFunc("eagg_plan_cache_entries", "plans currently cached",
+		func() float64 { return float64(e.cache.size()) })
+
+	r.GaugeFunc("eagg_feedback_epoch", "current shared-feedback epoch (0 = feedback off or unmeasured)",
+		func() float64 { return float64(e.Epoch()) })
+	r.GaugeFunc("eagg_feedback_keys", "measured cardinalities in the shared overlay",
+		func() float64 {
+			if e.stats == nil {
+				return 0
+			}
+			return float64(e.stats.Len())
+		})
+	e.epochAdvances = r.Counter("eagg_feedback_epoch_advances_total",
+		"feedback publishes that changed a measurement and invalidated stale plans")
+
+	r.CounterFunc("eagg_pool_jobs_total", "operator fan-outs submitted to the shared scheduler",
+		func() float64 { return float64(e.pool.Stats().Jobs) })
+	r.CounterFunc("eagg_pool_worker_tasks_total", "morsel tasks executed by pool workers",
+		func() float64 { return float64(e.pool.Stats().WorkerTasks) })
+	r.CounterFunc("eagg_pool_helper_tasks_total", "morsel tasks executed by submitting goroutines",
+		func() float64 { return float64(e.pool.Stats().HelperTasks) })
+	r.GaugeFunc("eagg_pool_queue_depth", "currently open pool jobs",
+		func() float64 { return float64(e.pool.QueueDepth()) })
+	r.GaugeFunc("eagg_pool_max_queued", "high-water mark of concurrently open pool jobs",
+		func() float64 { return float64(e.pool.Stats().MaxQueued) })
+
+	e.optimizeMS = r.Histogram("eagg_optimize_ms", "optimization latency per request, milliseconds (cache hits included)", nil)
+	e.execMS = r.Histogram("eagg_exec_ms", "execution latency per request, milliseconds", nil)
+	e.resultRows = r.Counter("eagg_result_rows_total", "result rows produced")
+	e.interRows = r.Counter("eagg_intermediate_rows_total", "intermediate rows materialized (measured C_out)")
+	e.errorsTotal = r.Counter("eagg_errors_total", "requests that failed")
+}
+
+// Registry returns the engine's metrics registry — mount
+// Registry().Handler() at /metrics to scrape it, or PublishExpvar to
+// expose it through expvar.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
 
 // Close shuts the engine down: the worker pool drains and exits, and
 // subsequent Execute calls fail. In-flight queries complete (their
@@ -150,25 +222,27 @@ func (e *Engine) NewSession() *Session {
 
 // Metrics is a point-in-time snapshot of the engine's shared state.
 type Metrics struct {
-	Requests       int64 // queries executed (or failed) through the engine
-	AdmissionWaits int64 // queries that blocked on the admission semaphore
-	PlanCacheHits  int64
-	PlanCacheMiss  int64
-	PlanCacheSize  int    // entries currently cached
-	Epoch          uint64 // current feedback epoch
-	FeedbackKeys   int    // measured cardinalities in the shared overlay
-	Pool           algebra.PoolStats
+	Requests           int64 // queries executed (or failed) through the engine
+	AdmissionWaits     int64 // queries that blocked on the admission semaphore
+	PlanCacheHits      int64
+	PlanCacheMiss      int64
+	PlanCacheEvictions int64  // capacity evictions + stale-epoch prunes
+	PlanCacheSize      int    // entries currently cached
+	Epoch              uint64 // current feedback epoch
+	FeedbackKeys       int    // measured cardinalities in the shared overlay
+	Pool               algebra.PoolStats
 }
 
 // Metrics returns current counters.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		Requests:       e.requests.Load(),
-		AdmissionWaits: e.admissionWaits.Load(),
-		PlanCacheHits:  e.cache.hits.Load(),
-		PlanCacheMiss:  e.cache.misses.Load(),
-		PlanCacheSize:  e.cache.size(),
-		Pool:           e.pool.Stats(),
+		Requests:           e.requests.Load(),
+		AdmissionWaits:     e.admissionWaits.Load(),
+		PlanCacheHits:      e.cache.hits.Load(),
+		PlanCacheMiss:      e.cache.misses.Load(),
+		PlanCacheEvictions: e.cache.evictions.Load(),
+		PlanCacheSize:      e.cache.size(),
+		Pool:               e.pool.Stats(),
 	}
 	if e.stats != nil {
 		m.Epoch = e.stats.Epoch()
@@ -193,7 +267,9 @@ type Request struct {
 	// statistics belong on the one-shot library entry points).
 	Opt core.Options
 	// Exec configures execution. Exec.Pool must be nil — the engine
-	// supplies the shared scheduler.
+	// supplies the shared scheduler. Exec.Trace is honored: the request
+	// records its optimize span (annotated with the plan-cache outcome)
+	// and its operator spans into the caller's trace.
 	Exec engine.ExecOptions
 	// Data is the inline input data; leave nil to use the registered
 	// dataset named by Dataset.
@@ -235,6 +311,14 @@ func (s *Session) Execute(q *query.Query, req Request) (*Response, error) {
 }
 
 func (e *Engine) execute(q *query.Query, req Request) (*Response, error) {
+	resp, err := e.doExecute(q, req)
+	if err != nil {
+		e.errorsTotal.Inc()
+	}
+	return resp, err
+}
+
+func (e *Engine) doExecute(q *query.Query, req Request) (*Response, error) {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -284,31 +368,60 @@ func (e *Engine) execute(q *query.Query, req Request) (*Response, error) {
 	}
 
 	resp := &Response{Epoch: epoch}
+	// With a trace attached, the optimize phase records a span whose id is
+	// tr.Len() before the call (Begin appends immediately); TraceOptimize
+	// attaches the search telemetry, the cache outcome is annotated after.
+	// On a cache hit the stats are zero and the span has no dp-level
+	// children — which is exactly the point of the cache.
+	tr := req.Exec.Trace
+	sid := -1
+	if tr != nil {
+		sid = tr.Len()
+	}
 	optStart := time.Now()
 	if req.NoCache {
-		res, err := core.Optimize(q, opt)
+		res, err := engine.TraceOptimize(tr, "optimize", func() (*core.Result, error) {
+			return core.Optimize(q, opt)
+		})
 		if err != nil {
 			return nil, err
 		}
 		resp.Plan, resp.OptStats = res.Plan, res.Stats
 	} else {
 		key := cacheKey{sig: core.Fingerprint(q, opt), epoch: epoch}
-		p, stats, hit, err := e.cache.getOrCompute(key, func() (*plan.Plan, core.Stats, error) {
-			res, err := core.Optimize(q, opt)
+		_, err := engine.TraceOptimize(tr, "optimize", func() (*core.Result, error) {
+			p, stats, hit, err := e.cache.getOrCompute(key, func() (*plan.Plan, core.Stats, error) {
+				res, err := core.Optimize(q, opt)
+				if err != nil {
+					return nil, core.Stats{}, err
+				}
+				return res.Plan, res.Stats, nil
+			})
 			if err != nil {
-				return nil, core.Stats{}, err
+				return nil, err
 			}
-			return res.Plan, res.Stats, nil
+			resp.Plan, resp.CacheHit = p, hit
+			if !hit {
+				resp.OptStats = stats
+			}
+			return &core.Result{Plan: p, Stats: resp.OptStats}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		resp.Plan, resp.CacheHit = p, hit
-		if !hit {
-			resp.OptStats = stats
+	}
+	if sid >= 0 {
+		switch {
+		case req.NoCache:
+			tr.Annotate(sid, "plan_cache", "bypass")
+		case resp.CacheHit:
+			tr.Annotate(sid, "plan_cache", "hit")
+		default:
+			tr.Annotate(sid, "plan_cache", "miss")
 		}
 	}
 	resp.OptimizeMillis = float64(time.Since(optStart).Microseconds()) / 1000
+	e.optimizeMS.Observe(resp.OptimizeMillis)
 
 	ex := req.Exec
 	if ex.Workers == 0 {
@@ -321,7 +434,10 @@ func (e *Engine) execute(q *query.Query, req Request) (*Response, error) {
 		return nil, err
 	}
 	resp.ExecMillis = float64(time.Since(execStart).Microseconds()) / 1000
+	e.execMS.Observe(resp.ExecMillis)
 	resp.Table, resp.Stats = tab, stats
+	e.resultRows.Add(int64(stats.ResultRows))
+	e.interRows.Add(int64(stats.ActualCout))
 
 	// Publish the measured cardinalities. The epoch only advances when
 	// a measurement actually changes (steady-state workloads keep their
@@ -330,6 +446,7 @@ func (e *Engine) execute(q *query.Query, req Request) (*Response, error) {
 	// from being returned, pruning just frees the memory.
 	if e.stats != nil {
 		if newEpoch, changed := e.stats.Publish(stats.Profile()); changed {
+			e.epochAdvances.Inc()
 			e.cache.pruneBelow(newEpoch)
 		}
 	}
